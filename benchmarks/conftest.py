@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+The dataset scale can be raised with the ``RAQLET_BENCH_SCALE`` environment
+variable (number of persons; default 200).  The default keeps the whole
+benchmark suite in the tens of seconds on a laptop while preserving the
+relative ordering the paper's Table 1 reports.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import Raqlet
+from repro.ldbc import load_dataset, snb_schema_mapping
+
+BENCH_SCALE = int(os.environ.get("RAQLET_BENCH_SCALE", "200"))
+BENCH_SEED = int(os.environ.get("RAQLET_BENCH_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def bench_data():
+    """The SNB dataset used by every benchmark, with engines prebuilt."""
+    data = load_dataset(scale_persons=BENCH_SCALE, seed=BENCH_SEED)
+    # Materialise every engine once so per-benchmark timings exclude loading.
+    data.relational_database()
+    data.property_graph()
+    data.sqlite_executor()
+    yield data
+    data.close()
+
+
+@pytest.fixture(scope="session")
+def bench_raqlet():
+    """A Raqlet compiler over the SNB schema."""
+    return Raqlet(snb_schema_mapping())

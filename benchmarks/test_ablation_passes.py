@@ -1,0 +1,116 @@
+"""Ablation: the contribution of each optimizer pass (supports Section 5).
+
+DESIGN.md calls out the individual optimizations -- inlining, dead-rule
+elimination, semantic join elimination, magic sets -- as separate design
+choices.  This harness measures, for complex query 2 and for the bound
+reachability query, the Datalog-engine execution time with the full pipeline,
+with no optimization, and with each pass group removed, plus the number of
+facts the engine derives (the work magic sets is supposed to avoid).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines.datalog import DatalogEngine
+from repro.ldbc import complex_query_2
+from repro.ldbc.queries import friend_reachability
+from repro.optimize import (
+    ConstantPropagation,
+    DeadRuleElimination,
+    InlineRules,
+    LinearizeRecursion,
+    MagicSets,
+    PassManager,
+    RemoveDuplicateAtoms,
+    SemanticJoinElimination,
+)
+
+
+def _pipeline_without(bench_raqlet, skip: str):
+    passes = [
+        ("constant-propagation", ConstantPropagation()),
+        ("inline", InlineRules()),
+        ("duplicates", RemoveDuplicateAtoms()),
+        ("semantic-join-elimination", SemanticJoinElimination(bench_raqlet.mapping)),
+        ("linearize", LinearizeRecursion()),
+        ("magic-sets", MagicSets()),
+        ("dead-rule-elimination", DeadRuleElimination()),
+    ]
+    return [instance for name, instance in passes if name != skip]
+
+
+_VARIANTS = [
+    "full",
+    "none",
+    "no-inline",
+    "no-semantic-join-elimination",
+    "no-magic-sets",
+    "no-dead-rule-elimination",
+]
+
+
+def _optimize_variant(bench_raqlet, program, variant):
+    if variant == "none":
+        return program
+    if variant == "full":
+        passes = _pipeline_without(bench_raqlet, skip="nothing")
+    else:
+        passes = _pipeline_without(bench_raqlet, skip=variant.removeprefix("no-"))
+    return PassManager(passes, iterate=True).run(program)
+
+
+@pytest.mark.parametrize("variant", _VARIANTS)
+def test_ablation_cq2(benchmark, bench_raqlet, bench_data, variant):
+    spec = complex_query_2(
+        bench_data.dataset.default_person_id(), bench_data.dataset.median_message_date()
+    )
+    compiled = bench_raqlet.compile_cypher(spec["query"], spec["parameters"], optimize=False)
+    program = _optimize_variant(bench_raqlet, compiled.program(optimized=False), variant)
+    reference = bench_raqlet.run_on_datalog_engine(compiled, bench_data.facts, optimized=False)
+
+    result = benchmark(lambda: DatalogEngine(program, bench_data.facts).query("Return"))
+    assert result.same_rows(reference)
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["rules"] = len(program.rules)
+
+
+@pytest.mark.parametrize("variant", ["full", "none", "no-magic-sets"])
+def test_ablation_bound_reachability(benchmark, bench_raqlet, bench_data, variant):
+    """Magic sets matter most for bound recursive queries: measure derived facts."""
+    spec = friend_reachability(bench_data.dataset.default_person_id())
+    compiled = bench_raqlet.compile_cypher(spec["query"], spec["parameters"], optimize=False)
+    program = _optimize_variant(bench_raqlet, compiled.program(optimized=False), variant)
+    reference = bench_raqlet.run_on_datalog_engine(compiled, bench_data.facts, optimized=False)
+
+    def run():
+        engine = DatalogEngine(program, bench_data.facts)
+        result = engine.query("Return")
+        return engine, result
+
+    engine, result = benchmark(run)
+    assert result.same_rows(reference)
+    derived = sum(
+        engine.store.count(name)
+        for name in program.idb_names()
+    )
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["derived_facts"] = derived
+
+
+def test_magic_sets_restricts_derived_facts(bench_raqlet, bench_data):
+    """The headline claim behind magic sets: far fewer intermediate facts."""
+    spec = friend_reachability(bench_data.dataset.default_person_id())
+    compiled = bench_raqlet.compile_cypher(spec["query"], spec["parameters"], optimize=False)
+    unoptimized = compiled.program(optimized=False)
+    optimized = _optimize_variant(bench_raqlet, unoptimized, "full")
+
+    engine_unopt = DatalogEngine(unoptimized, bench_data.facts)
+    engine_unopt.run()
+    engine_opt = DatalogEngine(optimized, bench_data.facts)
+    engine_opt.run()
+    unopt_facts = sum(engine_unopt.store.count(name) for name in unoptimized.idb_names())
+    opt_facts = sum(engine_opt.store.count(name) for name in optimized.idb_names())
+    # The friendship graph is a single dense component, so full TC is large;
+    # the magic-set version only explores from the bound person.
+    assert opt_facts < unopt_facts

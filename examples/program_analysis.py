@@ -1,0 +1,91 @@
+"""Deductive program analysis: a points-to analysis written in Datalog.
+
+The paper's introduction motivates Raqlet with deductive databases used for
+large-scale static program analysis (Doop-style points-to analyses).  This
+example writes a small Andersen-style points-to analysis as a Datalog program,
+feeds it through Raqlet's Datalog frontend, and:
+
+* runs the static analyses (the program is recursive but linear-izable),
+* executes it on the in-repo Datalog engine,
+* translates it to SQL and executes the same analysis on SQLite,
+* checks both produce the same points-to sets.
+
+Run with::
+
+    python examples/program_analysis.py
+"""
+
+import random
+
+from repro import Raqlet
+from repro.engines.sqlite_exec import run_sql_on_sqlite
+
+# A minimal schema: the "graph" here is a program's assignment structure.
+SCHEMA = """
+CREATE GRAPH {
+  (varType : Variable { id INT, name STRING }),
+  (objType : Object { id INT, site STRING }),
+  (:varType)-[assignType : assign { id INT }]->(:varType)
+}
+"""
+
+# Andersen-style points-to: new-site facts seed the analysis, assignments
+# propagate points-to sets transitively.
+POINTS_TO_PROGRAM = """
+.decl NewObject(v:number, o:number)
+.decl Assign(src:number, dst:number)
+.decl PointsTo(v:number, o:number)
+
+PointsTo(v, o) :- NewObject(v, o).
+PointsTo(dst, o) :- Assign(src, dst), PointsTo(src, o).
+
+.output PointsTo
+"""
+
+
+def generate_program(variables: int = 400, objects: int = 80, assignments: int = 900, seed: int = 3):
+    """Generate a random program's NewObject / Assign facts."""
+    rng = random.Random(seed)
+    new_object = []
+    for obj in range(objects):
+        new_object.append((rng.randrange(variables), obj))
+    assign = set()
+    while len(assign) < assignments:
+        src = rng.randrange(variables)
+        dst = rng.randrange(variables)
+        if src != dst:
+            assign.add((src, dst))
+    return {"NewObject": new_object, "Assign": sorted(assign)}
+
+
+def main() -> None:
+    raqlet = Raqlet(SCHEMA)
+    compiled = raqlet.compile_datalog(POINTS_TO_PROGRAM)
+
+    assert compiled.analysis is not None
+    print("static analysis of the points-to program:")
+    print(compiled.analysis.to_text())
+    print()
+    print("generated SQL:")
+    print(compiled.sql_text())
+
+    facts = generate_program()
+    datalog_result = raqlet.run_on_datalog_engine(compiled, facts)
+    print(f"Datalog engine: {len(datalog_result)} points-to facts")
+
+    # The same analysis as a recursive SQL query on SQLite.  The EDB schema is
+    # the program's own declarations, so build a DL-Schema for SQLite from the
+    # compiled program (the graph schema above is not used for this input).
+    sql = compiled.sql_text(dialect="sqlite")
+    sqlite_result = run_sql_on_sqlite(compiled.program().schema, facts, sql)
+    print(f"SQLite        : {len(sqlite_result)} points-to facts")
+
+    assert datalog_result.same_rows(sqlite_result), "engines disagree!"
+    print("both engines derive the same points-to sets ✔")
+
+    sample = datalog_result.sorted_rows()[:5]
+    print(f"sample facts: {sample}")
+
+
+if __name__ == "__main__":
+    main()

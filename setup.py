@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment for this reproduction is fully offline and does not
+ship the ``wheel`` package, so PEP 517 editable installs (which build an
+editable wheel) fail.  This ``setup.py`` lets ``pip install -e .`` fall back
+to the legacy ``setup.py develop`` path; all project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Raqlet: cross-paradigm compilation for recursive queries (reproduction).
+
+The public API is re-exported here; the typical entry point is
+:class:`repro.Raqlet`::
+
+    from repro import Raqlet
+    raqlet = Raqlet(schema_text)
+    compiled = raqlet.compile_cypher("MATCH (n:Person {id: 42}) ... ")
+    print(compiled.datalog_text())
+    print(compiled.sql_text())
+"""
+
+from repro.pipeline import CompiledQuery, Raqlet
+from repro.engines.result import QueryResult
+from repro.schema import PGSchema, SchemaMapping, parse_pg_schema, pg_to_dl_schema
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Raqlet",
+    "CompiledQuery",
+    "QueryResult",
+    "PGSchema",
+    "SchemaMapping",
+    "parse_pg_schema",
+    "pg_to_dl_schema",
+    "__version__",
+]

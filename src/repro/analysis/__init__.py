@@ -1,0 +1,63 @@
+"""Static analyses over DLIR programs (paper Section 4).
+
+All analyses operate on DLIR so that each is implemented once, independent of
+the source query language:
+
+* :mod:`repro.analysis.dependencies` -- the predicate dependency graph and
+  its strongly connected components (the substrate of every other analysis).
+* :mod:`repro.analysis.stratification` -- stratified-negation/aggregation
+  checking and stratum assignment.
+* :mod:`repro.analysis.recursion` -- linearity and mutual-recursion analysis.
+* :mod:`repro.analysis.monotonicity` -- monotonicity under set inclusion.
+* :mod:`repro.analysis.termination` -- heuristics for possible
+  non-termination (arithmetic over unbounded domains inside recursion).
+* :mod:`repro.analysis.safety` -- range restriction (variable safety).
+* :mod:`repro.analysis.report` -- a combined :class:`AnalysisReport` plus
+  backend capability checking.
+"""
+
+from repro.analysis.dependencies import DependencyGraph, build_dependency_graph
+from repro.analysis.monotonicity import MonotonicityResult, analyze_monotonicity
+from repro.analysis.recursion import (
+    LinearityResult,
+    MutualRecursionResult,
+    analyze_linearity,
+    analyze_mutual_recursion,
+    recursive_relations,
+)
+from repro.analysis.report import (
+    AnalysisReport,
+    BackendCapability,
+    analyze_program,
+    check_backend_support,
+)
+from repro.analysis.safety import SafetyResult, analyze_safety
+from repro.analysis.stratification import (
+    StratificationResult,
+    analyze_stratification,
+    stratify,
+)
+from repro.analysis.termination import TerminationResult, analyze_termination
+
+__all__ = [
+    "DependencyGraph",
+    "build_dependency_graph",
+    "StratificationResult",
+    "analyze_stratification",
+    "stratify",
+    "LinearityResult",
+    "MutualRecursionResult",
+    "analyze_linearity",
+    "analyze_mutual_recursion",
+    "recursive_relations",
+    "MonotonicityResult",
+    "analyze_monotonicity",
+    "TerminationResult",
+    "analyze_termination",
+    "SafetyResult",
+    "analyze_safety",
+    "AnalysisReport",
+    "BackendCapability",
+    "analyze_program",
+    "check_backend_support",
+]

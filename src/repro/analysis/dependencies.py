@@ -1,0 +1,122 @@
+"""Predicate dependency graph of a DLIR program.
+
+The dependency graph has one node per relation; a rule ``H :- ..., B, ...``
+adds an edge ``B -> H``.  Edges are annotated with whether the dependency
+passes through negation or aggregation, which stratification uses, and the
+strongly connected components of the graph identify recursive relation
+groups, which the recursion analyses and the evaluation engine use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+import networkx as nx
+
+from repro.dlir.core import DLIRProgram, Rule
+
+
+@dataclass(frozen=True)
+class DependencyEdge:
+    """A dependency from ``source`` (body relation) to ``target`` (head)."""
+
+    source: str
+    target: str
+    negated: bool = False
+    through_aggregation: bool = False
+
+
+@dataclass
+class DependencyGraph:
+    """The predicate dependency graph plus its SCC decomposition."""
+
+    graph: nx.DiGraph
+    edges: List[DependencyEdge] = field(default_factory=list)
+    sccs: List[FrozenSet[str]] = field(default_factory=list)
+    scc_of: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+    def depends_on(self, relation: str) -> Set[str]:
+        """Return the relations that ``relation`` (directly) depends on."""
+        if relation not in self.graph:
+            return set()
+        return set(self.graph.predecessors(relation))
+
+    def dependents_of(self, relation: str) -> Set[str]:
+        """Return the relations that (directly) depend on ``relation``."""
+        if relation not in self.graph:
+            return set()
+        return set(self.graph.successors(relation))
+
+    def is_recursive(self, relation: str) -> bool:
+        """Return whether ``relation`` participates in a dependency cycle."""
+        component = self.scc_of.get(relation, frozenset())
+        if len(component) > 1:
+            return True
+        return self.graph.has_edge(relation, relation)
+
+    def recursive_components(self) -> List[FrozenSet[str]]:
+        """Return the SCCs that contain recursion (size > 1 or a self-loop)."""
+        result = []
+        for component in self.sccs:
+            if len(component) > 1:
+                result.append(component)
+            else:
+                (relation,) = tuple(component)
+                if self.graph.has_edge(relation, relation):
+                    result.append(component)
+        return result
+
+    def same_component(self, first: str, second: str) -> bool:
+        """Return whether two relations belong to the same SCC."""
+        return self.scc_of.get(first) is not None and self.scc_of.get(first) == self.scc_of.get(second)
+
+    def condensation_order(self) -> List[FrozenSet[str]]:
+        """Return the SCCs in a topological (evaluation) order."""
+        condensed = nx.condensation(self.graph, scc=[set(c) for c in self.sccs])
+        order = list(nx.topological_sort(condensed))
+        return [frozenset(condensed.nodes[index]["members"]) for index in order]
+
+
+def _rule_dependencies(rule: Rule) -> List[Tuple[str, bool, bool]]:
+    """Return ``(body relation, negated, through aggregation)`` triples."""
+    through_aggregation = rule.has_aggregation()
+    dependencies = []
+    for atom in rule.body_atoms():
+        dependencies.append((atom.relation, False, through_aggregation))
+    for negated in rule.negated_atoms():
+        dependencies.append((negated.atom.relation, True, through_aggregation))
+    return dependencies
+
+
+def build_dependency_graph(program: DLIRProgram) -> DependencyGraph:
+    """Build the dependency graph of ``program``."""
+    graph = nx.DiGraph()
+    for name in program.relation_names():
+        graph.add_node(name)
+    edges: List[DependencyEdge] = []
+    for rule in program.rules:
+        head = rule.head.relation
+        for source, negated, through_aggregation in _rule_dependencies(rule):
+            edge = DependencyEdge(
+                source=source,
+                target=head,
+                negated=negated,
+                through_aggregation=through_aggregation,
+            )
+            edges.append(edge)
+            if graph.has_edge(source, head):
+                graph[source][head]["negated"] = graph[source][head]["negated"] or negated
+                graph[source][head]["aggregated"] = (
+                    graph[source][head]["aggregated"] or through_aggregation
+                )
+            else:
+                graph.add_edge(
+                    source, head, negated=negated, aggregated=through_aggregation
+                )
+    sccs = [frozenset(component) for component in nx.strongly_connected_components(graph)]
+    scc_of: Dict[str, FrozenSet[str]] = {}
+    for component in sccs:
+        for relation in component:
+            scc_of[relation] = component
+    return DependencyGraph(graph=graph, edges=edges, sccs=sccs, scc_of=scc_of)

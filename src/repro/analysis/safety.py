@@ -1,0 +1,98 @@
+"""Safety (range restriction) analysis.
+
+A DLIR rule is *safe* when every variable that appears in its head, in a
+negated atom, in a comparison, or in an aggregation argument also appears in
+at least one positive body atom (or is bound transitively through an equality
+with a bound term).  Unsafe rules have no finite meaning and are rejected
+before evaluation or unparsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.dlir.core import (
+    Comparison,
+    Const,
+    DLIRProgram,
+    Rule,
+    Var,
+    term_variables,
+)
+
+
+@dataclass
+class SafetyResult:
+    """Outcome of safety analysis: unsafe rules with the offending variables."""
+
+    is_safe: bool
+    unsafe_rules: List[str] = field(default_factory=list)
+
+
+def _bound_variables(rule: Rule) -> Set[str]:
+    """Return the variables bound by positive atoms and equalities."""
+    bound: Set[str] = set()
+    for atom in rule.body_atoms():
+        bound.update(atom.variables())
+    # Equality comparisons propagate boundness in both directions until a
+    # fixpoint is reached (e.g. ``p = cityId`` binds ``cityId`` once ``p`` is
+    # bound by an atom).
+    changed = True
+    while changed:
+        changed = False
+        for comparison in rule.comparisons():
+            if comparison.op != "=":
+                continue
+            left_vars = set(term_variables(comparison.left))
+            right_vars = set(term_variables(comparison.right))
+            left_bound = not left_vars or left_vars <= bound
+            right_bound = not right_vars or right_vars <= bound
+            left_groundable = left_bound or isinstance(comparison.left, Const)
+            right_groundable = right_bound or isinstance(comparison.right, Const)
+            if left_groundable and not right_vars <= bound:
+                if isinstance(comparison.right, Var) or right_vars:
+                    before = len(bound)
+                    bound.update(right_vars)
+                    changed = changed or len(bound) != before
+            if right_groundable and not left_vars <= bound:
+                if isinstance(comparison.left, Var) or left_vars:
+                    before = len(bound)
+                    bound.update(left_vars)
+                    changed = changed or len(bound) != before
+    return bound
+
+
+def _required_variables(rule: Rule) -> Set[str]:
+    """Return the variables that must be bound for the rule to be safe."""
+    required: Set[str] = set()
+    aggregated = set(rule.aggregate_result_names())
+    for term in rule.head.terms:
+        required.update(name for name in term_variables(term) if name not in aggregated)
+    for negated in rule.negated_atoms():
+        required.update(negated.atom.variables())
+    for comparison in rule.comparisons():
+        if comparison.op == "=":
+            continue  # equalities can bind; inequality operands must be bound
+        required.update(comparison.variables())
+    for aggregation in rule.aggregations:
+        if aggregation.argument is not None:
+            required.update(term_variables(aggregation.argument))
+    return required
+
+
+def analyze_rule_safety(rule: Rule) -> List[str]:
+    """Return the unbound-but-required variables of ``rule`` (empty if safe)."""
+    bound = _bound_variables(rule)
+    required = _required_variables(rule)
+    return sorted(required - bound)
+
+
+def analyze_safety(program: DLIRProgram) -> SafetyResult:
+    """Check range restriction for every rule of ``program``."""
+    unsafe: List[str] = []
+    for rule in program.rules:
+        missing = analyze_rule_safety(rule)
+        if missing:
+            unsafe.append(f"{rule}  -- unbound variables: {', '.join(missing)}")
+    return SafetyResult(is_safe=not unsafe, unsafe_rules=unsafe)

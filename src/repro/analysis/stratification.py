@@ -1,0 +1,111 @@
+"""Stratification analysis.
+
+A DLIR program is stratifiable when no negation or aggregation edge occurs
+inside a dependency cycle.  Stratification assigns every relation a stratum
+number such that positive dependencies stay within or below a stratum while
+negated/aggregated dependencies come strictly from lower strata; the Datalog
+engine evaluates strata bottom-up in that order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List
+
+from repro.analysis.dependencies import DependencyGraph, build_dependency_graph
+from repro.common.errors import AnalysisError
+from repro.dlir.core import DLIRProgram
+
+
+@dataclass
+class StratificationResult:
+    """Outcome of stratification.
+
+    ``stratum_of`` maps every relation to its stratum index (0-based) when the
+    program is stratifiable; ``violations`` lists human-readable reasons when
+    it is not.
+    """
+
+    is_stratifiable: bool
+    stratum_of: Dict[str, int] = field(default_factory=dict)
+    strata: List[List[str]] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    def stratum_count(self) -> int:
+        """Return the number of strata (0 when unstratifiable)."""
+        return len(self.strata)
+
+
+def _subsumption_relations(program: DLIRProgram) -> set:
+    """Return relations defined with a min/max subsumption marker.
+
+    A dependency *on* such a relation from outside its own recursive component
+    behaves like an aggregation dependency: the consumer must live in a higher
+    stratum so it only reads the final (best-value) facts.
+    """
+    return {
+        rule.head.relation
+        for rule in program.rules
+        if rule.subsume_min is not None or rule.subsume_max is not None
+    }
+
+
+def analyze_stratification(
+    program: DLIRProgram, dependency_graph: DependencyGraph = None
+) -> StratificationResult:
+    """Check stratifiability and compute a stratum assignment."""
+    graph = dependency_graph or build_dependency_graph(program)
+    subsumed = _subsumption_relations(program)
+    violations: List[str] = []
+    for edge in graph.edges:
+        if not (edge.negated or edge.through_aggregation):
+            continue
+        if graph.same_component(edge.source, edge.target):
+            kind = "negation" if edge.negated else "aggregation"
+            violations.append(
+                f"{kind} from {edge.source!r} to {edge.target!r} occurs inside a "
+                "recursive cycle"
+            )
+    if violations:
+        return StratificationResult(is_stratifiable=False, violations=violations)
+
+    # Assign strata by walking SCCs in topological order: a component's stratum
+    # is the maximum over (stratum of positive deps) and (stratum of
+    # negated/aggregated/subsumption deps + 1).
+    stratum_of: Dict[str, int] = {}
+    order = graph.condensation_order()
+    component_stratum: Dict[FrozenSet[str], int] = {}
+    for component in order:
+        stratum = 0
+        for relation in component:
+            for edge in graph.edges:
+                if edge.target != relation or edge.source in component:
+                    continue
+                source_component = graph.scc_of.get(edge.source)
+                if source_component is None:
+                    continue
+                source_stratum = component_stratum.get(source_component, 0)
+                if edge.negated or edge.through_aggregation or edge.source in subsumed:
+                    stratum = max(stratum, source_stratum + 1)
+                else:
+                    stratum = max(stratum, source_stratum)
+        component_stratum[component] = stratum
+        for relation in component:
+            stratum_of[relation] = stratum
+    stratum_count = max(stratum_of.values(), default=-1) + 1
+    strata: List[List[str]] = [[] for _ in range(stratum_count)]
+    for relation in sorted(stratum_of):
+        strata[stratum_of[relation]].append(relation)
+    return StratificationResult(
+        is_stratifiable=True, stratum_of=stratum_of, strata=strata
+    )
+
+
+def stratify(program: DLIRProgram) -> List[List[str]]:
+    """Return the strata of ``program`` or raise :class:`AnalysisError`."""
+    result = analyze_stratification(program)
+    if not result.is_stratifiable:
+        raise AnalysisError(
+            "program is not stratifiable: " + "; ".join(result.violations)
+        )
+    return result.strata

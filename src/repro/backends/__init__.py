@@ -1,0 +1,12 @@
+"""Raqlet backends (unparsers): generate executable query text from the IRs.
+
+* :mod:`repro.backends.souffle` -- Soufflé-dialect Datalog text from DLIR.
+* :mod:`repro.backends.sql` -- SQL text (ANSI / SQLite flavours) from SQIR.
+* :mod:`repro.backends.cypher` -- Cypher text from PGIR (round-tripping).
+"""
+
+from repro.backends.cypher import pgir_to_cypher
+from repro.backends.souffle import dlir_to_souffle
+from repro.backends.sql import sqir_to_sql
+
+__all__ = ["dlir_to_souffle", "sqir_to_sql", "pgir_to_cypher"]

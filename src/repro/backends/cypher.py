@@ -1,0 +1,125 @@
+"""Cypher unparser: render a PGIR query back into Cypher text.
+
+Used for round-trip testing (Cypher -> PGIR -> Cypher) and as the "Cypher"
+backend of the architecture diagram (Figure 1).  The output is normalised
+Cypher: generated identifiers are kept, inline property maps stay extracted
+as WHERE conditions, and RETURN keeps its DISTINCT flag.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.pgir.expr import (
+    PGAggregate,
+    PGBinary,
+    PGConst,
+    PGExpression,
+    PGFunction,
+    PGNot,
+    PGProperty,
+    PGVariable,
+)
+from repro.pgir.nodes import (
+    PGDirection,
+    PGEdgePattern,
+    PGIRQuery,
+    PGMatch,
+    PGNodePattern,
+    PGReturn,
+    PGUnwind,
+    PGWhere,
+    PGWith,
+)
+
+
+def _expression_text(expression: PGExpression) -> str:
+    if isinstance(expression, PGVariable):
+        return expression.name
+    if isinstance(expression, PGConst):
+        if isinstance(expression.value, str):
+            escaped = expression.value.replace("'", "\\'")
+            return f"'{escaped}'"
+        if expression.value is None:
+            return "null"
+        if isinstance(expression.value, bool):
+            return "true" if expression.value else "false"
+        return str(expression.value)
+    if isinstance(expression, PGProperty):
+        return f"{expression.variable}.{expression.property_name}"
+    if isinstance(expression, PGBinary):
+        return f"({_expression_text(expression.left)} {expression.op} {_expression_text(expression.right)})"
+    if isinstance(expression, PGNot):
+        return f"(NOT {_expression_text(expression.operand)})"
+    if isinstance(expression, PGFunction):
+        args = ", ".join(_expression_text(arg) for arg in expression.args)
+        return f"{expression.name}({args})"
+    if isinstance(expression, PGAggregate):
+        inner = "*" if expression.argument is None else _expression_text(expression.argument)
+        distinct = "DISTINCT " if expression.distinct else ""
+        return f"{expression.func}({distinct}{inner})"
+    raise TypeError(f"cannot unparse PGIR expression {expression!r}")
+
+
+def _node_text(node: PGNodePattern) -> str:
+    label = f":{node.label}" if node.label else ""
+    return f"({node.identifier}{label})"
+
+
+def _edge_text(edge: PGEdgePattern) -> str:
+    label = f":{edge.label}" if edge.label else ""
+    star = ""
+    if edge.var_length:
+        if edge.min_hops is None and edge.max_hops is None:
+            star = "*"
+        elif edge.max_hops is None:
+            star = f"*{edge.min_hops}.."
+        elif edge.min_hops == edge.max_hops and edge.min_hops is not None:
+            star = f"*{edge.min_hops}"
+        else:
+            low = "" if edge.min_hops is None else str(edge.min_hops)
+            star = f"*{low}..{edge.max_hops}"
+    body = f"[{edge.identifier}{label}{star}]"
+    if edge.direction is PGDirection.DIRECTED:
+        pattern = f"{_node_text(edge.source)}-{body}->{_node_text(edge.target)}"
+    elif edge.direction is PGDirection.REVERSED:
+        pattern = f"{_node_text(edge.source)}<-{body}-{_node_text(edge.target)}"
+    else:
+        pattern = f"{_node_text(edge.source)}-{body}-{_node_text(edge.target)}"
+    if edge.shortest:
+        pattern = f"shortestPath({pattern})"
+    if edge.path_variable:
+        pattern = f"{edge.path_variable} = {pattern}"
+    return pattern
+
+
+def pgir_to_cypher(query: PGIRQuery) -> str:
+    """Render ``query`` as normalised Cypher text."""
+    lines: List[str] = []
+    for clause in query.clauses:
+        if isinstance(clause, PGMatch):
+            keyword = "OPTIONAL MATCH" if clause.optional else "MATCH"
+            patterns = [_edge_text(edge) for edge in clause.edge_patterns]
+            patterns.extend(_node_text(node) for node in clause.node_patterns)
+            lines.append(f"{keyword} " + ", ".join(patterns))
+        elif isinstance(clause, PGWhere):
+            lines.append(f"WHERE {_expression_text(clause.condition)}")
+        elif isinstance(clause, PGWith):
+            keyword = "WITH DISTINCT" if clause.distinct else "WITH"
+            items = ", ".join(
+                f"{_expression_text(item.expression)} AS {item.alias}"
+                for item in clause.items
+            )
+            lines.append(f"{keyword} {items}")
+        elif isinstance(clause, PGUnwind):
+            lines.append(f"UNWIND {_expression_text(clause.expression)} AS {clause.alias}")
+        elif isinstance(clause, PGReturn):
+            keyword = "RETURN DISTINCT" if clause.distinct else "RETURN"
+            items = ", ".join(
+                f"{_expression_text(item.expression)} AS {item.alias}"
+                for item in clause.items
+            )
+            lines.append(f"{keyword} {items}")
+        else:
+            raise TypeError(f"cannot unparse PGIR clause {clause!r}")
+    return "\n".join(lines) + "\n"

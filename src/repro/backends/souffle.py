@@ -1,0 +1,131 @@
+"""Soufflé Datalog unparser (paper Figure 3d).
+
+Generates a self-contained Soufflé program: ``.decl`` statements for every
+relation, ``.input`` directives for EDBs, the rules, and ``.output``
+directives.  The generated text matches the concrete syntax used in the
+paper's figures (``:-`` rules, ``_`` wildcards, quoted symbols).
+
+Aggregation rules are emitted with Soufflé's aggregate syntax
+(``result = count : { ... }``) by repeating the rule body inside the
+aggregate; min/max subsumption rules additionally emit Soufflé subsumption
+clauses (``<=``) so that only the best value per group survives.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.text import souffle_quote_string
+from repro.dlir.core import (
+    Aggregation,
+    ArithExpr,
+    Atom,
+    Comparison,
+    Const,
+    DLIRProgram,
+    NegatedAtom,
+    Rule,
+    Term,
+    Var,
+    Wildcard,
+)
+
+
+def _term_text(term: Term) -> str:
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Wildcard):
+        return "_"
+    if isinstance(term, Const):
+        if isinstance(term.value, str):
+            return souffle_quote_string(term.value)
+        if isinstance(term.value, bool):
+            return "1" if term.value else "0"
+        return str(term.value)
+    if isinstance(term, ArithExpr):
+        return f"({_term_text(term.left)} {term.op} {_term_text(term.right)})"
+    raise TypeError(f"cannot unparse term {term!r}")
+
+
+def _atom_text(atom: Atom) -> str:
+    return f"{atom.relation}({', '.join(_term_text(term) for term in atom.terms)})"
+
+
+def _literal_text(literal) -> str:
+    if isinstance(literal, Atom):
+        return _atom_text(literal)
+    if isinstance(literal, NegatedAtom):
+        return f"!{_atom_text(literal.atom)}"
+    if isinstance(literal, Comparison):
+        op = "!=" if literal.op == "<>" else literal.op
+        return f"{_term_text(literal.left)} {op} {_term_text(literal.right)}"
+    raise TypeError(f"cannot unparse literal {literal!r}")
+
+
+def _aggregation_text(rule: Rule, aggregation: Aggregation) -> str:
+    inner = ", ".join(_literal_text(literal) for literal in rule.body)
+    if aggregation.argument is None:
+        body = f"count : {{ {inner} }}"
+    else:
+        body = f"{aggregation.func} {_term_text(aggregation.argument)} : {{ {inner} }}"
+        if aggregation.func == "count":
+            body = f"count : {{ {inner} }}"
+    return f"{_term_text(aggregation.result)} = {body}"
+
+
+def _rule_text(rule: Rule) -> str:
+    head = _atom_text(rule.head)
+    if rule.is_fact() and not rule.aggregations:
+        return f"{head}."
+    parts = [_literal_text(literal) for literal in rule.body]
+    parts.extend(_aggregation_text(rule, aggregation) for aggregation in rule.aggregations)
+    return f"{head} :- {', '.join(parts)}."
+
+
+def _subsumption_text(program: DLIRProgram, relation: str, column: int, minimize: bool) -> str:
+    declaration = program.schema.get(relation)
+    first = [f"a{i}" for i in range(declaration.arity)]
+    second = [f"b{i}" for i in range(declaration.arity)]
+    conditions = []
+    for index in range(declaration.arity):
+        if index == column:
+            op = "<=" if minimize else ">="
+            conditions.append(f"a{index} {op} b{index}")
+        else:
+            conditions.append(f"a{index} = b{index}")
+    head = (
+        f"{relation}({', '.join(second)}) <= {relation}({', '.join(first)})"
+    )
+    return f"{head} :- {', '.join(conditions)}."
+
+
+def dlir_to_souffle(program: DLIRProgram, include_inputs: bool = True) -> str:
+    """Unparse ``program`` into Soufflé Datalog text."""
+    lines: List[str] = []
+    idb_names = set(program.idb_names())
+    for relation in program.schema:
+        columns = ", ".join(
+            f"{column.name}:{column.type.value}" for column in relation.columns
+        )
+        lines.append(f".decl {relation.name}({columns})")
+        if include_inputs and relation.is_edb and relation.name not in idb_names:
+            lines.append(f".input {relation.name}")
+    for relation, rows in sorted(program.facts.items()):
+        for row in rows:
+            values = ", ".join(
+                souffle_quote_string(value) if isinstance(value, str) else str(value)
+                for value in row
+            )
+            lines.append(f"{relation}({values}).")
+    emitted_subsumption = set()
+    for rule in program.rules:
+        lines.append(_rule_text(rule))
+        if rule.subsume_min is not None and (rule.head.relation, "min") not in emitted_subsumption:
+            lines.append(_subsumption_text(program, rule.head.relation, rule.subsume_min, True))
+            emitted_subsumption.add((rule.head.relation, "min"))
+        if rule.subsume_max is not None and (rule.head.relation, "max") not in emitted_subsumption:
+            lines.append(_subsumption_text(program, rule.head.relation, rule.subsume_max, False))
+            emitted_subsumption.add((rule.head.relation, "max"))
+    for name in program.outputs:
+        lines.append(f".output {name}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,57 @@
+"""SQL unparser: render a SQIR query as executable SQL text.
+
+The output follows the paper's Figure 3e layout: a ``WITH`` (or ``WITH
+RECURSIVE``) clause with one CTE per DLIR relation, followed by the final
+``SELECT DISTINCT``.  Two dialects are supported:
+
+* ``"ansi"`` -- generic SQL:1999-style text,
+* ``"sqlite"`` -- identical except ``GROUP_CONCAT`` is kept (SQLite's
+  spelling of ``collect``) and float promotion uses ``* 1.0``.
+
+Both in-repo executors (:mod:`repro.engines.relational` and
+:mod:`repro.engines.sqlite_exec`) consume this output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sqir.nodes import CTE, SelectQuery, SQIRQuery
+
+
+def _indent(text: str, spaces: int = 2) -> str:
+    pad = " " * spaces
+    return "\n".join(pad + line for line in text.splitlines())
+
+
+def _select_text(select: SelectQuery) -> str:
+    lines: List[str] = []
+    keyword = "SELECT DISTINCT" if select.distinct and not select.group_by else "SELECT"
+    lines.append(f"{keyword} " + ", ".join(str(item) for item in select.items))
+    if select.from_tables:
+        lines.append("FROM " + ", ".join(str(table) for table in select.from_tables))
+    if select.where:
+        lines.append("WHERE " + " AND ".join(f"({cond})" for cond in select.where))
+    if select.group_by:
+        lines.append("GROUP BY " + ", ".join(str(expr) for expr in select.group_by))
+    return "\n".join(lines)
+
+
+def _cte_text(cte: CTE) -> str:
+    members = [_select_text(member) for member in cte.all_members()]
+    body = "\n  UNION\n".join(_indent(member) for member in members)
+    column_list = ", ".join(cte.columns)
+    return f"{cte.name}({column_list}) AS (\n{body}\n)"
+
+
+def sqir_to_sql(query: SQIRQuery, dialect: str = "ansi") -> str:
+    """Render ``query`` as SQL text in the requested ``dialect``."""
+    if dialect not in ("ansi", "sqlite"):
+        raise ValueError(f"unknown SQL dialect {dialect!r}")
+    parts: List[str] = []
+    if query.ctes:
+        keyword = "WITH RECURSIVE" if query.is_recursive else "WITH"
+        cte_texts = [_cte_text(cte) for cte in query.ctes]
+        parts.append(keyword + " " + ",\n".join(cte_texts))
+    parts.append(_select_text(query.final))
+    return "\n".join(parts) + ";\n"

@@ -1,0 +1,195 @@
+"""Command-line interface for the Raqlet compiler.
+
+Examples
+--------
+Compile a Cypher query against a PG-Schema file and print every artifact::
+
+    raqlet compile --schema schema.pgs --cypher query.cyp --emit all
+
+Run one of the bundled LDBC queries on every engine over a synthetic dataset::
+
+    raqlet ldbc --query sq1 --scale 200
+
+Print the static analysis report of a Datalog program::
+
+    raqlet analyze --schema schema.pgs --datalog program.dl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.ldbc import (
+    complex_query_2,
+    load_dataset,
+    short_query_1,
+    snb_schema_mapping,
+)
+from repro.ldbc.queries import (
+    friend_reachability,
+    friends_of_friends,
+    shortest_path_query,
+)
+from repro.pipeline import Raqlet
+
+
+def _read_file(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _parse_parameters(values: Optional[List[str]]) -> dict:
+    parameters = {}
+    for assignment in values or []:
+        if "=" not in assignment:
+            raise SystemExit(f"--param must look like name=value, got {assignment!r}")
+        name, raw = assignment.split("=", 1)
+        try:
+            parameters[name] = json.loads(raw)
+        except json.JSONDecodeError:
+            parameters[name] = raw
+    return parameters
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    raqlet = Raqlet(_read_file(args.schema))
+    parameters = _parse_parameters(args.param)
+    if args.cypher:
+        compiled = raqlet.compile_cypher(
+            _read_file(args.cypher), parameters, optimize=not args.no_optimize
+        )
+    elif args.sql:
+        compiled = raqlet.compile_sql(
+            _read_file(args.sql), optimize=not args.no_optimize
+        )
+    else:
+        compiled = raqlet.compile_datalog(
+            _read_file(args.datalog), optimize=not args.no_optimize
+        )
+    emit = args.emit
+    if emit in ("pgir", "all") and compiled.lowering is not None:
+        print("-- PGIR " + "-" * 50)
+        print(compiled.pgir_text())
+    if emit in ("dlir", "all"):
+        print("-- DLIR (optimized) " + "-" * 38)
+        print(compiled.program(optimized=True))
+    if emit in ("datalog", "all"):
+        print("-- Soufflé Datalog " + "-" * 39)
+        print(compiled.datalog_text())
+    if emit in ("sql", "all"):
+        print("-- SQL " + "-" * 51)
+        print(compiled.sql_text())
+    if emit in ("analysis", "all") and compiled.analysis is not None:
+        print("-- Analysis " + "-" * 46)
+        print(compiled.analysis.to_text())
+    for warning in compiled.warnings():
+        print(f"warning: {warning}", file=sys.stderr)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    raqlet = Raqlet(_read_file(args.schema))
+    if args.cypher:
+        compiled = raqlet.compile_cypher(
+            _read_file(args.cypher), _parse_parameters(args.param), optimize=False
+        )
+    else:
+        compiled = raqlet.compile_datalog(_read_file(args.datalog), optimize=False)
+    assert compiled.analysis is not None
+    print(compiled.analysis.to_text())
+    for backend in ("souffle", "sql", "graph-engine"):
+        problems = compiled.backend_problems(backend)
+        status = "supported" if not problems else "; ".join(problems)
+        print(f"  backend {backend:<14} {status}")
+    return 0
+
+
+_LDBC_QUERIES = {
+    "sq1": lambda data, pid: short_query_1(pid),
+    "cq2": lambda data, pid: complex_query_2(pid, data.dataset.median_message_date()),
+    "fof": lambda data, pid: friends_of_friends(pid),
+    "reach": lambda data, pid: friend_reachability(pid),
+    "sp": lambda data, pid: shortest_path_query(pid, data.dataset.person_ids[-1]),
+}
+
+
+def _cmd_ldbc(args: argparse.Namespace) -> int:
+    data = load_dataset(scale_persons=args.scale, seed=args.seed)
+    raqlet = Raqlet(snb_schema_mapping())
+    person_id = args.person if args.person is not None else data.dataset.default_person_id()
+    spec = _LDBC_QUERIES[args.query](data, person_id)
+    compiled = raqlet.compile_cypher(
+        spec["query"], spec["parameters"], optimize=not args.no_optimize
+    )
+    results = raqlet.run_everywhere(
+        compiled,
+        data.facts,
+        data.relational_database(),
+        data.property_graph(),
+        data.sqlite_executor(),
+        optimized=not args.no_optimize,
+    )
+    print(f"query {args.query} on {args.scale} persons (person id {person_id}):")
+    for engine, result in results.items():
+        print(f"  {engine:<12} {len(result)} rows")
+    reference = next(iter(results.values()))
+    agree = all(result.same_rows(reference) for result in results.values())
+    print(f"  engines agree: {agree}")
+    if args.show_rows:
+        for row in reference.sorted_rows()[: args.show_rows]:
+            print(f"    {row}")
+    data.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(prog="raqlet", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = subparsers.add_parser("compile", help="compile a query to all targets")
+    compile_parser.add_argument("--schema", required=True, help="PG-Schema file")
+    source = compile_parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--cypher", help="Cypher query file")
+    source.add_argument("--datalog", help="Datalog program file")
+    source.add_argument("--sql", help="recursive SQL query file")
+    compile_parser.add_argument("--param", action="append", help="query parameter name=value")
+    compile_parser.add_argument(
+        "--emit",
+        choices=["pgir", "dlir", "datalog", "sql", "analysis", "all"],
+        default="all",
+    )
+    compile_parser.add_argument("--no-optimize", action="store_true")
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    analyze_parser = subparsers.add_parser("analyze", help="run static analyses only")
+    analyze_parser.add_argument("--schema", required=True)
+    source = analyze_parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--cypher")
+    source.add_argument("--datalog")
+    analyze_parser.add_argument("--param", action="append")
+    analyze_parser.set_defaults(func=_cmd_analyze)
+
+    ldbc_parser = subparsers.add_parser("ldbc", help="run an LDBC query on every engine")
+    ldbc_parser.add_argument("--query", choices=sorted(_LDBC_QUERIES), default="sq1")
+    ldbc_parser.add_argument("--scale", type=int, default=200, help="number of persons")
+    ldbc_parser.add_argument("--seed", type=int, default=42)
+    ldbc_parser.add_argument("--person", type=int, default=None, help="person id parameter")
+    ldbc_parser.add_argument("--show-rows", type=int, default=0)
+    ldbc_parser.add_argument("--no-optimize", action="store_true")
+    ldbc_parser.set_defaults(func=_cmd_ldbc)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the Raqlet compiler and its execution substrates.
+
+Every error raised by this package derives from :class:`RaqletError`, so
+callers embedding the compiler can catch a single exception type.  The
+subclasses partition failures by pipeline stage: parsing, schema handling,
+IR translation, static analysis and query execution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.location import SourceLocation
+
+
+class RaqletError(Exception):
+    """Base class for every error raised by the Raqlet package."""
+
+
+class ParseError(RaqletError):
+    """Raised when a frontend cannot parse its input text.
+
+    Parameters
+    ----------
+    message:
+        Human readable description of the problem.
+    location:
+        Optional position in the source text where the problem was detected.
+    source_name:
+        Optional name of the input (file name, query label) for diagnostics.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        location: Optional[SourceLocation] = None,
+        source_name: Optional[str] = None,
+    ) -> None:
+        self.bare_message = message
+        self.location = location
+        self.source_name = source_name
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        parts = []
+        if self.source_name:
+            parts.append(self.source_name)
+        if self.location is not None:
+            parts.append(str(self.location))
+        prefix = ":".join(parts)
+        if prefix:
+            return f"{prefix}: {self.bare_message}"
+        return self.bare_message
+
+
+class SchemaError(RaqletError):
+    """Raised for malformed or inconsistent PG-Schema / DL-Schema definitions."""
+
+
+class TranslationError(RaqletError):
+    """Raised when a query cannot be translated between two IRs."""
+
+
+class AnalysisError(RaqletError):
+    """Raised when a static analysis detects an invalid program.
+
+    For example, a program whose negation cycles make it non-stratifiable.
+    """
+
+
+class ExecutionError(RaqletError):
+    """Raised by the execution engines (Datalog, relational, graph, SQLite)."""
+
+
+class UnsupportedFeatureError(TranslationError):
+    """Raised when a query uses a feature a backend cannot express.
+
+    Static analysis uses this to reject, for instance, mutually recursive
+    programs on a backend restricted to linear recursion.
+    """
+
+    def __init__(self, feature: str, backend: Optional[str] = None) -> None:
+        self.feature = feature
+        self.backend = backend
+        if backend:
+            message = f"feature {feature!r} is not supported by backend {backend!r}"
+        else:
+            message = f"feature {feature!r} is not supported"
+        super().__init__(message)

@@ -1,0 +1,48 @@
+"""Source locations and spans used by frontends for error reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class SourceLocation:
+    """A 1-based (line, column) position in an input text."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def advanced(self, text: str) -> "SourceLocation":
+        """Return the location obtained after consuming ``text``.
+
+        Newlines reset the column to 1 and increment the line counter; any
+        other character advances the column.
+        """
+        line = self.line
+        column = self.column
+        for char in text:
+            if char == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+        return SourceLocation(line, column)
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open region ``[start, end)`` of an input text."""
+
+    start: SourceLocation
+    end: SourceLocation
+
+    def __str__(self) -> str:
+        return f"{self.start}-{self.end}"
+
+    @staticmethod
+    def point(location: SourceLocation) -> "Span":
+        """Build a zero-width span at ``location``."""
+        return Span(location, location)

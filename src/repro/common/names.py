@@ -1,0 +1,51 @@
+"""Deterministic fresh-name generation.
+
+The Cypher-to-PGIR lowering and several optimizer passes need to invent
+identifiers (for anonymous graph elements, magic predicates, renamed rule
+variables and so on).  Names must be deterministic so that compiling the same
+query twice produces byte-identical artifacts, which the tests and the
+"golden reference" story of the paper rely on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Optional, Set
+
+
+class NameGenerator:
+    """Produce fresh identifiers of the form ``<prefix><counter>``.
+
+    The generator never emits a name contained in its ``reserved`` set, which
+    callers seed with the identifiers already present in the query, so that
+    generated names cannot capture user variables.
+    """
+
+    def __init__(self, reserved: Optional[Iterable[str]] = None) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+        self._reserved: Set[str] = set(reserved or ())
+
+    def reserve(self, name: str) -> None:
+        """Mark ``name`` as taken so it is never generated."""
+        self._reserved.add(name)
+
+    def reserve_all(self, names: Iterable[str]) -> None:
+        """Mark every name in ``names`` as taken."""
+        self._reserved.update(names)
+
+    def fresh(self, prefix: str = "x") -> str:
+        """Return a new identifier starting with ``prefix``.
+
+        Counters are per-prefix and start at 1, matching the paper's running
+        example where the anonymous edge becomes ``x1``.
+        """
+        while True:
+            self._counters[prefix] += 1
+            candidate = f"{prefix}{self._counters[prefix]}"
+            if candidate not in self._reserved:
+                self._reserved.add(candidate)
+                return candidate
+
+    def is_reserved(self, name: str) -> bool:
+        """Return whether ``name`` has been reserved or generated already."""
+        return name in self._reserved

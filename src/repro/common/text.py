@@ -1,0 +1,51 @@
+"""Small text helpers shared by the unparsers (Soufflé, SQL, Cypher)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def indent_block(text: str, spaces: int = 2) -> str:
+    """Indent every non-empty line of ``text`` by ``spaces`` spaces."""
+    pad = " " * spaces
+    lines = text.splitlines()
+    return "\n".join(pad + line if line.strip() else line for line in lines)
+
+
+def strip_margin(text: str) -> str:
+    """Remove a leading ``|`` margin from each line of a triple-quoted string.
+
+    This keeps multi-line SQL/Datalog templates readable in the source while
+    producing clean output text::
+
+        strip_margin('''
+            |WITH V1 AS (
+            |  SELECT 1
+            |)
+        ''')
+    """
+    lines = []
+    for line in text.splitlines():
+        stripped = line.lstrip()
+        if stripped.startswith("|"):
+            lines.append(stripped[1:])
+        elif stripped:
+            lines.append(stripped)
+    return "\n".join(lines)
+
+
+def sql_quote_string(value: str) -> str:
+    """Quote ``value`` as a SQL string literal, escaping embedded quotes."""
+    escaped = value.replace("'", "''")
+    return f"'{escaped}'"
+
+
+def souffle_quote_string(value: str) -> str:
+    """Quote ``value`` as a Soufflé symbol literal."""
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def join_nonempty(separator: str, parts: Iterable[str]) -> str:
+    """Join the non-empty strings in ``parts`` with ``separator``."""
+    return separator.join(part for part in parts if part)

@@ -1,0 +1,47 @@
+"""DLIR: the Datalog intermediate representation (paper Figure 3c).
+
+DLIR is Raqlet's core IR.  A program is a set of rules over relations declared
+in a :class:`~repro.schema.dl_schema.DLSchema`; its semantics is the least
+fixpoint of stratified Datalog with negation and aggregation (Section 6 of the
+paper).  All static analyses (:mod:`repro.analysis`) and optimizations
+(:mod:`repro.optimize`) operate on this representation.
+"""
+
+from repro.dlir.core import (
+    Aggregation,
+    ArithExpr,
+    Atom,
+    Comparison,
+    Const,
+    DLIRProgram,
+    Literal,
+    NegatedAtom,
+    Rule,
+    Term,
+    Var,
+    Wildcard,
+)
+from repro.dlir.builder import ProgramBuilder
+from repro.dlir.from_pgir import PGIRToDLIR, translate_pgir_to_dlir
+from repro.dlir.printer import program_to_text
+from repro.dlir.types import infer_rule_types
+
+__all__ = [
+    "Term",
+    "Var",
+    "Const",
+    "Wildcard",
+    "ArithExpr",
+    "Atom",
+    "NegatedAtom",
+    "Comparison",
+    "Aggregation",
+    "Literal",
+    "Rule",
+    "DLIRProgram",
+    "ProgramBuilder",
+    "PGIRToDLIR",
+    "translate_pgir_to_dlir",
+    "program_to_text",
+    "infer_rule_types",
+]

@@ -1,0 +1,152 @@
+"""Fluent construction helpers for DLIR programs.
+
+The builder is used by tests, examples and the Datalog frontend to assemble
+programs without spelling out every dataclass, e.g.::
+
+    builder = ProgramBuilder()
+    builder.edb("edge", [("src", "number"), ("dst", "number")])
+    builder.idb("tc", [("src", "number"), ("dst", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "z"]), ("tc", ["z", "y"])])
+    builder.output("tc")
+    program = builder.build()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.dlir.core import (
+    Aggregation,
+    Atom,
+    Comparison,
+    Const,
+    DLIRProgram,
+    Literal,
+    NegatedAtom,
+    Rule,
+    Term,
+    Var,
+    Wildcard,
+)
+from repro.schema.dl_schema import DLColumn, DLRelation, DLType
+
+TermSpec = Union[Term, str, int, float, bool]
+AtomSpec = Tuple[str, Sequence[TermSpec]]
+
+
+def as_term(spec: TermSpec) -> Term:
+    """Coerce a term specification into a :class:`Term`.
+
+    Strings become variables, except ``"_"`` which becomes a wildcard and
+    strings wrapped in double quotes which become symbol constants.  Numbers
+    and booleans become constants.
+    """
+    if isinstance(spec, Term):
+        return spec
+    if isinstance(spec, bool):
+        return Const(spec)
+    if isinstance(spec, (int, float)):
+        return Const(spec)
+    if spec == "_":
+        return Wildcard()
+    if spec.startswith('"') and spec.endswith('"') and len(spec) >= 2:
+        return Const(spec[1:-1])
+    return Var(spec)
+
+
+def atom(relation: str, terms: Sequence[TermSpec]) -> Atom:
+    """Build an :class:`Atom` from a relation name and term specifications."""
+    return Atom(relation, tuple(as_term(term) for term in terms))
+
+
+class ProgramBuilder:
+    """Incrementally assemble a :class:`DLIRProgram`."""
+
+    def __init__(self) -> None:
+        self._program = DLIRProgram()
+
+    # -- declarations ----------------------------------------------------
+
+    def edb(self, name: str, columns: Sequence[Tuple[str, str]]) -> "ProgramBuilder":
+        """Declare an extensional relation with ``(column, type_name)`` pairs."""
+        self._program.declare(
+            DLRelation(
+                name=name,
+                columns=tuple(
+                    DLColumn(column, DLType(type_name)) for column, type_name in columns
+                ),
+                is_edb=True,
+            )
+        )
+        return self
+
+    def idb(self, name: str, columns: Sequence[Tuple[str, str]]) -> "ProgramBuilder":
+        """Declare an intensional relation with ``(column, type_name)`` pairs."""
+        self._program.declare(
+            DLRelation(
+                name=name,
+                columns=tuple(
+                    DLColumn(column, DLType(type_name)) for column, type_name in columns
+                ),
+                is_edb=False,
+            )
+        )
+        return self
+
+    # -- rules -----------------------------------------------------------
+
+    def rule(
+        self,
+        head_relation: str,
+        head_terms: Sequence[TermSpec],
+        body_atoms: Iterable[AtomSpec] = (),
+        negated: Iterable[AtomSpec] = (),
+        comparisons: Iterable[Tuple[str, TermSpec, TermSpec]] = (),
+        aggregations: Iterable[Aggregation] = (),
+        subsume_min: Optional[int] = None,
+        subsume_max: Optional[int] = None,
+    ) -> "ProgramBuilder":
+        """Add a rule; see the module docstring for an example."""
+        body: List[Literal] = [atom(name, terms) for name, terms in body_atoms]
+        body.extend(NegatedAtom(atom(name, terms)) for name, terms in negated)
+        body.extend(
+            Comparison(op, as_term(left), as_term(right))
+            for op, left, right in comparisons
+        )
+        self._program.add_rule(
+            Rule(
+                head=atom(head_relation, head_terms),
+                body=tuple(body),
+                aggregations=tuple(aggregations),
+                subsume_min=subsume_min,
+                subsume_max=subsume_max,
+            )
+        )
+        return self
+
+    def fact(self, relation: str, values: Sequence[Union[int, float, str, bool]]) -> "ProgramBuilder":
+        """Add a ground fact for an EDB relation."""
+        self._program.add_fact(relation, tuple(values))
+        return self
+
+    def output(self, relation: str) -> "ProgramBuilder":
+        """Mark ``relation`` as a program output."""
+        self._program.add_output(relation)
+        return self
+
+    def input(self, relation: str) -> "ProgramBuilder":
+        """Mark ``relation`` as an input (EDB loaded from the environment)."""
+        if relation not in self._program.inputs:
+            self._program.inputs.append(relation)
+        return self
+
+    # -- finalisation ----------------------------------------------------
+
+    def build(self, validate: bool = True) -> DLIRProgram:
+        """Return the assembled program, optionally validating its structure."""
+        if validate:
+            problems = self._program.validate()
+            if problems:
+                raise ValueError("invalid DLIR program: " + "; ".join(problems))
+        return self._program

@@ -1,0 +1,795 @@
+"""PGIR-to-DLIR translation (paper Section 3, Figure 3c).
+
+Each PGIR clause construct becomes one (or, for disjunctive conditions,
+several) DLIR rule(s):
+
+* ``MATCH``  -> ``Match<k>``  rules joining the EDBs of its node and edge
+  patterns (variable-length and shortest-path patterns introduce recursive
+  helper IDBs),
+* ``WHERE``  -> ``Where<k>``  rules filtering the previous view,
+* ``WITH``   -> ``With<k>``   projection / aggregation rules,
+* ``RETURN`` -> the final ``Return`` rule, which is the program output.
+
+The translation keeps a *scope*: the ordered list of variables carried by the
+current view, with enough provenance (node label, edge relation) to resolve
+property accesses into EDB atoms, exactly as the running example resolves
+``n.firstName`` by adding a ``Person(n, firstName, _, ...)`` atom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import TranslationError, UnsupportedFeatureError
+from repro.common.names import NameGenerator
+from repro.dlir.core import (
+    Aggregation,
+    ArithExpr,
+    Atom,
+    Comparison,
+    Const,
+    DLIRProgram,
+    Literal,
+    Rule,
+    Term,
+    Var,
+    Wildcard,
+)
+from repro.dlir.types import declare_idbs
+from repro.pgir.expr import (
+    PGAggregate,
+    PGBinary,
+    PGConst,
+    PGExpression,
+    PGFunction,
+    PGNot,
+    PGProperty,
+    PGVariable,
+    split_conjunction,
+)
+from repro.pgir.lower import LoweringResult
+from repro.pgir.nodes import (
+    PGDirection,
+    PGEdgePattern,
+    PGIRQuery,
+    PGMatch,
+    PGNodePattern,
+    PGProjectionItem,
+    PGReturn,
+    PGUnwind,
+    PGWhere,
+    PGWith,
+)
+from repro.schema.dl_schema import DLColumn, DLRelation, DLType
+from repro.schema.translate import SchemaMapping
+
+_MAX_UNROLLED_HOPS = 16
+
+
+@dataclass
+class VarInfo:
+    """Provenance of a scope variable.
+
+    ``node_label`` is set when the variable holds a node id (so property
+    accesses can be resolved); ``edge_relation`` when it holds an edge's id
+    property.  ``dl_type`` is the best-known column type.
+    """
+
+    name: str
+    dl_type: DLType = DLType.NUMBER
+    node_label: Optional[str] = None
+    edge_relation: Optional[str] = None
+
+
+@dataclass
+class Scope:
+    """The ordered set of variables carried by the current view."""
+
+    variables: List[VarInfo] = field(default_factory=list)
+
+    def names(self) -> List[str]:
+        """Return variable names in order."""
+        return [info.name for info in self.variables]
+
+    def get(self, name: str) -> Optional[VarInfo]:
+        """Return the :class:`VarInfo` for ``name`` if present."""
+        for info in self.variables:
+            if info.name == name:
+                return info
+        return None
+
+    def add(self, info: VarInfo) -> None:
+        """Add a variable unless already present (first declaration wins)."""
+        if self.get(info.name) is None:
+            self.variables.append(info)
+
+    def copy(self) -> "Scope":
+        """Return an independent copy."""
+        return Scope(variables=[replace(info) for info in self.variables])
+
+
+class _RuleBody:
+    """Accumulates the body of a single DLIR rule under construction.
+
+    Property accesses share one EDB atom per (variable, relation) pair whose
+    terms start as wildcards and get filled in as properties are requested --
+    this reproduces the paper's ``Person(n, firstName, _, _, ...)`` shape.
+    """
+
+    def __init__(self, translator: "PGIRToDLIR", scope: Scope) -> None:
+        self._translator = translator
+        self.scope = scope
+        self.literals: List[Literal] = []
+        self._property_atoms: Dict[Tuple[str, str], List[Term]] = {}
+        self._property_atom_order: List[Tuple[str, str]] = []
+        self._names = translator.names
+
+    def add_literal(self, literal: Literal) -> None:
+        """Append a literal that is already fully built."""
+        self.literals.append(literal)
+
+    def property_term(
+        self, variable: str, property_name: str, preferred_name: Optional[str] = None
+    ) -> Term:
+        """Return a term holding ``variable.property_name``, adding atoms as needed."""
+        info = self.scope.get(variable)
+        if info is None:
+            raise TranslationError(f"variable {variable!r} is not in scope")
+        if info.node_label is not None:
+            relation = self._translator.mapping.node_relation(info.node_label)
+            if property_name == "id":
+                # The node id *is* the variable, but the paper still adds the
+                # label atom to record the membership check.
+                self._ensure_property_atom(variable, relation)
+                return Var(variable)
+            index = relation.column_index(property_name)
+            terms = self._ensure_property_atom(variable, relation)
+            if isinstance(terms[index], Wildcard):
+                name = preferred_name or self._names.fresh(f"{variable}_{property_name}_")
+                terms[index] = Var(name)
+            return terms[index]
+        if info.edge_relation is not None:
+            relation = self._translator.program.schema.get(info.edge_relation)
+            if property_name == "id" and relation.has_column("id"):
+                return Var(variable)
+            raise UnsupportedFeatureError(
+                f"property access {variable}.{property_name} on an edge variable"
+            )
+        raise TranslationError(
+            f"cannot access property {property_name!r} of value variable {variable!r}"
+        )
+
+    def _ensure_property_atom(self, variable: str, relation: DLRelation) -> List[Term]:
+        key = (variable, relation.name)
+        if key not in self._property_atoms:
+            terms: List[Term] = [Wildcard() for _ in range(relation.arity)]
+            terms[0] = Var(variable)
+            self._property_atoms[key] = terms
+            self._property_atom_order.append(key)
+        return self._property_atoms[key]
+
+    def finish(self) -> Tuple[Literal, ...]:
+        """Return the final literal tuple: property atoms come before comparisons."""
+        atoms: List[Literal] = []
+        others: List[Literal] = []
+        for literal in self.literals:
+            if isinstance(literal, Atom):
+                atoms.append(literal)
+            else:
+                others.append(literal)
+        for key in self._property_atom_order:
+            variable, relation_name = key
+            terms = self._property_atoms[key]
+            atom = Atom(relation_name, tuple(terms))
+            if not self._is_duplicate(atoms, atom):
+                atoms.append(atom)
+        return tuple(atoms + others)
+
+    @staticmethod
+    def _is_duplicate(existing: Sequence[Literal], candidate: Atom) -> bool:
+        for literal in existing:
+            if isinstance(literal, Atom) and literal == candidate:
+                return True
+        return False
+
+
+class PGIRToDLIR:
+    """Translate a lowered PGIR query into a DLIR program."""
+
+    def __init__(self, mapping: SchemaMapping, lowering: LoweringResult) -> None:
+        self.mapping = mapping
+        self.lowering = lowering
+        self.program = DLIRProgram(schema=mapping.dl_schema.copy())
+        self.names = NameGenerator(reserved=self._reserved_names())
+        self._scope = Scope()
+        self._current_relation: Optional[str] = None
+        self._match_counter = 0
+        self._where_counter = 0
+        self._with_counter = 0
+        self._undirected_cache: Dict[str, str] = {}
+        self._varlen_counter = 0
+
+    def _reserved_names(self) -> List[str]:
+        names = list(self.lowering.node_labels.keys())
+        names.extend(self.lowering.edge_labels.keys())
+        return names
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def translate(self) -> DLIRProgram:
+        """Run the translation and return the resulting program."""
+        query = self.lowering.query
+        for clause in query.clauses:
+            if isinstance(clause, PGMatch):
+                self._translate_match(clause)
+            elif isinstance(clause, PGWhere):
+                self._translate_where(clause)
+            elif isinstance(clause, PGWith):
+                self._translate_projection(clause.items, relation=self._next_with_name())
+            elif isinstance(clause, PGReturn):
+                self._translate_projection(clause.items, relation="Return")
+            elif isinstance(clause, PGUnwind):
+                raise UnsupportedFeatureError("UNWIND", backend="DLIR translation")
+            else:
+                raise TranslationError(f"unknown PGIR clause {clause!r}")
+        if "Return" not in {rule.head.relation for rule in self.program.rules}:
+            raise TranslationError("PGIR query has no RETURN construct")
+        self.program.add_output("Return")
+        declare_idbs(self.program)
+        problems = self.program.validate()
+        if problems:
+            raise TranslationError("invalid DLIR program: " + "; ".join(problems))
+        return self.program
+
+    # ------------------------------------------------------------------
+    # Clause translation
+    # ------------------------------------------------------------------
+
+    def _next_match_name(self) -> str:
+        self._match_counter += 1
+        return f"Match{self._match_counter}"
+
+    def _next_where_name(self) -> str:
+        self._where_counter += 1
+        return f"Where{self._where_counter}"
+
+    def _next_with_name(self) -> str:
+        self._with_counter += 1
+        return f"With{self._with_counter}"
+
+    def _previous_view_atom(self, scope: Scope) -> Optional[Atom]:
+        if self._current_relation is None:
+            return None
+        return Atom(
+            self._current_relation, tuple(Var(name) for name in scope.names())
+        )
+
+    def _translate_match(self, clause: PGMatch) -> None:
+        if clause.optional:
+            raise UnsupportedFeatureError("OPTIONAL MATCH", backend="DLIR translation")
+        previous_scope = self._scope.copy()
+        new_scope = previous_scope.copy()
+        body = _RuleBody(self, new_scope)
+        previous_atom = self._previous_view_atom(previous_scope)
+        if previous_atom is not None:
+            body.add_literal(previous_atom)
+        for edge in clause.edge_patterns:
+            self._translate_edge_pattern(edge, body, new_scope)
+        for node in clause.node_patterns:
+            self._bind_node(node, body, new_scope)
+        relation = self._next_match_name()
+        head = Atom(relation, tuple(Var(name) for name in new_scope.names()))
+        self.program.add_rule(Rule(head=head, body=body.finish()))
+        self._scope = new_scope
+        self._current_relation = relation
+
+    def _bind_node(self, node: PGNodePattern, body: _RuleBody, scope: Scope) -> None:
+        label = node.label or self.lowering.node_labels.get(node.identifier)
+        info = scope.get(node.identifier)
+        if info is None:
+            info = VarInfo(name=node.identifier, node_label=label)
+            scope.add(info)
+        elif info.node_label is None and label is not None:
+            info.node_label = label
+        if info.node_label is not None:
+            relation = self.mapping.node_relation(info.node_label)
+            terms: List[Term] = [Wildcard() for _ in range(relation.arity)]
+            terms[0] = Var(node.identifier)
+            body.add_literal(Atom(relation.name, tuple(terms)))
+
+    def _translate_edge_pattern(
+        self, edge: PGEdgePattern, body: _RuleBody, scope: Scope
+    ) -> None:
+        source_label, target_label = self._resolve_endpoint_labels(edge)
+        source = PGNodePattern(edge.source.identifier, source_label)
+        target = PGNodePattern(edge.target.identifier, target_label)
+        self._bind_node(source, body, scope)
+        self._bind_node(target, body, scope)
+        if edge.var_length or edge.shortest:
+            self._translate_var_length_edge(edge, source_label, target_label, body, scope)
+            return
+        relation = self._edge_relation(edge, source_label, target_label)
+        if edge.direction is PGDirection.UNDIRECTED:
+            relation_name = self._undirected_relation(relation.name)
+            terms: List[Term] = [Var(source.identifier), Var(target.identifier)]
+            body.add_literal(Atom(relation_name, tuple(terms)))
+            return
+        terms = [Wildcard() for _ in range(relation.arity)]
+        terms[0] = Var(source.identifier)
+        terms[1] = Var(target.identifier)
+        if relation.has_column("id"):
+            index = relation.column_index("id")
+            terms[index] = Var(edge.identifier)
+            scope.add(
+                VarInfo(
+                    name=edge.identifier,
+                    dl_type=DLType.NUMBER,
+                    edge_relation=relation.name,
+                )
+            )
+        body.add_literal(Atom(relation.name, tuple(terms)))
+
+    def _resolve_endpoint_labels(
+        self, edge: PGEdgePattern
+    ) -> Tuple[Optional[str], Optional[str]]:
+        source_label = edge.source.label or self.lowering.node_labels.get(
+            edge.source.identifier
+        )
+        target_label = edge.target.label or self.lowering.node_labels.get(
+            edge.target.identifier
+        )
+        source_label = source_label or self._scope_label(edge.source.identifier)
+        target_label = target_label or self._scope_label(edge.target.identifier)
+        if edge.label is not None and (source_label is None or target_label is None):
+            candidates = self.mapping.pg_schema.edge_types_by_label(edge.label)
+            filtered = []
+            for edge_type in candidates:
+                schema = self.mapping.pg_schema
+                src = schema.resolve_node_label(edge_type.source)
+                dst = schema.resolve_node_label(edge_type.target)
+                if source_label is not None and src != source_label:
+                    continue
+                if target_label is not None and dst != target_label:
+                    continue
+                filtered.append((src, dst))
+            if edge.direction is PGDirection.UNDIRECTED and not filtered:
+                for edge_type in candidates:
+                    schema = self.mapping.pg_schema
+                    src = schema.resolve_node_label(edge_type.source)
+                    dst = schema.resolve_node_label(edge_type.target)
+                    if source_label is not None and dst != source_label:
+                        continue
+                    if target_label is not None and src != target_label:
+                        continue
+                    filtered.append((dst, src))
+            if len(filtered) == 1:
+                inferred_source, inferred_target = filtered[0]
+                source_label = source_label or inferred_source
+                target_label = target_label or inferred_target
+        return source_label, target_label
+
+    def _scope_label(self, identifier: str) -> Optional[str]:
+        info = self._scope.get(identifier)
+        return info.node_label if info is not None else None
+
+    def _edge_relation(
+        self,
+        edge: PGEdgePattern,
+        source_label: Optional[str],
+        target_label: Optional[str],
+    ) -> DLRelation:
+        if edge.label is None:
+            raise UnsupportedFeatureError("relationship pattern without a type")
+        if edge.direction is PGDirection.UNDIRECTED:
+            try:
+                return self.mapping.edge_relation(edge.label, source_label, target_label)
+            except Exception:  # noqa: BLE001 - fall back to the flipped direction
+                return self.mapping.edge_relation(edge.label, target_label, source_label)
+        return self.mapping.edge_relation(edge.label, source_label, target_label)
+
+    def _undirected_relation(self, relation_name: str) -> str:
+        """Return (creating on demand) the symmetric-closure helper IDB."""
+        if relation_name in self._undirected_cache:
+            return self._undirected_cache[relation_name]
+        relation = self.program.schema.get(relation_name)
+        helper_name = f"Undirected_{relation_name}"
+        helper = DLRelation(
+            name=helper_name,
+            columns=(relation.columns[0], relation.columns[1]),
+            is_edb=False,
+        )
+        self.program.declare(helper)
+        forward_terms: List[Term] = [Var("u"), Var("v")]
+        forward_terms.extend(Wildcard() for _ in range(relation.arity - 2))
+        backward_terms: List[Term] = [Var("v"), Var("u")]
+        backward_terms.extend(Wildcard() for _ in range(relation.arity - 2))
+        head = Atom(helper_name, (Var("u"), Var("v")))
+        self.program.add_rule(Rule(head=head, body=(Atom(relation_name, tuple(forward_terms)),)))
+        self.program.add_rule(Rule(head=head, body=(Atom(relation_name, tuple(backward_terms)),)))
+        self._undirected_cache[relation_name] = helper_name
+        return helper_name
+
+    # -- variable-length and shortest-path patterns ----------------------
+
+    def _translate_var_length_edge(
+        self,
+        edge: PGEdgePattern,
+        source_label: Optional[str],
+        target_label: Optional[str],
+        body: _RuleBody,
+        scope: Scope,
+    ) -> None:
+        relation = self._edge_relation(edge, source_label, target_label)
+        if edge.direction is PGDirection.UNDIRECTED:
+            base_relation = self._undirected_relation(relation.name)
+            base_arity = 2
+        else:
+            base_relation = relation.name
+            base_arity = relation.arity
+        self._varlen_counter += 1
+        if edge.shortest:
+            helper = self._build_shortest_path_idb(base_relation, base_arity)
+            distance_var = f"{edge.identifier}_len"
+            body.add_literal(
+                Atom(
+                    helper,
+                    (
+                        Var(edge.source.identifier),
+                        Var(edge.target.identifier),
+                        Var(distance_var),
+                    ),
+                )
+            )
+            scope.add(VarInfo(name=distance_var, dl_type=DLType.NUMBER))
+            if edge.path_variable:
+                scope.add(VarInfo(name=edge.path_variable, dl_type=DLType.NUMBER))
+                body.add_literal(
+                    Comparison("=", Var(edge.path_variable), Var(distance_var))
+                )
+            return
+        helper = self._build_var_length_idb(
+            base_relation, base_arity, edge.min_hops, edge.max_hops, source_label
+        )
+        body.add_literal(
+            Atom(helper, (Var(edge.source.identifier), Var(edge.target.identifier)))
+        )
+
+    def _base_edge_atom(self, relation: str, arity: int, source: str, target: str) -> Atom:
+        terms: List[Term] = [Var(source), Var(target)]
+        terms.extend(Wildcard() for _ in range(arity - 2))
+        return Atom(relation, tuple(terms))
+
+    def _build_shortest_path_idb(self, base_relation: str, base_arity: int) -> str:
+        name = f"ShortestPath{self._varlen_counter}"
+        base_columns = self.program.schema.get(base_relation).columns
+        self.program.declare(
+            DLRelation(
+                name=name,
+                columns=(
+                    base_columns[0],
+                    base_columns[1],
+                    DLColumn("dist", DLType.NUMBER),
+                ),
+                is_edb=False,
+            )
+        )
+        head_base = Atom(name, (Var("a"), Var("b"), Const(1)))
+        self.program.add_rule(
+            Rule(
+                head=head_base,
+                body=(self._base_edge_atom(base_relation, base_arity, "a", "b"),),
+                subsume_min=2,
+            )
+        )
+        head_step = Atom(name, (Var("a"), Var("b"), ArithExpr("+", Var("d"), Const(1))))
+        self.program.add_rule(
+            Rule(
+                head=head_step,
+                body=(
+                    Atom(name, (Var("a"), Var("z"), Var("d"))),
+                    self._base_edge_atom(base_relation, base_arity, "z", "b"),
+                ),
+                subsume_min=2,
+            )
+        )
+        return name
+
+    def _build_var_length_idb(
+        self,
+        base_relation: str,
+        base_arity: int,
+        min_hops: Optional[int],
+        max_hops: Optional[int],
+        source_label: Optional[str],
+    ) -> str:
+        name = f"VarLength{self._varlen_counter}"
+        columns = (
+            self.program.schema.get(base_relation).columns[0],
+            self.program.schema.get(base_relation).columns[1],
+        )
+        self.program.declare(DLRelation(name=name, columns=columns, is_edb=False))
+        low = 1 if min_hops is None else min_hops
+        head = Atom(name, (Var("a"), Var("b")))
+        if max_hops is not None:
+            if max_hops > _MAX_UNROLLED_HOPS:
+                raise UnsupportedFeatureError(
+                    f"variable-length pattern with more than {_MAX_UNROLLED_HOPS} hops"
+                )
+            for hops in range(max(low, 1), max_hops + 1):
+                body = self._chain_body(base_relation, base_arity, hops)
+                self.program.add_rule(Rule(head=head, body=tuple(body)))
+            if low == 0:
+                self._add_zero_hop_rule(name, source_label)
+            return name
+        # Unbounded: plain transitive closure (with a zero-hop rule if needed).
+        if low not in (0, 1):
+            raise UnsupportedFeatureError(
+                "unbounded variable-length pattern with a minimum above 1"
+            )
+        self.program.add_rule(
+            Rule(head=head, body=(self._base_edge_atom(base_relation, base_arity, "a", "b"),))
+        )
+        self.program.add_rule(
+            Rule(
+                head=head,
+                body=(
+                    Atom(name, (Var("a"), Var("z"))),
+                    self._base_edge_atom(base_relation, base_arity, "z", "b"),
+                ),
+            )
+        )
+        if low == 0:
+            self._add_zero_hop_rule(name, source_label)
+        return name
+
+    def _chain_body(self, base_relation: str, base_arity: int, hops: int) -> List[Literal]:
+        body: List[Literal] = []
+        previous = "a"
+        for step in range(hops):
+            nxt = "b" if step == hops - 1 else f"h{step + 1}"
+            body.append(self._base_edge_atom(base_relation, base_arity, previous, nxt))
+            previous = nxt
+        if hops == 0:
+            body.append(Comparison("=", Var("a"), Var("b")))
+        return body
+
+    def _add_zero_hop_rule(self, name: str, source_label: Optional[str]) -> None:
+        if source_label is None:
+            raise UnsupportedFeatureError(
+                "zero-length variable pattern on an unlabelled node"
+            )
+        node_relation = self.mapping.node_relation(source_label)
+        terms: List[Term] = [Var("a")]
+        terms.extend(Wildcard() for _ in range(node_relation.arity - 1))
+        self.program.add_rule(
+            Rule(
+                head=Atom(name, (Var("a"), Var("a"))),
+                body=(Atom(node_relation.name, tuple(terms)),),
+            )
+        )
+
+    # -- WHERE ------------------------------------------------------------
+
+    def _translate_where(self, clause: PGWhere) -> None:
+        disjuncts = _to_disjunctive_normal_form(clause.condition)
+        relation = self._next_where_name()
+        scope = self._scope.copy()
+        head = Atom(relation, tuple(Var(name) for name in scope.names()))
+        for conjuncts in disjuncts:
+            body = _RuleBody(self, scope.copy())
+            previous_atom = self._previous_view_atom(scope)
+            if previous_atom is not None:
+                body.add_literal(previous_atom)
+            for conjunct in conjuncts:
+                for literal in self._translate_condition(conjunct, body):
+                    body.add_literal(literal)
+            self.program.add_rule(Rule(head=head, body=body.finish()))
+        self._current_relation = relation
+        self._scope = scope
+
+    def _translate_condition(
+        self, condition: PGExpression, body: _RuleBody
+    ) -> List[Literal]:
+        if isinstance(condition, PGBinary) and condition.op in (
+            "=",
+            "<>",
+            "<",
+            "<=",
+            ">",
+            ">=",
+        ):
+            left = self._translate_value(condition.left, body)
+            right = self._translate_value(condition.right, body)
+            return [Comparison(condition.op, left, right)]
+        if isinstance(condition, PGBinary) and condition.op == "IN":
+            raise UnsupportedFeatureError("IN over non-literal lists")
+        if isinstance(condition, PGNot):
+            inner = condition.operand
+            if isinstance(inner, PGBinary) and inner.op in ("=", "<>", "<", "<=", ">", ">="):
+                negated_op = _NEGATED_COMPARISON[inner.op]
+                left = self._translate_value(inner.left, body)
+                right = self._translate_value(inner.right, body)
+                return [Comparison(negated_op, left, right)]
+            raise UnsupportedFeatureError(f"negation of {inner!r} in WHERE")
+        if isinstance(condition, PGBinary) and condition.op in (
+            "STARTS WITH",
+            "ENDS WITH",
+            "CONTAINS",
+        ):
+            raise UnsupportedFeatureError(f"string predicate {condition.op!r}")
+        raise UnsupportedFeatureError(f"WHERE condition {condition!r}")
+
+    # -- WITH / RETURN ------------------------------------------------------
+
+    def _translate_projection(
+        self, items: Tuple[PGProjectionItem, ...], relation: str
+    ) -> None:
+        scope = self._scope.copy()
+        body = _RuleBody(self, scope)
+        previous_atom = self._previous_view_atom(scope)
+        if previous_atom is not None:
+            body.add_literal(previous_atom)
+        head_terms: List[Term] = []
+        aggregations: List[Aggregation] = []
+        new_scope = Scope()
+        for item in items:
+            expression = item.expression
+            alias = item.alias
+            if isinstance(expression, PGAggregate):
+                argument = (
+                    self._translate_value(expression.argument, body)
+                    if expression.argument is not None
+                    else None
+                )
+                aggregations.append(
+                    Aggregation(
+                        func=expression.func,
+                        result=Var(alias),
+                        argument=argument,
+                        distinct=expression.distinct,
+                    )
+                )
+                head_terms.append(Var(alias))
+                new_scope.add(VarInfo(name=alias, dl_type=DLType.NUMBER))
+                continue
+            term, info = self._translate_projection_item(expression, alias, body)
+            head_terms.append(term)
+            new_scope.add(info)
+        head = Atom(relation, tuple(head_terms))
+        self.program.add_rule(
+            Rule(head=head, body=body.finish(), aggregations=tuple(aggregations))
+        )
+        self._current_relation = relation
+        self._scope = new_scope
+
+    def _translate_projection_item(
+        self, expression: PGExpression, alias: str, body: _RuleBody
+    ) -> Tuple[Term, VarInfo]:
+        if isinstance(expression, PGVariable):
+            source = body.scope.get(expression.name)
+            if source is None:
+                raise TranslationError(f"variable {expression.name!r} is not in scope")
+            if alias == expression.name:
+                return Var(alias), replace(source, name=alias)
+            # The paper expresses renaming as an explicit binding (p = cityId).
+            body.add_literal(Comparison("=", Var(expression.name), Var(alias)))
+            return Var(alias), replace(source, name=alias)
+        if isinstance(expression, PGProperty):
+            term = body.property_term(expression.variable, expression.property_name, alias)
+            info = body.scope.get(expression.variable)
+            if (
+                expression.property_name == "id"
+                and info is not None
+                and info.node_label is not None
+            ):
+                if isinstance(term, Var) and term.name != alias:
+                    body.add_literal(Comparison("=", term, Var(alias)))
+                return Var(alias), VarInfo(
+                    name=alias, dl_type=DLType.NUMBER, node_label=info.node_label
+                )
+            if isinstance(term, Var) and term.name != alias:
+                body.add_literal(Comparison("=", term, Var(alias)))
+                return Var(alias), VarInfo(name=alias, dl_type=DLType.SYMBOL)
+            dl_type = self._property_type(expression)
+            return Var(alias), VarInfo(name=alias, dl_type=dl_type)
+        # General expressions: bind the alias to the translated value.
+        term = self._translate_value(expression, body)
+        body.add_literal(Comparison("=", Var(alias), term))
+        return Var(alias), VarInfo(name=alias, dl_type=DLType.NUMBER)
+
+    def _property_type(self, expression: PGProperty) -> DLType:
+        info = self._scope.get(expression.variable)
+        if info is not None and info.node_label is not None:
+            relation = self.mapping.node_relation(info.node_label)
+            if relation.has_column(expression.property_name):
+                return relation.columns[
+                    relation.column_index(expression.property_name)
+                ].type
+        return DLType.NUMBER
+
+    # -- expression values -------------------------------------------------
+
+    def _translate_value(self, expression: PGExpression, body: _RuleBody) -> Term:
+        if isinstance(expression, PGConst):
+            if expression.value is None:
+                raise UnsupportedFeatureError("null literals")
+            return Const(expression.value)  # type: ignore[arg-type]
+        if isinstance(expression, PGVariable):
+            info = body.scope.get(expression.name)
+            if info is None:
+                raise TranslationError(f"variable {expression.name!r} is not in scope")
+            return Var(expression.name)
+        if isinstance(expression, PGProperty):
+            return body.property_term(expression.variable, expression.property_name)
+        if isinstance(expression, PGFunction):
+            return self._translate_function(expression, body)
+        if isinstance(expression, PGBinary) and expression.op in ("+", "-", "*", "/", "%"):
+            return ArithExpr(
+                expression.op,
+                self._translate_value(expression.left, body),
+                self._translate_value(expression.right, body),
+            )
+        raise UnsupportedFeatureError(f"expression {expression!r} in value position")
+
+    def _translate_function(self, expression: PGFunction, body: _RuleBody) -> Term:
+        name = expression.name.lower()
+        if name == "id" and len(expression.args) == 1:
+            argument = expression.args[0]
+            if isinstance(argument, PGVariable):
+                return Var(argument.name)
+        if name == "length" and len(expression.args) == 1:
+            argument = expression.args[0]
+            if isinstance(argument, PGVariable):
+                info = body.scope.get(argument.name)
+                if info is not None:
+                    return Var(argument.name)
+        raise UnsupportedFeatureError(f"function {expression.name!r}")
+
+
+_NEGATED_COMPARISON = {
+    "=": "<>",
+    "<>": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+
+def _to_disjunctive_normal_form(
+    expression: PGExpression,
+) -> List[List[PGExpression]]:
+    """Convert a boolean PGIR expression into a list of conjunct lists (DNF).
+
+    ``IN`` over list literals is expanded to a disjunction of equalities.
+    """
+    if isinstance(expression, PGBinary) and expression.op == "OR":
+        return _to_disjunctive_normal_form(expression.left) + _to_disjunctive_normal_form(
+            expression.right
+        )
+    if isinstance(expression, PGBinary) and expression.op == "AND":
+        left = _to_disjunctive_normal_form(expression.left)
+        right = _to_disjunctive_normal_form(expression.right)
+        return [l_conj + r_conj for l_conj in left for r_conj in right]
+    if (
+        isinstance(expression, PGBinary)
+        and expression.op == "IN"
+        and isinstance(expression.right, PGFunction)
+        and expression.right.name == "list"
+    ):
+        disjuncts = []
+        for item in expression.right.args:
+            disjuncts.append([PGBinary("=", expression.left, item)])
+        return disjuncts or [[PGConst(False)]]
+    conjuncts = list(split_conjunction(expression))
+    return [conjuncts]
+
+
+def translate_pgir_to_dlir(
+    lowering: LoweringResult, mapping: SchemaMapping
+) -> DLIRProgram:
+    """Translate ``lowering`` (a PGIR query) into a DLIR program over ``mapping``."""
+    return PGIRToDLIR(mapping, lowering).translate()

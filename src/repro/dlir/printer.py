@@ -1,0 +1,29 @@
+"""Human-readable rendering of DLIR programs.
+
+This printer is for diagnostics and tests; the Soufflé backend in
+:mod:`repro.backends.souffle` produces executable Soufflé syntax instead.
+"""
+
+from __future__ import annotations
+
+from repro.dlir.core import DLIRProgram
+
+
+def program_to_text(program: DLIRProgram, include_schema: bool = True) -> str:
+    """Render ``program`` with one declaration / rule / output per line."""
+    lines = []
+    if include_schema:
+        for relation in program.schema:
+            kind = "edb" if relation.is_edb else "idb"
+            lines.append(f"// {kind} {relation}")
+    for relation, rows in sorted(program.facts.items()):
+        for row in rows:
+            values = ", ".join(
+                f'"{value}"' if isinstance(value, str) else str(value) for value in row
+            )
+            lines.append(f"{relation}({values}).")
+    for rule in program.rules:
+        lines.append(str(rule))
+    for name in program.outputs:
+        lines.append(f".output {name}")
+    return "\n".join(lines)

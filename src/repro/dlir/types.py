@@ -1,0 +1,168 @@
+"""Type inference for DLIR rules.
+
+IDB relations created during translation need column types (for Soufflé
+``.decl`` statements and for SQL casting).  The inference propagates types
+from EDB declarations through variable occurrences: a variable bound at a
+typed column position takes that column's type; constants carry their own
+type; arithmetic yields a number (or float when either side is a float).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dlir.core import (
+    Aggregation,
+    ArithExpr,
+    Atom,
+    Comparison,
+    Const,
+    DLIRProgram,
+    Rule,
+    Term,
+    Var,
+)
+from repro.schema.dl_schema import DLColumn, DLRelation, DLSchema, DLType
+
+
+def _merge(existing: Optional[DLType], new: Optional[DLType]) -> Optional[DLType]:
+    if existing is None:
+        return new
+    if new is None:
+        return existing
+    if existing == new:
+        return existing
+    if DLType.FLOAT in (existing, new) and DLType.NUMBER in (existing, new):
+        return DLType.FLOAT
+    # Conflicting symbol/number assignments: prefer symbol, which is safe for
+    # printing and keeps the engines working on strings.
+    return DLType.SYMBOL
+
+
+def term_type(term: Term, env: Dict[str, DLType]) -> Optional[DLType]:
+    """Return the inferred type of ``term`` under the variable typing ``env``."""
+    if isinstance(term, Const):
+        return term.dl_type()
+    if isinstance(term, Var):
+        return env.get(term.name)
+    if isinstance(term, ArithExpr):
+        left = term_type(term.left, env)
+        right = term_type(term.right, env)
+        if DLType.FLOAT in (left, right):
+            return DLType.FLOAT
+        return DLType.NUMBER
+    return None
+
+
+def infer_variable_types(
+    rule: Rule, schema: DLSchema, seed: Optional[Dict[str, DLType]] = None
+) -> Dict[str, DLType]:
+    """Infer a typing for the variables of ``rule`` from ``schema``.
+
+    ``seed`` provides already-known types (for example from a previously
+    typed IDB the rule reads from).  Inference iterates to a fixpoint so that
+    types flow through equality comparisons such as ``p = cityId``.
+    """
+    env: Dict[str, DLType] = dict(seed or {})
+    atoms: List[Atom] = rule.body_atoms()
+    atoms.extend(negated.atom for negated in rule.negated_atoms())
+    changed = True
+    while changed:
+        changed = False
+        for atom in atoms:
+            declaration = schema.maybe_get(atom.relation)
+            if declaration is None:
+                continue
+            for term, column in zip(atom.terms, declaration.columns):
+                if isinstance(term, Var):
+                    merged = _merge(env.get(term.name), column.type)
+                    if merged is not None and env.get(term.name) != merged:
+                        env[term.name] = merged
+                        changed = True
+        for comparison in rule.comparisons():
+            if comparison.op != "=":
+                continue
+            left, right = comparison.left, comparison.right
+            left_type = term_type(left, env)
+            right_type = term_type(right, env)
+            if isinstance(left, Var) and right_type is not None:
+                merged = _merge(env.get(left.name), right_type)
+                if env.get(left.name) != merged and merged is not None:
+                    env[left.name] = merged
+                    changed = True
+            if isinstance(right, Var) and left_type is not None:
+                merged = _merge(env.get(right.name), left_type)
+                if env.get(right.name) != merged and merged is not None:
+                    env[right.name] = merged
+                    changed = True
+        for aggregation in rule.aggregations:
+            inferred = _aggregation_type(aggregation, env)
+            if inferred is not None:
+                merged = _merge(env.get(aggregation.result.name), inferred)
+                if env.get(aggregation.result.name) != merged and merged is not None:
+                    env[aggregation.result.name] = merged
+                    changed = True
+    return env
+
+
+def _aggregation_type(aggregation: Aggregation, env: Dict[str, DLType]) -> Optional[DLType]:
+    if aggregation.func == "count":
+        return DLType.NUMBER
+    if aggregation.func == "collect":
+        return DLType.SYMBOL
+    if aggregation.func == "avg":
+        return DLType.FLOAT
+    if aggregation.argument is None:
+        return DLType.NUMBER
+    return term_type(aggregation.argument, env)
+
+
+def infer_rule_types(
+    rule: Rule,
+    schema: DLSchema,
+    column_names: Optional[List[str]] = None,
+    seed: Optional[Dict[str, DLType]] = None,
+) -> DLRelation:
+    """Infer the declaration of the rule's head relation.
+
+    ``column_names`` overrides the generated column names (defaults to the
+    head variable names, or ``c0``, ``c1``, ... for non-variable terms).
+    """
+    env = infer_variable_types(rule, schema, seed)
+    columns = []
+    for index, term in enumerate(rule.head.terms):
+        if column_names is not None and index < len(column_names):
+            name = column_names[index]
+        elif isinstance(term, Var):
+            name = term.name
+        else:
+            name = f"c{index}"
+        inferred = term_type(term, env) or DLType.NUMBER
+        columns.append(DLColumn(name, inferred))
+    return DLRelation(name=rule.head.relation, columns=tuple(columns), is_edb=False)
+
+
+def declare_idbs(program: DLIRProgram) -> None:
+    """Add inferred declarations for any IDB missing from the program schema.
+
+    Rules are processed in order and re-processed once so that types flow
+    through chains of IDBs (``Match1`` feeding ``Where1`` feeding ``Return``).
+    """
+    for _ in range(2):
+        for rule in program.rules:
+            existing = program.schema.maybe_get(rule.head.relation)
+            declaration = infer_rule_types(rule, program.schema)
+            if existing is None:
+                program.schema.add(declaration)
+            elif existing.is_edb is False and existing.arity == declaration.arity:
+                # Refine earlier placeholder declarations when inference finds
+                # more precise types on a later pass.
+                merged_columns = []
+                for old, new in zip(existing.columns, declaration.columns):
+                    merged_type = _merge(old.type, new.type) or old.type
+                    merged_columns.append(DLColumn(old.name, merged_type))
+                program.schema.relations[rule.head.relation] = DLRelation(
+                    name=rule.head.relation,
+                    columns=tuple(merged_columns),
+                    is_edb=False,
+                )

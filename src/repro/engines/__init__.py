@@ -1,0 +1,26 @@
+"""Execution substrates for the Raqlet evaluation.
+
+The paper runs its generated queries on Neo4j (Cypher), Soufflé (Datalog) and
+DuckDB / HyPer (SQL).  None of those systems is available in this offline
+reproduction, so the package provides functionally equivalent substrates that
+execute the *same artifacts* Raqlet produces:
+
+* :mod:`repro.engines.datalog` -- a bottom-up semi-naive Datalog engine with
+  stratified negation, aggregation and min/max subsumption (stands in for
+  Soufflé; executes DLIR directly).
+* :mod:`repro.engines.relational` -- a relational engine that executes SQIR
+  (CTE chains, hash joins, recursive-CTE fixpoints; stands in for DuckDB /
+  HyPer).
+* :mod:`repro.engines.graph` -- a property-graph store plus a PGIR
+  interpreter with BFS-based variable-length and shortest-path matching
+  (stands in for Neo4j, executing the original query graph-natively).
+* :mod:`repro.engines.sqlite_exec` -- loads the facts into stdlib SQLite and
+  runs the generated SQL text on a real external SQL system.
+
+All engines return a :class:`repro.engines.result.QueryResult` so results can
+be compared across paradigms.
+"""
+
+from repro.engines.result import QueryResult
+
+__all__ = ["QueryResult"]

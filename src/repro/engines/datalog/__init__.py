@@ -1,0 +1,12 @@
+"""Bottom-up Datalog engine: semi-naive evaluation of DLIR programs.
+
+The engine stands in for Soufflé in the paper's evaluation.  It supports the
+full DLIR feature set: stratified negation, stratified aggregation
+(count/sum/min/max/avg/collect), arithmetic, and min/max subsumption for
+shortest-path style recursion.
+"""
+
+from repro.engines.datalog.engine import DatalogEngine, evaluate_program
+from repro.engines.datalog.storage import FactStore
+
+__all__ = ["DatalogEngine", "evaluate_program", "FactStore"]

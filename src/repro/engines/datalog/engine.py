@@ -1,0 +1,232 @@
+"""Stratified semi-naive evaluation of DLIR programs.
+
+The engine evaluates strata bottom-up.  Within a stratum it runs the standard
+semi-naive loop: an initial full round, then iterations in which each rule is
+re-evaluated once per recursive body atom with that atom restricted to the
+facts newly derived in the previous iteration.
+
+Min/max subsumption (``Rule.subsume_min`` / ``subsume_max``) is honoured
+during insertion: for a relation with a subsumption spec only the best value
+of the designated column is kept per combination of the remaining columns,
+and a fact only counts as "new" when it improves on the incumbent.  This is
+what keeps shortest-path recursion finite on cyclic graphs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.dependencies import build_dependency_graph
+from repro.analysis.stratification import stratify
+from repro.common.errors import ExecutionError
+from repro.dlir.core import Atom, DLIRProgram, Rule
+from repro.engines.datalog.evaluation import evaluate_rule
+from repro.engines.datalog.storage import FactStore
+from repro.engines.result import QueryResult
+
+FactsInput = Mapping[str, Iterable[Tuple]]
+
+
+class _SubsumptionSpec:
+    """Keep only the min (or max) value of one column per key of the others."""
+
+    def __init__(self, column: int, minimize: bool, arity: int) -> None:
+        self.column = column
+        self.minimize = minimize
+        self.key_positions = [index for index in range(arity) if index != column]
+        self._best: Dict[Tuple, Tuple] = {}
+
+    def admit(self, row: Tuple) -> Tuple[bool, Optional[Tuple]]:
+        """Return ``(is_new_or_better, replaced_row)`` for ``row``."""
+        key = tuple(row[index] for index in self.key_positions)
+        incumbent = self._best.get(key)
+        if incumbent is None:
+            self._best[key] = row
+            return True, None
+        if incumbent == row:
+            return False, None
+        better = (
+            row[self.column] < incumbent[self.column]
+            if self.minimize
+            else row[self.column] > incumbent[self.column]
+        )
+        if better:
+            self._best[key] = row
+            return True, incumbent
+        return False, None
+
+
+class DatalogEngine:
+    """Evaluate a DLIR program bottom-up over a set of EDB facts."""
+
+    def __init__(self, program: DLIRProgram, facts: Optional[FactsInput] = None) -> None:
+        problems = program.validate()
+        if problems:
+            raise ExecutionError("invalid DLIR program: " + "; ".join(problems))
+        self._program = program
+        self._store = FactStore()
+        self._evaluated = False
+        self._iterations: Dict[str, int] = {}
+        for relation, rows in program.facts.items():
+            self._store.add_many(relation, (tuple(row) for row in rows))
+        if facts:
+            for relation, rows in facts.items():
+                self._store.add_many(relation, (tuple(row) for row in rows))
+        self._subsumption = self._collect_subsumption_specs()
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def store(self) -> FactStore:
+        """Return the underlying fact store (facts are available after :meth:`run`)."""
+        return self._store
+
+    def run(self) -> FactStore:
+        """Evaluate the whole program; idempotent."""
+        if self._evaluated:
+            return self._store
+        graph = build_dependency_graph(self._program)
+        strata = stratify(self._program)
+        for stratum in strata:
+            self._evaluate_stratum(stratum, graph)
+        self._evaluated = True
+        return self._store
+
+    def query(self, relation: Optional[str] = None) -> QueryResult:
+        """Run the program (if needed) and return the rows of ``relation``.
+
+        ``relation`` defaults to the program's first output.
+        """
+        self.run()
+        if relation is None:
+            if not self._program.outputs:
+                raise ExecutionError("program has no output relation")
+            relation = self._program.outputs[0]
+        declaration = self._program.schema.maybe_get(relation)
+        if declaration is not None:
+            columns = declaration.column_names()
+        else:
+            columns = []
+        rows = sorted(self._store.scan(relation), key=lambda row: tuple(str(v) for v in row))
+        if not columns and rows:
+            columns = [f"c{index}" for index in range(len(rows[0]))]
+        return QueryResult(columns=columns, rows=rows)
+
+    def fact_count(self, relation: str) -> int:
+        """Return how many facts ``relation`` holds (after :meth:`run`)."""
+        self.run()
+        return self._store.count(relation)
+
+    def iteration_count(self, relation: str) -> int:
+        """Return how many semi-naive iterations the relation's stratum took."""
+        self.run()
+        return self._iterations.get(relation, 0)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _collect_subsumption_specs(self) -> Dict[str, _SubsumptionSpec]:
+        specs: Dict[str, _SubsumptionSpec] = {}
+        for rule in self._program.rules:
+            relation = rule.head.relation
+            column: Optional[int] = None
+            minimize = True
+            if rule.subsume_min is not None:
+                column, minimize = rule.subsume_min, True
+            elif rule.subsume_max is not None:
+                column, minimize = rule.subsume_max, False
+            if column is None:
+                continue
+            existing = specs.get(relation)
+            if existing is not None:
+                if existing.column != column or existing.minimize != minimize:
+                    raise ExecutionError(
+                        f"conflicting subsumption specifications for {relation!r}"
+                    )
+                continue
+            specs[relation] = _SubsumptionSpec(column, minimize, rule.head.arity)
+        return specs
+
+    def _insert(self, relation: str, rows: Set[Tuple]) -> Set[Tuple]:
+        """Insert rows honouring subsumption; return the rows that are new."""
+        spec = self._subsumption.get(relation)
+        fresh: Set[Tuple] = set()
+        if spec is None:
+            for row in rows:
+                if self._store.add(relation, row):
+                    fresh.add(row)
+            return fresh
+        for row in rows:
+            admitted, replaced = spec.admit(row)
+            if not admitted:
+                continue
+            if replaced is not None:
+                self._store.remove(relation, replaced)
+            if self._store.add(relation, row):
+                fresh.add(row)
+        return fresh
+
+    def _evaluate_stratum(self, stratum: Sequence[str], graph) -> None:
+        stratum_set = set(stratum)
+        rules = [
+            rule for rule in self._program.rules if rule.head.relation in stratum_set
+        ]
+        if not rules:
+            return
+        # Any relation *defined* in this stratum can feed other rules of the
+        # same stratum, so the semi-naive loop must track deltas for all of
+        # them (not only the truly recursive ones): a non-recursive rule such
+        # as the translation's ``Match``/``Where`` views still has to be
+        # re-evaluated when the recursive relation it reads grows.
+        defined_here = {
+            rule.head.relation for rule in rules if rule.head.relation in stratum_set
+        }
+        del graph  # the dependency graph is only needed for stratification
+        recursive_relations = defined_here
+        # Initial full round.
+        delta: Dict[str, Set[Tuple]] = defaultdict(set)
+        for rule in rules:
+            derived = evaluate_rule(rule, self._store)
+            fresh = self._insert(rule.head.relation, derived)
+            delta[rule.head.relation].update(fresh)
+        iterations = 1
+        # Semi-naive loop.
+        while any(delta.values()):
+            new_delta: Dict[str, Set[Tuple]] = defaultdict(set)
+            for rule in rules:
+                recursive_positions = [
+                    index
+                    for index, literal in enumerate(rule.body)
+                    if isinstance(literal, Atom)
+                    and literal.relation in recursive_relations
+                    and delta.get(literal.relation)
+                ]
+                if not recursive_positions:
+                    continue
+                for position in recursive_positions:
+                    literal = rule.body[position]
+                    assert isinstance(literal, Atom)
+                    derived = evaluate_rule(
+                        rule,
+                        self._store,
+                        delta_index=position,
+                        delta_rows=list(delta[literal.relation]),
+                    )
+                    fresh = self._insert(rule.head.relation, derived)
+                    new_delta[rule.head.relation].update(fresh)
+            delta = new_delta
+            iterations += 1
+            if iterations > 1_000_000:  # pragma: no cover - safety net
+                raise ExecutionError("semi-naive evaluation did not converge")
+        for relation in stratum_set:
+            self._iterations[relation] = iterations
+
+
+def evaluate_program(
+    program: DLIRProgram,
+    facts: Optional[FactsInput] = None,
+    relation: Optional[str] = None,
+) -> QueryResult:
+    """Convenience wrapper: evaluate ``program`` and return one relation's rows."""
+    engine = DatalogEngine(program, facts)
+    return engine.query(relation)

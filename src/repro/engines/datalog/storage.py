@@ -1,0 +1,106 @@
+"""Fact storage for the Datalog engine.
+
+Relations are sets of tuples.  To make joins cheap the store builds hash
+indexes on demand: an index for relation ``R`` on positions ``(0, 2)`` maps
+each ``(value0, value2)`` key to the list of tuples carrying those values.
+Indexes are invalidated whenever the relation grows.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+Row = Tuple
+Key = Tuple
+
+
+class FactStore:
+    """Tuple storage with lazily built hash indexes."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, Set[Row]] = defaultdict(set)
+        self._indexes: Dict[Tuple[str, Tuple[int, ...]], Dict[Key, List[Row]]] = {}
+
+    # -- base operations ---------------------------------------------------
+
+    def relation(self, name: str) -> Set[Row]:
+        """Return the tuple set of ``name`` (created empty on first access)."""
+        return self._relations[name]
+
+    def relation_names(self) -> List[str]:
+        """Return the names of all stored relations."""
+        return list(self._relations)
+
+    def count(self, name: str) -> int:
+        """Return the number of tuples in ``name``."""
+        return len(self._relations[name])
+
+    def contains(self, name: str, row: Row) -> bool:
+        """Return whether ``row`` is present in relation ``name``."""
+        return row in self._relations[name]
+
+    def add(self, name: str, row: Row) -> bool:
+        """Insert ``row``; return ``True`` when it was new."""
+        relation = self._relations[name]
+        if row in relation:
+            return False
+        relation.add(row)
+        self._invalidate(name)
+        return True
+
+    def add_many(self, name: str, rows: Iterable[Row]) -> int:
+        """Insert many rows; return how many were new."""
+        relation = self._relations[name]
+        before = len(relation)
+        relation.update(tuple(row) for row in rows)
+        added = len(relation) - before
+        if added:
+            self._invalidate(name)
+        return added
+
+    def remove(self, name: str, row: Row) -> None:
+        """Remove ``row`` if present (used by subsumption)."""
+        relation = self._relations[name]
+        if row in relation:
+            relation.discard(row)
+            self._invalidate(name)
+
+    def replace(self, name: str, rows: Iterable[Row]) -> None:
+        """Replace the whole relation with ``rows``."""
+        self._relations[name] = set(tuple(row) for row in rows)
+        self._invalidate(name)
+
+    def _invalidate(self, name: str) -> None:
+        stale = [key for key in self._indexes if key[0] == name]
+        for key in stale:
+            del self._indexes[key]
+
+    # -- indexed access ------------------------------------------------------
+
+    def lookup(
+        self, name: str, positions: Sequence[int], key: Key
+    ) -> List[Row]:
+        """Return the tuples of ``name`` whose ``positions`` equal ``key``.
+
+        Builds (and caches) a hash index for the position set on first use.
+        """
+        positions_key = tuple(positions)
+        if not positions_key:
+            return list(self._relations[name])
+        index_key = (name, positions_key)
+        index = self._indexes.get(index_key)
+        if index is None:
+            index = defaultdict(list)
+            for row in self._relations[name]:
+                index[tuple(row[i] for i in positions_key)].append(row)
+            self._indexes[index_key] = index
+        return index.get(tuple(key), [])
+
+    def scan(self, name: str) -> List[Row]:
+        """Return every tuple of ``name`` as a list."""
+        return list(self._relations[name])
+
+    def snapshot(self) -> Dict[str, Set[Row]]:
+        """Return a shallow copy of all relations (for debugging/tests)."""
+        return {name: set(rows) for name, rows in self._relations.items()}

@@ -1,0 +1,13 @@
+"""Property-graph engine: a graph store plus a PGIR interpreter.
+
+This engine stands in for Neo4j in the paper's evaluation: it executes the
+*original* query (lowered only to PGIR, not translated to Datalog or SQL)
+directly against an in-memory property graph using pointer-style adjacency
+traversal, BFS for variable-length patterns and BFS shortest paths.
+"""
+
+from repro.engines.graph.store import PropertyGraph
+from repro.engines.graph.interpreter import GraphEngine, execute_pgir
+from repro.engines.graph.loader import facts_to_property_graph
+
+__all__ = ["PropertyGraph", "GraphEngine", "execute_pgir", "facts_to_property_graph"]

@@ -1,0 +1,71 @@
+"""Build a :class:`PropertyGraph` from DL-Schema facts.
+
+All engines consume the same dataset: a mapping from DL-Schema relation names
+to tuples (the EDB facts).  This loader converts those facts back into a
+property graph using the :class:`~repro.schema.translate.SchemaMapping`
+provenance, so that the graph engine and the relational/Datalog engines are
+guaranteed to see the same data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.engines.graph.store import PropertyGraph
+from repro.schema.translate import SchemaMapping
+
+FactsInput = Mapping[str, Iterable[Tuple]]
+
+
+def facts_to_property_graph(facts: FactsInput, mapping: SchemaMapping) -> PropertyGraph:
+    """Convert DL-Schema ``facts`` into a property graph."""
+    graph = PropertyGraph()
+    node_relations: Dict[str, str] = {
+        relation: label for label, relation in mapping.node_relation_by_label.items()
+    }
+    # Nodes first so that edges can validate their endpoints.
+    for relation_name, rows in facts.items():
+        label = node_relations.get(relation_name)
+        if label is None:
+            continue
+        declaration = mapping.dl_schema.get(relation_name)
+        columns = declaration.column_names()
+        for row in rows:
+            if len(row) != len(columns):
+                raise ExecutionError(
+                    f"fact arity mismatch for {relation_name!r}: {row!r}"
+                )
+            properties = dict(zip(columns[1:], row[1:]))
+            graph.add_node(label, int(row[0]), properties)
+    edge_relation_names = set(mapping.edge_relation_by_name.values())
+    for relation_name, rows in facts.items():
+        if relation_name not in edge_relation_names:
+            continue
+        declaration = mapping.dl_schema.get(relation_name)
+        columns = declaration.column_names()
+        source_label, target_label = mapping.edge_endpoints(relation_name)
+        edge_label = _edge_label_from_relation(relation_name, source_label, target_label)
+        for row in rows:
+            properties = dict(zip(columns[2:], row[2:]))
+            graph.add_edge(
+                label=edge_label,
+                source_label=source_label,
+                source_id=int(row[0]),
+                target_label=target_label,
+                target_id=int(row[1]),
+                properties=properties,
+            )
+    return graph
+
+
+def _edge_label_from_relation(relation_name: str, source_label: str, target_label: str) -> str:
+    """Recover the upper-snake edge label from ``<Src>_<LABEL>_<Dst>``."""
+    prefix = f"{source_label}_"
+    suffix = f"_{target_label}"
+    if relation_name.startswith(prefix) and relation_name.endswith(suffix):
+        inner = relation_name[len(prefix):]
+        if suffix:
+            inner = inner[: len(inner) - len(suffix)]
+        return inner
+    return relation_name

@@ -1,0 +1,142 @@
+"""In-memory property-graph storage with adjacency indexes."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import ExecutionError
+
+
+@dataclass
+class GraphNode:
+    """A node: id, label and a property dictionary."""
+
+    node_id: int
+    label: str
+    properties: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class GraphEdge:
+    """A directed edge: id, label, endpoints and a property dictionary."""
+
+    edge_id: int
+    label: str
+    source: int
+    target: int
+    properties: Dict[str, object] = field(default_factory=dict)
+
+
+class PropertyGraph:
+    """A labelled property graph with per-label adjacency indexes.
+
+    Node ids are unique per label (as in LDBC), so the graph keys nodes by
+    ``(label, id)`` internally while queries address them by id within a
+    labelled pattern.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[Tuple[str, int], GraphNode] = {}
+        self._nodes_by_label: Dict[str, List[GraphNode]] = defaultdict(list)
+        self._edges: List[GraphEdge] = []
+        self._out_index: Dict[Tuple[str, str, int], List[GraphEdge]] = defaultdict(list)
+        self._in_index: Dict[Tuple[str, str, int], List[GraphEdge]] = defaultdict(list)
+        self._edge_labels: Dict[str, Tuple[str, str]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, label: str, node_id: int, properties: Optional[Dict[str, object]] = None) -> GraphNode:
+        """Insert a node; duplicate ``(label, id)`` pairs raise an error."""
+        key = (label, node_id)
+        if key in self._nodes:
+            raise ExecutionError(f"duplicate node {label}({node_id})")
+        node = GraphNode(node_id=node_id, label=label, properties=dict(properties or {}))
+        self._nodes[key] = node
+        self._nodes_by_label[label].append(node)
+        return node
+
+    def add_edge(
+        self,
+        label: str,
+        source_label: str,
+        source_id: int,
+        target_label: str,
+        target_id: int,
+        properties: Optional[Dict[str, object]] = None,
+        edge_id: Optional[int] = None,
+    ) -> GraphEdge:
+        """Insert a directed edge between two existing nodes."""
+        if (source_label, source_id) not in self._nodes:
+            raise ExecutionError(f"unknown source node {source_label}({source_id})")
+        if (target_label, target_id) not in self._nodes:
+            raise ExecutionError(f"unknown target node {target_label}({target_id})")
+        edge = GraphEdge(
+            edge_id=edge_id if edge_id is not None else len(self._edges),
+            label=label,
+            source=source_id,
+            target=target_id,
+            properties=dict(properties or {}),
+        )
+        self._edges.append(edge)
+        self._out_index[(label, source_label, source_id)].append(edge)
+        self._in_index[(label, target_label, target_id)].append(edge)
+        self._edge_labels.setdefault(label, (source_label, target_label))
+        return edge
+
+    # -- lookups -----------------------------------------------------------
+
+    def node(self, label: str, node_id: int) -> Optional[GraphNode]:
+        """Return the node ``(label, id)`` or ``None``."""
+        return self._nodes.get((label, node_id))
+
+    def nodes_with_label(self, label: str) -> List[GraphNode]:
+        """Return every node carrying ``label``."""
+        return list(self._nodes_by_label.get(label, ()))
+
+    def node_labels(self) -> List[str]:
+        """Return all node labels present in the graph."""
+        return list(self._nodes_by_label)
+
+    def edge_endpoint_labels(self, edge_label: str) -> Tuple[str, str]:
+        """Return the (source label, target label) recorded for an edge label."""
+        try:
+            return self._edge_labels[edge_label]
+        except KeyError as exc:
+            raise ExecutionError(f"unknown edge label {edge_label!r}") from exc
+
+    def has_edge_label(self, edge_label: str) -> bool:
+        """Return whether any edge with ``edge_label`` exists."""
+        return edge_label in self._edge_labels
+
+    def out_edges(self, edge_label: str, source_label: str, source_id: int) -> List[GraphEdge]:
+        """Return edges with ``edge_label`` leaving ``(source_label, source_id)``."""
+        return self._out_index.get((edge_label, source_label, source_id), [])
+
+    def in_edges(self, edge_label: str, target_label: str, target_id: int) -> List[GraphEdge]:
+        """Return edges with ``edge_label`` entering ``(target_label, target_id)``."""
+        return self._in_index.get((edge_label, target_label, target_id), [])
+
+    def all_edges(self, edge_label: Optional[str] = None) -> List[GraphEdge]:
+        """Return all edges, optionally restricted to one label."""
+        if edge_label is None:
+            return list(self._edges)
+        return [edge for edge in self._edges if edge.label == edge_label]
+
+    def node_count(self) -> int:
+        """Return the total number of nodes."""
+        return len(self._nodes)
+
+    def edge_count(self) -> int:
+        """Return the total number of edges."""
+        return len(self._edges)
+
+    def node_property(self, label: str, node_id: int, name: str):
+        """Return property ``name`` of node ``(label, id)``; ``id`` is intrinsic."""
+        if name == "id":
+            return node_id
+        node = self.node(label, node_id)
+        if node is None:
+            raise ExecutionError(f"unknown node {label}({node_id})")
+        return node.properties.get(name)

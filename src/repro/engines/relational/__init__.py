@@ -1,0 +1,12 @@
+"""In-process relational engine executing SQIR plans.
+
+This engine stands in for DuckDB / Tableau Hyper in the paper's evaluation:
+it executes exactly the SQIR (CTE chain) that Raqlet produces for the SQL
+backend, with hash joins, filter/projection/distinct operators and a
+delta-based fixpoint for recursive CTEs.
+"""
+
+from repro.engines.relational.table import Database, Table
+from repro.engines.relational.executor import RelationalEngine, execute_sqir
+
+__all__ = ["Table", "Database", "RelationalEngine", "execute_sqir"]

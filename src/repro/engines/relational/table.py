@@ -1,0 +1,96 @@
+"""Tables and databases for the relational engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.common.errors import ExecutionError
+
+
+@dataclass
+class Table:
+    """A named-column table holding rows as tuples."""
+
+    columns: List[str]
+    rows: List[Tuple] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(set(self.columns)) != len(self.columns):
+            raise ExecutionError(f"duplicate column names in {self.columns}")
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column_index(self, name: str) -> int:
+        """Return the position of column ``name``."""
+        try:
+            return self.columns.index(name)
+        except ValueError as exc:
+            raise ExecutionError(f"unknown column {name!r}") from exc
+
+    def insert(self, row: Sequence) -> None:
+        """Append one row (arity-checked)."""
+        if len(row) != self.arity:
+            raise ExecutionError(
+                f"row arity {len(row)} does not match table arity {self.arity}"
+            )
+        self.rows.append(tuple(row))
+
+    def insert_many(self, rows: Iterable[Sequence]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.insert(row)
+
+    def distinct(self) -> "Table":
+        """Return a copy with duplicate rows removed (first occurrence kept)."""
+        seen = set()
+        unique: List[Tuple] = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        return Table(columns=list(self.columns), rows=unique)
+
+
+class Database:
+    """A named collection of tables."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: Sequence[str]) -> Table:
+        """Create an empty table; re-creating an existing name is an error."""
+        if name in self._tables:
+            raise ExecutionError(f"table {name!r} already exists")
+        table = Table(columns=list(columns))
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table if it exists."""
+        self._tables.pop(name, None)
+
+    def table(self, name: str) -> Table:
+        """Return the table called ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError as exc:
+            raise ExecutionError(f"unknown table {name!r}") from exc
+
+    def has_table(self, name: str) -> bool:
+        """Return whether a table called ``name`` exists."""
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        """Return all table names."""
+        return list(self._tables)
+
+    def insert_many(self, name: str, rows: Iterable[Sequence]) -> None:
+        """Append rows into an existing table."""
+        self.table(name).insert_many(rows)

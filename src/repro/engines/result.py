@@ -1,0 +1,54 @@
+"""A common result type shared by all execution engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+
+@dataclass
+class QueryResult:
+    """Column names plus result rows.
+
+    All Raqlet backends use set semantics (``RETURN DISTINCT`` /
+    ``SELECT DISTINCT`` / Datalog sets), so equality between results from
+    different engines is defined on the *set* of rows; ordering is
+    irrelevant.
+    """
+
+    columns: List[str]
+    rows: List[Tuple]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def row_set(self) -> FrozenSet[Tuple]:
+        """Return the rows as a frozen set (set-semantics view)."""
+        return frozenset(self.rows)
+
+    def sorted_rows(self) -> List[Tuple]:
+        """Return rows sorted lexicographically (stringified for mixed types)."""
+        return sorted(self.rows, key=lambda row: tuple(str(value) for value in row))
+
+    def same_rows(self, other: "QueryResult") -> bool:
+        """Return whether two results contain exactly the same row set."""
+        return self.row_set() == other.row_set()
+
+    def to_dicts(self) -> List[dict]:
+        """Return rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    @staticmethod
+    def from_rows(columns: Sequence[str], rows: Sequence[Sequence]) -> "QueryResult":
+        """Build a result, normalising rows to tuples and deduplicating."""
+        seen = set()
+        unique: List[Tuple] = []
+        for row in rows:
+            key = tuple(row)
+            if key not in seen:
+                seen.add(key)
+                unique.append(key)
+        return QueryResult(columns=list(columns), rows=unique)

@@ -1,0 +1,106 @@
+"""Execute Raqlet-generated SQL on SQLite (a real external SQL system).
+
+The executor creates one table per EDB relation of a DL-Schema, bulk-loads the
+facts, and runs the SQL text produced by :func:`repro.backends.sql.sqir_to_sql`.
+It is the "runs on a real RDBMS" leg of the evaluation, complementing the
+in-repo relational engine.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, List, Mapping, Optional, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.engines.result import QueryResult
+from repro.schema.dl_schema import DLSchema
+
+FactsInput = Mapping[str, Iterable[Tuple]]
+
+
+class SQLiteExecutor:
+    """Hold a SQLite connection loaded with a DL-Schema dataset."""
+
+    def __init__(self, schema: DLSchema, facts: Optional[FactsInput] = None) -> None:
+        self._schema = schema
+        self._connection = sqlite3.connect(":memory:")
+        self._create_tables()
+        if facts:
+            self.load_facts(facts)
+
+    # -- loading ------------------------------------------------------------
+
+    def _create_tables(self) -> None:
+        cursor = self._connection.cursor()
+        for relation in self._schema.edb_relations():
+            columns = ", ".join(
+                f'"{column.name}" {column.type.sql_type()}' for column in relation.columns
+            )
+            cursor.execute(f'CREATE TABLE "{relation.name}" ({columns})')
+        self._connection.commit()
+
+    def load_facts(self, facts: FactsInput) -> None:
+        """Bulk-insert ``facts`` into the corresponding tables."""
+        cursor = self._connection.cursor()
+        for relation_name, rows in facts.items():
+            relation = self._schema.maybe_get(relation_name)
+            if relation is None or not relation.is_edb:
+                continue
+            placeholders = ", ".join("?" for _ in relation.columns)
+            cursor.executemany(
+                f'INSERT INTO "{relation_name}" VALUES ({placeholders})',
+                [tuple(row) for row in rows],
+            )
+        self._connection.commit()
+
+    def create_indexes(self) -> None:
+        """Create single-column indexes on the first two columns of every table.
+
+        Mirrors the primary-key / adjacency indexes a production deployment
+        would have; the benchmarks call this before timing queries.
+        """
+        cursor = self._connection.cursor()
+        for relation in self._schema.edb_relations():
+            for column in relation.columns[:2]:
+                cursor.execute(
+                    f'CREATE INDEX IF NOT EXISTS "idx_{relation.name}_{column.name}" '
+                    f'ON "{relation.name}" ("{column.name}")'
+                )
+        self._connection.commit()
+
+    # -- execution ------------------------------------------------------------
+
+    def execute_sql(self, sql: str) -> QueryResult:
+        """Run ``sql`` (a single statement) and return its result rows."""
+        try:
+            cursor = self._connection.execute(sql)
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"SQLite error: {exc}\nSQL was:\n{sql}") from exc
+        columns = [description[0] for description in cursor.description or []]
+        rows: List[Tuple] = [tuple(row) for row in cursor.fetchall()]
+        return QueryResult.from_rows(columns, rows)
+
+    def table_count(self, name: str) -> int:
+        """Return ``SELECT COUNT(*)`` of a table."""
+        cursor = self._connection.execute(f'SELECT COUNT(*) FROM "{name}"')
+        return int(cursor.fetchone()[0])
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "SQLiteExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def run_sql_on_sqlite(
+    schema: DLSchema, facts: FactsInput, sql: str, with_indexes: bool = True
+) -> QueryResult:
+    """One-shot helper: load ``facts`` into SQLite and run ``sql``."""
+    with SQLiteExecutor(schema, facts) as executor:
+        if with_indexes:
+            executor.create_indexes()
+        return executor.execute_sql(sql)

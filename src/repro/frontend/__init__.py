@@ -1,0 +1,6 @@
+"""Raqlet frontends: parsers for the supported input query languages.
+
+* :mod:`repro.frontend.cypher` -- Cypher (the paper's primary frontend).
+* :mod:`repro.frontend.datalog` -- Soufflé-dialect Datalog.
+* :mod:`repro.frontend.sql` -- recursive SQL (``WITH [RECURSIVE]`` subset).
+"""

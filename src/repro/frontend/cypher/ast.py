@@ -1,0 +1,398 @@
+"""Abstract syntax tree for the Cypher subset understood by Raqlet.
+
+The subset covers what the paper needs for the LDBC SNB read workloads:
+
+* ``MATCH`` / ``OPTIONAL MATCH`` with comma-separated path patterns,
+* node patterns with labels and inline property maps,
+* relationship patterns with direction, types, inline properties and
+  variable-length bounds (``*``, ``*2``, ``*1..3``),
+* ``shortestPath`` path functions,
+* ``WHERE`` with boolean expressions,
+* ``WITH`` / ``RETURN`` (optionally ``DISTINCT``) with aliases and the
+  aggregation functions ``count``, ``sum``, ``avg``, ``min``, ``max`` and
+  ``collect``,
+* ``UNWIND``,
+* ``ORDER BY``, ``SKIP`` and ``LIMIT`` (parsed; dropped during lowering with a
+  warning, as in the paper's normalization step).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Base class for Cypher expressions (marker class)."""
+
+
+@dataclass(frozen=True)
+class Variable(Expression):
+    """A reference to a bound variable, e.g. ``n``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """An integer, float, string, boolean or null literal."""
+
+    value: Union[int, float, str, bool, None]
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "null"
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if isinstance(self.value, str):
+            return repr(self.value)
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ListLiteral(Expression):
+    """A list literal, e.g. ``[1, 2, 3]``."""
+
+    items: Tuple[Expression, ...]
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(item) for item in self.items) + "]"
+
+
+@dataclass(frozen=True)
+class Parameter(Expression):
+    """A query parameter, e.g. ``$personId``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class PropertyAccess(Expression):
+    """A property access, e.g. ``n.firstName``."""
+
+    subject: Expression
+    property_name: str
+
+    def __str__(self) -> str:
+        return f"{self.subject}.{self.property_name}"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary operation: comparison, arithmetic, boolean or ``IN``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """A unary operation, currently ``NOT`` and numeric negation."""
+
+    op: str
+    operand: Expression
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A non-aggregating function call, e.g. ``id(n)`` or ``length(p)``."""
+
+    name: str
+    args: Tuple[Expression, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(arg) for arg in self.args)})"
+
+
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max", "collect")
+
+
+@dataclass(frozen=True)
+class Aggregate(Expression):
+    """An aggregation call such as ``count(DISTINCT m)`` or ``count(*)``.
+
+    ``argument`` is ``None`` for ``count(*)``.
+    """
+
+    func: str
+    argument: Optional[Expression]
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = "*" if self.argument is None else str(self.argument)
+        distinct = "DISTINCT " if self.distinct else ""
+        return f"{self.func}({distinct}{inner})"
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+class RelDirection(enum.Enum):
+    """Direction of a relationship pattern as written in the query."""
+
+    OUTGOING = "->"
+    INCOMING = "<-"
+    UNDIRECTED = "--"
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    """A node pattern ``(n:Label {prop: value})``.
+
+    Any component may be missing: the variable (anonymous node), the label, or
+    the inline property map.
+    """
+
+    variable: Optional[str] = None
+    labels: Tuple[str, ...] = ()
+    properties: Tuple[Tuple[str, Expression], ...] = ()
+
+    def __str__(self) -> str:
+        label_text = "".join(f":{label}" for label in self.labels)
+        props = ""
+        if self.properties:
+            inner = ", ".join(f"{key}: {value}" for key, value in self.properties)
+            props = " {" + inner + "}"
+        return f"({self.variable or ''}{label_text}{props})"
+
+
+@dataclass(frozen=True)
+class RelPattern:
+    """A relationship pattern ``-[r:TYPE*1..3 {prop: value}]->``.
+
+    ``min_hops`` / ``max_hops`` are ``None`` unless a variable-length star is
+    present; an unbounded star sets ``max_hops`` to ``None`` while
+    ``var_length`` is ``True``.
+    """
+
+    variable: Optional[str] = None
+    types: Tuple[str, ...] = ()
+    direction: RelDirection = RelDirection.OUTGOING
+    properties: Tuple[Tuple[str, Expression], ...] = ()
+    var_length: bool = False
+    min_hops: Optional[int] = None
+    max_hops: Optional[int] = None
+
+    def __str__(self) -> str:
+        type_text = "|".join(self.types)
+        if type_text:
+            type_text = ":" + type_text
+        star = ""
+        if self.var_length:
+            if self.min_hops is None and self.max_hops is None:
+                star = "*"
+            elif self.max_hops is None:
+                star = f"*{self.min_hops}.."
+            elif self.min_hops == self.max_hops:
+                star = f"*{self.min_hops}"
+            else:
+                star = f"*{self.min_hops}..{self.max_hops}"
+        body = f"[{self.variable or ''}{type_text}{star}]"
+        if self.direction is RelDirection.OUTGOING:
+            return f"-{body}->"
+        if self.direction is RelDirection.INCOMING:
+            return f"<-{body}-"
+        return f"-{body}-"
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """A linear path: node, (relationship, node)*, with an optional path name.
+
+    ``shortest`` marks ``shortestPath(...)`` / ``allShortestPaths(...)``
+    wrappers.
+    """
+
+    nodes: Tuple[NodePattern, ...]
+    relationships: Tuple[RelPattern, ...] = ()
+    path_variable: Optional[str] = None
+    shortest: bool = False
+    all_shortest: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.relationships) + 1:
+            raise ValueError(
+                "a path pattern must have exactly one more node than relationships"
+            )
+
+    def __str__(self) -> str:
+        parts = [str(self.nodes[0])]
+        for relationship, node in zip(self.relationships, self.nodes[1:]):
+            parts.append(str(relationship))
+            parts.append(str(node))
+        body = "".join(parts)
+        if self.shortest:
+            body = f"shortestPath({body})"
+        if self.path_variable:
+            return f"{self.path_variable} = {body}"
+        return body
+
+
+# ---------------------------------------------------------------------------
+# Clauses
+# ---------------------------------------------------------------------------
+
+
+class Clause:
+    """Base class for Cypher clauses (marker class)."""
+
+
+@dataclass(frozen=True)
+class MatchClause(Clause):
+    """``MATCH`` or ``OPTIONAL MATCH`` over one or more path patterns."""
+
+    patterns: Tuple[PathPattern, ...]
+    optional: bool = False
+    where: Optional[Expression] = None
+
+    def __str__(self) -> str:
+        keyword = "OPTIONAL MATCH" if self.optional else "MATCH"
+        text = f"{keyword} " + ", ".join(str(pattern) for pattern in self.patterns)
+        if self.where is not None:
+            text += f" WHERE {self.where}"
+        return text
+
+
+@dataclass(frozen=True)
+class WhereClause(Clause):
+    """A standalone ``WHERE`` clause (attached to the preceding MATCH/WITH)."""
+
+    condition: Expression
+
+    def __str__(self) -> str:
+        return f"WHERE {self.condition}"
+
+
+@dataclass(frozen=True)
+class ReturnItem:
+    """A single projection item ``expression [AS alias]``."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+    def output_name(self) -> str:
+        """Return the column name this item produces."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, Variable):
+            return self.expression.name
+        if isinstance(self.expression, PropertyAccess):
+            return self.expression.property_name
+        return str(self.expression)
+
+    def __str__(self) -> str:
+        if self.alias:
+            return f"{self.expression} AS {self.alias}"
+        return str(self.expression)
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """An ``ORDER BY`` key with sort direction."""
+
+    expression: Expression
+    ascending: bool = True
+
+    def __str__(self) -> str:
+        suffix = "" if self.ascending else " DESC"
+        return f"{self.expression}{suffix}"
+
+
+@dataclass(frozen=True)
+class ReturnClause(Clause):
+    """``RETURN [DISTINCT] items [ORDER BY ...] [SKIP n] [LIMIT n]``."""
+
+    items: Tuple[ReturnItem, ...]
+    distinct: bool = False
+    order_by: Tuple[OrderItem, ...] = ()
+    skip: Optional[int] = None
+    limit: Optional[int] = None
+
+    def __str__(self) -> str:
+        distinct = "DISTINCT " if self.distinct else ""
+        text = f"RETURN {distinct}" + ", ".join(str(item) for item in self.items)
+        if self.order_by:
+            text += " ORDER BY " + ", ".join(str(item) for item in self.order_by)
+        if self.skip is not None:
+            text += f" SKIP {self.skip}"
+        if self.limit is not None:
+            text += f" LIMIT {self.limit}"
+        return text
+
+
+@dataclass(frozen=True)
+class WithClause(Clause):
+    """``WITH [DISTINCT] items [WHERE ...]`` -- the pipeline chaining clause."""
+
+    items: Tuple[ReturnItem, ...]
+    distinct: bool = False
+    where: Optional[Expression] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    skip: Optional[int] = None
+    limit: Optional[int] = None
+
+    def __str__(self) -> str:
+        distinct = "DISTINCT " if self.distinct else ""
+        text = f"WITH {distinct}" + ", ".join(str(item) for item in self.items)
+        if self.order_by:
+            text += " ORDER BY " + ", ".join(str(item) for item in self.order_by)
+        if self.where is not None:
+            text += f" WHERE {self.where}"
+        if self.skip is not None:
+            text += f" SKIP {self.skip}"
+        if self.limit is not None:
+            text += f" LIMIT {self.limit}"
+        return text
+
+
+@dataclass(frozen=True)
+class UnwindClause(Clause):
+    """``UNWIND expression AS variable``."""
+
+    expression: Expression
+    variable: str
+
+    def __str__(self) -> str:
+        return f"UNWIND {self.expression} AS {self.variable}"
+
+
+@dataclass
+class CypherQuery:
+    """A full (single) Cypher read query: an ordered sequence of clauses."""
+
+    clauses: List[Clause] = field(default_factory=list)
+
+    def return_clause(self) -> ReturnClause:
+        """Return the final ``RETURN`` clause; every read query must have one."""
+        for clause in reversed(self.clauses):
+            if isinstance(clause, ReturnClause):
+                return clause
+        raise ValueError("query has no RETURN clause")
+
+    def match_clauses(self) -> List[MatchClause]:
+        """Return every MATCH clause in order."""
+        return [clause for clause in self.clauses if isinstance(clause, MatchClause)]
+
+    def __str__(self) -> str:
+        return "\n".join(str(clause) for clause in self.clauses)

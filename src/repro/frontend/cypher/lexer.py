@@ -1,0 +1,186 @@
+"""Tokenizer for the Cypher subset.
+
+The lexer is a small regex-driven scanner that produces a flat list of
+:class:`Token` objects with source locations, which the recursive-descent
+parser consumes.  Keywords are recognised case-insensitively, as in Cypher.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.common.errors import ParseError
+from repro.common.location import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories produced by :class:`CypherLexer`."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    PARAMETER = "parameter"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "MATCH",
+    "OPTIONAL",
+    "WHERE",
+    "RETURN",
+    "WITH",
+    "UNWIND",
+    "AS",
+    "DISTINCT",
+    "ORDER",
+    "BY",
+    "ASC",
+    "ASCENDING",
+    "DESC",
+    "DESCENDING",
+    "SKIP",
+    "LIMIT",
+    "AND",
+    "OR",
+    "XOR",
+    "NOT",
+    "IN",
+    "IS",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "STARTS",
+    "ENDS",
+    "CONTAINS",
+}
+
+# Multi-character punctuation must precede single-character alternatives.
+_PUNCTUATION = [
+    "<=",
+    ">=",
+    "<>",
+    "!=",
+    "->",
+    "<-",
+    "..",
+    "=",
+    "<",
+    ">",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ":",
+    ".",
+    "-",
+    "+",
+    "*",
+    "/",
+    "%",
+    "|",
+    "$",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<float>\d+\.\d+([eE][+-]?\d+)?)
+  | (?P<integer>\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<identifier>`[^`]+`|[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<punct>""" + "|".join(re.escape(p) for p in _PUNCTUATION) + r""")
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    kind: TokenKind
+    text: str
+    value: Union[int, float, str, None]
+    location: SourceLocation
+
+    def is_keyword(self, *keywords: str) -> bool:
+        """Return whether this token is one of the given keywords."""
+        return self.kind is TokenKind.KEYWORD and self.text.upper() in {
+            keyword.upper() for keyword in keywords
+        }
+
+    def is_punct(self, *symbols: str) -> bool:
+        """Return whether this token is one of the given punctuation symbols."""
+        return self.kind is TokenKind.PUNCT and self.text in symbols
+
+
+def _unescape(text: str) -> str:
+    body = text[1:-1]
+    return (
+        body.replace("\\'", "'")
+        .replace('\\"', '"')
+        .replace("\\n", "\n")
+        .replace("\\t", "\t")
+        .replace("\\\\", "\\")
+    )
+
+
+class CypherLexer:
+    """Tokenize Cypher text into a list of :class:`Token` objects."""
+
+    def __init__(self, text: str, source_name: str = "cypher") -> None:
+        self._text = text
+        self._source_name = source_name
+
+    def tokenize(self) -> List[Token]:
+        """Return the token list, ending with a single EOF token."""
+        tokens: List[Token] = []
+        location = SourceLocation(1, 1)
+        position = 0
+        text = self._text
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                raise ParseError(
+                    f"unexpected character {text[position]!r}",
+                    location,
+                    self._source_name,
+                )
+            group = match.lastgroup or ""
+            lexeme = match.group()
+            if group not in ("ws", "comment"):
+                tokens.append(self._make_token(group, lexeme, location))
+            location = location.advanced(lexeme)
+            position = match.end()
+        tokens.append(Token(TokenKind.EOF, "", None, location))
+        return tokens
+
+    def _make_token(self, group: str, lexeme: str, location: SourceLocation) -> Token:
+        if group == "float":
+            return Token(TokenKind.FLOAT, lexeme, float(lexeme), location)
+        if group == "integer":
+            return Token(TokenKind.INTEGER, lexeme, int(lexeme), location)
+        if group == "string":
+            return Token(TokenKind.STRING, lexeme, _unescape(lexeme), location)
+        if group == "identifier":
+            if lexeme.startswith("`"):
+                return Token(TokenKind.IDENTIFIER, lexeme[1:-1], lexeme[1:-1], location)
+            if lexeme.upper() in KEYWORDS:
+                return Token(TokenKind.KEYWORD, lexeme, lexeme.upper(), location)
+            return Token(TokenKind.IDENTIFIER, lexeme, lexeme, location)
+        return Token(TokenKind.PUNCT, lexeme, lexeme, location)
+
+
+def tokenize_cypher(text: str, source_name: str = "cypher") -> List[Token]:
+    """Convenience wrapper: tokenize ``text`` and return the token list."""
+    return CypherLexer(text, source_name).tokenize()

@@ -1,0 +1,540 @@
+"""Recursive-descent parser for the Cypher subset.
+
+The grammar mirrors openCypher's read-query core.  Operator precedence for
+expressions (loosest to tightest) is::
+
+    OR  <  XOR  <  AND  <  NOT  <  comparison / IN / IS NULL
+        <  + -  <  * / %  <  unary -  <  property access / calls  <  primary
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ParseError
+from repro.frontend.cypher.ast import (
+    AGGREGATE_FUNCTIONS,
+    Aggregate,
+    BinaryOp,
+    Clause,
+    CypherQuery,
+    Expression,
+    FunctionCall,
+    ListLiteral,
+    Literal,
+    MatchClause,
+    NodePattern,
+    OrderItem,
+    Parameter,
+    PathPattern,
+    PropertyAccess,
+    RelDirection,
+    RelPattern,
+    ReturnClause,
+    ReturnItem,
+    UnaryOp,
+    UnwindClause,
+    Variable,
+    WhereClause,
+    WithClause,
+)
+from repro.frontend.cypher.lexer import Token, TokenKind, tokenize_cypher
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", ">", "<=", ">="}
+
+
+class CypherParser:
+    """Parse a token stream into a :class:`CypherQuery`."""
+
+    def __init__(self, tokens: List[Token], source_name: str = "cypher") -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._source_name = source_name
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        token = token or self._peek()
+        return ParseError(message, token.location, self._source_name)
+
+    def _expect_punct(self, symbol: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(symbol):
+            raise self._error(f"expected {symbol!r} but found {token.text!r}")
+        return self._advance()
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(keyword):
+            raise self._error(f"expected {keyword!r} but found {token.text!r}")
+        return self._advance()
+
+    def _expect_identifier(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENTIFIER:
+            raise self._error(f"expected identifier but found {token.text!r}")
+        return self._advance()
+
+    def _accept_punct(self, symbol: str) -> bool:
+        if self._peek().is_punct(symbol):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, keyword: str) -> bool:
+        if self._peek().is_keyword(keyword):
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Query and clauses
+    # ------------------------------------------------------------------
+
+    def parse_query(self) -> CypherQuery:
+        """Parse a full read query and require the input to be fully consumed."""
+        clauses: List[Clause] = []
+        while self._peek().kind is not TokenKind.EOF:
+            clauses.append(self._parse_clause())
+        if not clauses:
+            raise self._error("empty query")
+        query = CypherQuery(clauses=clauses)
+        query.return_clause()  # validates that a RETURN is present
+        return query
+
+    def _parse_clause(self) -> Clause:
+        token = self._peek()
+        if token.is_keyword("OPTIONAL"):
+            self._advance()
+            self._expect_keyword("MATCH")
+            return self._parse_match(optional=True)
+        if token.is_keyword("MATCH"):
+            self._advance()
+            return self._parse_match(optional=False)
+        if token.is_keyword("WHERE"):
+            self._advance()
+            return WhereClause(condition=self._parse_expression())
+        if token.is_keyword("RETURN"):
+            self._advance()
+            return self._parse_return()
+        if token.is_keyword("WITH"):
+            self._advance()
+            return self._parse_with()
+        if token.is_keyword("UNWIND"):
+            self._advance()
+            return self._parse_unwind()
+        raise self._error(f"unexpected token {token.text!r} at start of clause")
+
+    def _parse_match(self, optional: bool) -> MatchClause:
+        patterns = [self._parse_path_pattern()]
+        while self._accept_punct(","):
+            patterns.append(self._parse_path_pattern())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expression()
+        return MatchClause(patterns=tuple(patterns), optional=optional, where=where)
+
+    def _parse_return(self) -> ReturnClause:
+        distinct = self._accept_keyword("DISTINCT")
+        items = self._parse_return_items()
+        order_by, skip, limit = self._parse_trailer()
+        return ReturnClause(
+            items=tuple(items),
+            distinct=distinct,
+            order_by=tuple(order_by),
+            skip=skip,
+            limit=limit,
+        )
+
+    def _parse_with(self) -> WithClause:
+        distinct = self._accept_keyword("DISTINCT")
+        items = self._parse_return_items()
+        order_by, skip, limit = self._parse_trailer()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expression()
+        return WithClause(
+            items=tuple(items),
+            distinct=distinct,
+            where=where,
+            order_by=tuple(order_by),
+            skip=skip,
+            limit=limit,
+        )
+
+    def _parse_unwind(self) -> UnwindClause:
+        expression = self._parse_expression()
+        self._expect_keyword("AS")
+        variable = self._expect_identifier().text
+        return UnwindClause(expression=expression, variable=variable)
+
+    def _parse_return_items(self) -> List[ReturnItem]:
+        items = [self._parse_return_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_return_item())
+        return items
+
+    def _parse_return_item(self) -> ReturnItem:
+        expression = self._parse_expression()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier().text
+        return ReturnItem(expression=expression, alias=alias)
+
+    def _parse_trailer(self) -> Tuple[List[OrderItem], Optional[int], Optional[int]]:
+        order_by: List[OrderItem] = []
+        skip: Optional[int] = None
+        limit: Optional[int] = None
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept_punct(","):
+                order_by.append(self._parse_order_item())
+        if self._accept_keyword("SKIP"):
+            skip = self._parse_integer_literal()
+        if self._accept_keyword("LIMIT"):
+            limit = self._parse_integer_literal()
+        return order_by, skip, limit
+
+    def _parse_order_item(self) -> OrderItem:
+        expression = self._parse_expression()
+        ascending = True
+        if self._accept_keyword("DESC") or self._accept_keyword("DESCENDING"):
+            ascending = False
+        else:
+            if self._accept_keyword("ASC"):
+                ascending = True
+            elif self._accept_keyword("ASCENDING"):
+                ascending = True
+        return OrderItem(expression=expression, ascending=ascending)
+
+    def _parse_integer_literal(self) -> int:
+        token = self._peek()
+        if token.kind is not TokenKind.INTEGER:
+            raise self._error(f"expected integer but found {token.text!r}")
+        self._advance()
+        return int(token.value)
+
+    # ------------------------------------------------------------------
+    # Patterns
+    # ------------------------------------------------------------------
+
+    def _parse_path_pattern(self) -> PathPattern:
+        path_variable = None
+        if (
+            self._peek().kind is TokenKind.IDENTIFIER
+            and self._peek(1).is_punct("=")
+            and not self._peek(2).is_punct("=")
+        ):
+            path_variable = self._advance().text
+            self._expect_punct("=")
+        shortest = False
+        all_shortest = False
+        if self._peek().kind is TokenKind.IDENTIFIER and self._peek().text in (
+            "shortestPath",
+            "allShortestPaths",
+        ):
+            shortest = True
+            all_shortest = self._advance().text == "allShortestPaths"
+            self._expect_punct("(")
+            pattern = self._parse_pattern_element()
+            self._expect_punct(")")
+        else:
+            pattern = self._parse_pattern_element()
+        nodes, relationships = pattern
+        return PathPattern(
+            nodes=tuple(nodes),
+            relationships=tuple(relationships),
+            path_variable=path_variable,
+            shortest=shortest,
+            all_shortest=all_shortest,
+        )
+
+    def _parse_pattern_element(self) -> Tuple[List[NodePattern], List[RelPattern]]:
+        nodes = [self._parse_node_pattern()]
+        relationships: List[RelPattern] = []
+        while self._peek().is_punct("-", "<-"):
+            relationships.append(self._parse_rel_pattern())
+            nodes.append(self._parse_node_pattern())
+        return nodes, relationships
+
+    def _parse_node_pattern(self) -> NodePattern:
+        self._expect_punct("(")
+        variable = None
+        labels: List[str] = []
+        properties: Tuple[Tuple[str, Expression], ...] = ()
+        if self._peek().kind is TokenKind.IDENTIFIER:
+            variable = self._advance().text
+        while self._accept_punct(":"):
+            labels.append(self._expect_identifier().text)
+        if self._peek().is_punct("{"):
+            properties = self._parse_property_map()
+        self._expect_punct(")")
+        return NodePattern(
+            variable=variable, labels=tuple(labels), properties=properties
+        )
+
+    def _parse_rel_pattern(self) -> RelPattern:
+        token = self._peek()
+        incoming_start = False
+        if token.is_punct("<-"):
+            incoming_start = True
+            self._advance()
+        else:
+            self._expect_punct("-")
+        variable = None
+        types: List[str] = []
+        properties: Tuple[Tuple[str, Expression], ...] = ()
+        var_length = False
+        min_hops: Optional[int] = None
+        max_hops: Optional[int] = None
+        if self._accept_punct("["):
+            if self._peek().kind is TokenKind.IDENTIFIER:
+                variable = self._advance().text
+            if self._accept_punct(":"):
+                types.append(self._expect_identifier().text)
+                while self._accept_punct("|"):
+                    self._accept_punct(":")
+                    types.append(self._expect_identifier().text)
+            if self._accept_punct("*"):
+                var_length = True
+                min_hops, max_hops = self._parse_var_length_bounds()
+            if self._peek().is_punct("{"):
+                properties = self._parse_property_map()
+            self._expect_punct("]")
+        # Closing arrow
+        closing = self._peek()
+        if closing.is_punct("->"):
+            self._advance()
+            direction = RelDirection.OUTGOING
+        elif closing.is_punct("-"):
+            self._advance()
+            direction = RelDirection.UNDIRECTED
+        else:
+            raise self._error(f"expected '->' or '-' but found {closing.text!r}")
+        if incoming_start:
+            if direction is RelDirection.OUTGOING:
+                raise self._error("relationship pattern cannot point both ways")
+            direction = RelDirection.INCOMING
+        return RelPattern(
+            variable=variable,
+            types=tuple(types),
+            direction=direction,
+            properties=properties,
+            var_length=var_length,
+            min_hops=min_hops,
+            max_hops=max_hops,
+        )
+
+    def _parse_var_length_bounds(self) -> Tuple[Optional[int], Optional[int]]:
+        min_hops: Optional[int] = None
+        max_hops: Optional[int] = None
+        if self._peek().kind is TokenKind.INTEGER:
+            min_hops = int(self._advance().value)
+            if self._accept_punct(".."):
+                if self._peek().kind is TokenKind.INTEGER:
+                    max_hops = int(self._advance().value)
+            else:
+                max_hops = min_hops
+        elif self._accept_punct(".."):
+            if self._peek().kind is TokenKind.INTEGER:
+                max_hops = int(self._advance().value)
+        return min_hops, max_hops
+
+    def _parse_property_map(self) -> Tuple[Tuple[str, Expression], ...]:
+        self._expect_punct("{")
+        entries: List[Tuple[str, Expression]] = []
+        while not self._peek().is_punct("}"):
+            key_token = self._peek()
+            if key_token.kind not in (TokenKind.IDENTIFIER, TokenKind.KEYWORD):
+                raise self._error(f"expected property name but found {key_token.text!r}")
+            self._advance()
+            self._expect_punct(":")
+            entries.append((key_token.text, self._parse_expression()))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct("}")
+        return tuple(entries)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_xor()
+        while self._accept_keyword("OR"):
+            left = BinaryOp("OR", left, self._parse_xor())
+        return left
+
+    def _parse_xor(self) -> Expression:
+        left = self._parse_and()
+        while self._accept_keyword("XOR"):
+            left = BinaryOp("XOR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            left = BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self._accept_keyword("NOT"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.text in _COMPARISON_OPS:
+            self._advance()
+            op = "<>" if token.text == "!=" else token.text
+            return BinaryOp(op, left, self._parse_additive())
+        if token.is_keyword("IN"):
+            self._advance()
+            return BinaryOp("IN", left, self._parse_additive())
+        if token.is_keyword("STARTS"):
+            self._advance()
+            self._expect_keyword("WITH")
+            return BinaryOp("STARTS WITH", left, self._parse_additive())
+        if token.is_keyword("ENDS"):
+            self._advance()
+            self._expect_keyword("WITH")
+            return BinaryOp("ENDS WITH", left, self._parse_additive())
+        if token.is_keyword("CONTAINS"):
+            self._advance()
+            return BinaryOp("CONTAINS", left, self._parse_additive())
+        if token.is_keyword("IS"):
+            self._advance()
+            negated = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            op = "IS NOT NULL" if negated else "IS NULL"
+            return UnaryOp(op, left)
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while self._peek().is_punct("+", "-"):
+            op = self._advance().text
+            left = BinaryOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while self._peek().is_punct("*", "/", "%"):
+            op = self._advance().text
+            left = BinaryOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expression:
+        if self._accept_punct("-"):
+            operand = self._parse_unary()
+            if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
+                return Literal(-operand.value)
+            return UnaryOp("-", operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expression:
+        expression = self._parse_primary()
+        while self._peek().is_punct("."):
+            self._advance()
+            name_token = self._peek()
+            if name_token.kind not in (TokenKind.IDENTIFIER, TokenKind.KEYWORD):
+                raise self._error(
+                    f"expected property name but found {name_token.text!r}"
+                )
+            self._advance()
+            expression = PropertyAccess(expression, name_token.text)
+        return expression
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+        if token.kind is TokenKind.INTEGER:
+            self._advance()
+            return Literal(int(token.value))
+        if token.kind is TokenKind.FLOAT:
+            self._advance()
+            return Literal(float(token.value))
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return Literal(str(token.value))
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return Literal(False)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return Literal(None)
+        if token.is_punct("$"):
+            self._advance()
+            name = self._expect_identifier().text
+            return Parameter(name)
+        if token.is_punct("("):
+            self._advance()
+            expression = self._parse_expression()
+            self._expect_punct(")")
+            return expression
+        if token.is_punct("["):
+            return self._parse_list_literal()
+        if token.kind is TokenKind.IDENTIFIER:
+            if self._peek(1).is_punct("("):
+                return self._parse_call()
+            self._advance()
+            return Variable(token.text)
+        if token.kind is TokenKind.KEYWORD and self._peek(1).is_punct("("):
+            # Aggregates such as COUNT are keywords in some dialects; accept them.
+            return self._parse_call()
+        raise self._error(f"unexpected token {token.text!r} in expression")
+
+    def _parse_list_literal(self) -> Expression:
+        self._expect_punct("[")
+        items: List[Expression] = []
+        while not self._peek().is_punct("]"):
+            items.append(self._parse_expression())
+            if not self._accept_punct(","):
+                break
+        self._expect_punct("]")
+        return ListLiteral(tuple(items))
+
+    def _parse_call(self) -> Expression:
+        name_token = self._advance()
+        name = name_token.text
+        self._expect_punct("(")
+        if name.lower() in AGGREGATE_FUNCTIONS:
+            distinct = self._accept_keyword("DISTINCT")
+            if self._accept_punct("*"):
+                self._expect_punct(")")
+                return Aggregate(func=name.lower(), argument=None, distinct=distinct)
+            argument = self._parse_expression()
+            self._expect_punct(")")
+            return Aggregate(func=name.lower(), argument=argument, distinct=distinct)
+        args: List[Expression] = []
+        while not self._peek().is_punct(")"):
+            args.append(self._parse_expression())
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return FunctionCall(name=name, args=tuple(args))
+
+
+def parse_cypher(text: str, source_name: str = "cypher") -> CypherQuery:
+    """Parse Cypher ``text`` into a :class:`CypherQuery` AST."""
+    tokens = tokenize_cypher(text, source_name)
+    return CypherParser(tokens, source_name).parse_query()

@@ -1,0 +1,5 @@
+"""Datalog (Soufflé-dialect) frontend: parse Datalog text into DLIR."""
+
+from repro.frontend.datalog.parser import parse_datalog
+
+__all__ = ["parse_datalog"]

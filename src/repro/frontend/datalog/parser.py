@@ -1,0 +1,293 @@
+"""Parser for the Soufflé-dialect Datalog accepted by Raqlet.
+
+Supported constructs (the subset Raqlet itself emits, plus ground facts):
+
+* ``.decl Name(col:type, ...)`` declarations (types ``number``, ``symbol``,
+  ``float``, plus ``unsigned`` treated as ``number``),
+* ``.input Name`` / ``.output Name`` directives,
+* rules ``Head(t, ...) :- Lit, ..., Lit.`` with positive atoms, negated atoms
+  (``!Atom``), comparisons (``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``) and
+  arithmetic in comparison operands and head arguments,
+* ground facts ``Name(1, "x").``,
+* ``//`` line comments.
+
+Aggregates and components are not part of this frontend subset; programs that
+need aggregation are built through the Cypher pipeline or the
+:class:`~repro.dlir.builder.ProgramBuilder`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ParseError
+from repro.common.location import SourceLocation
+from repro.dlir.core import (
+    ArithExpr,
+    Atom,
+    Comparison,
+    Const,
+    DLIRProgram,
+    Literal,
+    NegatedAtom,
+    Rule,
+    Term,
+    Var,
+    Wildcard,
+)
+from repro.schema.dl_schema import DLColumn, DLRelation, DLType
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|\#[^\n]*)
+  | (?P<directive>\.[A-Za-z_]+)
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<turnstile>:-)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[(),.!_:])
+  | (?P<arith>[+\-*/%])
+  | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    location: SourceLocation
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    location = SourceLocation(1, 1)
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r}", location, "datalog"
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind not in ("ws", "comment"):
+            token_kind = value if kind in ("punct",) else kind
+            tokens.append(_Token(token_kind, value, location))
+        location = location.advanced(value)
+        position = match.end()
+    tokens.append(_Token("eof", "", location))
+    return tokens
+
+
+_TYPE_ALIASES = {
+    "number": DLType.NUMBER,
+    "unsigned": DLType.NUMBER,
+    "symbol": DLType.SYMBOL,
+    "float": DLType.FLOAT,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._program = DLIRProgram()
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> _Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind!r} but found {token.text or 'end of input'!r}",
+                token.location,
+                "datalog",
+            )
+        return self._advance()
+
+    def _accept(self, kind: str) -> bool:
+        if self._peek().kind == kind:
+            self._advance()
+            return True
+        return False
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> DLIRProgram:
+        while self._peek().kind != "eof":
+            token = self._peek()
+            if token.kind == "directive":
+                self._parse_directive()
+            elif token.kind == "word":
+                self._parse_clause()
+            else:
+                raise ParseError(
+                    f"unexpected token {token.text!r}", token.location, "datalog"
+                )
+        return self._program
+
+    def _parse_directive(self) -> None:
+        directive = self._advance().text
+        if directive == ".decl":
+            self._parse_decl()
+        elif directive == ".input":
+            name = self._expect("word").text
+            if name not in self._program.inputs:
+                self._program.inputs.append(name)
+        elif directive == ".output":
+            name = self._expect("word").text
+            self._program.add_output(name)
+        else:
+            raise ParseError(f"unsupported directive {directive!r}")
+
+    def _parse_decl(self) -> None:
+        name = self._expect("word").text
+        self._expect("(")
+        columns: List[DLColumn] = []
+        while not self._peek().kind == ")":
+            column_name = self._expect("word").text
+            self._expect_op(":")
+            type_name = self._expect("word").text
+            dl_type = _TYPE_ALIASES.get(type_name)
+            if dl_type is None:
+                raise ParseError(f"unknown column type {type_name!r}")
+            columns.append(DLColumn(column_name, dl_type))
+            if not self._accept(","):
+                break
+        self._expect(")")
+        is_edb = True  # refined after rules are parsed
+        self._program.declare(DLRelation(name=name, columns=tuple(columns), is_edb=is_edb))
+
+    def _expect_op(self, op: str) -> None:
+        token = self._peek()
+        # ':' appears inside declarations; it is tokenised as part of ':-' only
+        # when followed by '-', otherwise the regex above does not emit it, so
+        # we accept the word boundary here by checking the raw text.
+        if token.kind == "op" and token.text == op:
+            self._advance()
+            return
+        if token.text == op:
+            self._advance()
+            return
+        raise ParseError(f"expected {op!r} but found {token.text!r}", token.location, "datalog")
+
+    def _parse_clause(self) -> None:
+        head = self._parse_atom()
+        if self._accept("."):
+            if all(isinstance(term, Const) for term in head.terms):
+                self._program.add_fact(
+                    head.relation, tuple(term.value for term in head.terms)  # type: ignore[union-attr]
+                )
+            else:
+                self._program.add_rule(Rule(head=head, body=()))
+            return
+        self._expect("turnstile")
+        body: List[Literal] = []
+        while True:
+            body.append(self._parse_literal())
+            if self._accept(","):
+                continue
+            break
+        self._expect(".")
+        self._program.add_rule(Rule(head=head, body=tuple(body)))
+        declaration = self._program.schema.maybe_get(head.relation)
+        if declaration is not None and declaration.is_edb:
+            self._program.schema.relations[head.relation] = DLRelation(
+                name=declaration.name, columns=declaration.columns, is_edb=False
+            )
+
+    def _parse_literal(self) -> Literal:
+        if self._accept("!"):
+            return NegatedAtom(self._parse_atom())
+        # Comparison or atom: an atom starts with word followed by '('.
+        if self._peek().kind == "word" and self._peek(1).kind == "(":
+            return self._parse_atom()
+        left = self._parse_term()
+        op_token = self._peek()
+        if op_token.kind != "op":
+            raise ParseError(
+                f"expected comparison operator but found {op_token.text!r}",
+                op_token.location,
+                "datalog",
+            )
+        self._advance()
+        op = "<>" if op_token.text == "!=" else op_token.text
+        right = self._parse_term()
+        return Comparison(op, left, right)
+
+    def _parse_atom(self) -> Atom:
+        name = self._expect("word").text
+        self._expect("(")
+        terms: List[Term] = []
+        while self._peek().kind != ")":
+            terms.append(self._parse_term())
+            if not self._accept(","):
+                break
+        self._expect(")")
+        return Atom(name, tuple(terms))
+
+    def _parse_term(self) -> Term:
+        term = self._parse_simple_term()
+        while self._peek().kind == "arith":
+            op = self._advance().text
+            right = self._parse_simple_term()
+            term = ArithExpr(op, term, right)
+        return term
+
+    def _parse_simple_term(self) -> Term:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            if "." in token.text:
+                return Const(float(token.text))
+            return Const(int(token.text))
+        if token.kind == "string":
+            self._advance()
+            return Const(token.text[1:-1].replace('\\"', '"').replace("\\\\", "\\"))
+        if token.kind == "_":
+            self._advance()
+            return Wildcard()
+        if token.kind == "(":
+            self._advance()
+            term = self._parse_term()
+            self._expect(")")
+            return term
+        if token.kind == "word":
+            self._advance()
+            return Var(token.text)
+        raise ParseError(
+            f"unexpected token {token.text!r} in term position", token.location, "datalog"
+        )
+
+
+def parse_datalog(text: str, schema=None) -> DLIRProgram:
+    """Parse Soufflé-dialect Datalog ``text`` into a :class:`DLIRProgram`.
+
+    ``schema`` optionally supplies a :class:`~repro.schema.dl_schema.DLSchema`
+    of externally defined (EDB) relations -- typically the DL-Schema derived
+    from a PG-Schema -- so that programs can reference the graph relations
+    without re-declaring them.
+    """
+    program = _Parser(_tokenize(text)).parse()
+    if schema is not None:
+        for relation in schema:
+            if relation.name not in program.schema:
+                program.schema.add(relation)
+    problems = program.validate()
+    if problems:
+        raise ParseError("invalid Datalog program: " + "; ".join(problems))
+    return program

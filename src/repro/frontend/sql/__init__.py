@@ -1,0 +1,11 @@
+"""SQL frontend: parse recursive SQL (``WITH [RECURSIVE]``) into SQIR.
+
+The paper's Figure 1 lists a SQL parser as planned future work; this
+reproduction implements it for the subset Raqlet itself generates (and the
+common hand-written recursive-CTE style), closing the loop SQL -> SQIR ->
+DLIR -> {Datalog, SQL}.
+"""
+
+from repro.frontend.sql.parser import parse_sql
+
+__all__ = ["parse_sql"]

@@ -1,0 +1,46 @@
+"""LDBC Social Network Benchmark (SNB) substrate.
+
+The paper evaluates Raqlet on the LDBC SNB interactive workload (SF10).  The
+official datasets and data generator are not available offline, so this
+package provides:
+
+* :mod:`repro.ldbc.schema` -- an SNB-shaped PG-Schema (Person, City, Country,
+  Tag, Forum, Message node types and the interactive-workload edge types),
+* :mod:`repro.ldbc.generator` -- a deterministic synthetic data generator
+  parameterised by a scale knob, producing facts keyed by DL-Schema relation
+  names (so every engine sees the same data),
+* :mod:`repro.ldbc.queries` -- the Cypher text of the queries used in the
+  paper's Table 1 (short query 1, complex query 2) plus recursion-exercising
+  extras (friend reachability, friends-of-friends, shortest path),
+* :mod:`repro.ldbc.dataset` -- loaders that materialise one generated dataset
+  into every execution engine.
+"""
+
+from repro.ldbc.schema import snb_pg_schema, snb_schema_mapping
+from repro.ldbc.generator import SNBDataset, generate_snb_dataset
+from repro.ldbc.queries import (
+    COMPLEX_QUERY_2,
+    FRIENDS_OF_FRIENDS,
+    FRIEND_REACHABILITY,
+    SHORT_QUERY_1,
+    SHORTEST_PATH_QUERY,
+    complex_query_2,
+    short_query_1,
+)
+from repro.ldbc.dataset import LoadedDataset, load_dataset
+
+__all__ = [
+    "snb_pg_schema",
+    "snb_schema_mapping",
+    "SNBDataset",
+    "generate_snb_dataset",
+    "SHORT_QUERY_1",
+    "COMPLEX_QUERY_2",
+    "FRIEND_REACHABILITY",
+    "FRIENDS_OF_FRIENDS",
+    "SHORTEST_PATH_QUERY",
+    "short_query_1",
+    "complex_query_2",
+    "LoadedDataset",
+    "load_dataset",
+]

@@ -1,0 +1,78 @@
+"""Load one generated SNB dataset into every execution engine.
+
+:func:`load_dataset` materialises a :class:`~repro.ldbc.generator.SNBDataset`
+into the shapes the four engines consume:
+
+* the raw fact dictionary (Datalog engine),
+* a relational :class:`~repro.engines.relational.table.Database`,
+* a :class:`~repro.engines.graph.store.PropertyGraph`,
+* a loaded :class:`~repro.engines.sqlite_exec.SQLiteExecutor`.
+
+Loading is lazy per engine so that benchmarks only pay for the engines they
+actually use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.engines.graph.loader import facts_to_property_graph
+from repro.engines.graph.store import PropertyGraph
+from repro.engines.relational.table import Database
+from repro.engines.sqlite_exec import SQLiteExecutor
+from repro.ldbc.generator import SNBDataset, generate_snb_dataset
+from repro.ldbc.schema import snb_schema_mapping
+from repro.schema.translate import SchemaMapping
+
+
+@dataclass
+class LoadedDataset:
+    """A generated dataset plus lazily-built per-engine materialisations."""
+
+    dataset: SNBDataset
+    mapping: SchemaMapping
+    _database: Optional[Database] = field(default=None, repr=False)
+    _graph: Optional[PropertyGraph] = field(default=None, repr=False)
+    _sqlite: Optional[SQLiteExecutor] = field(default=None, repr=False)
+
+    @property
+    def facts(self) -> Dict[str, List[Tuple]]:
+        """Return the raw facts (the Datalog engine's input)."""
+        return self.dataset.facts
+
+    def relational_database(self) -> Database:
+        """Return (building on first use) the relational engine database."""
+        if self._database is None:
+            database = Database()
+            for relation in self.mapping.dl_schema.edb_relations():
+                database.create_table(relation.name, relation.column_names())
+                database.insert_many(relation.name, self.dataset.relation(relation.name))
+            self._database = database
+        return self._database
+
+    def property_graph(self) -> PropertyGraph:
+        """Return (building on first use) the property graph."""
+        if self._graph is None:
+            self._graph = facts_to_property_graph(self.dataset.facts, self.mapping)
+        return self._graph
+
+    def sqlite_executor(self) -> SQLiteExecutor:
+        """Return (building on first use) a loaded, indexed SQLite executor."""
+        if self._sqlite is None:
+            executor = SQLiteExecutor(self.mapping.dl_schema, self.dataset.facts)
+            executor.create_indexes()
+            self._sqlite = executor
+        return self._sqlite
+
+    def close(self) -> None:
+        """Release the SQLite connection if one was opened."""
+        if self._sqlite is not None:
+            self._sqlite.close()
+            self._sqlite = None
+
+
+def load_dataset(scale_persons: int = 200, seed: int = 42) -> LoadedDataset:
+    """Generate an SNB dataset and wrap it for multi-engine loading."""
+    dataset = generate_snb_dataset(scale_persons=scale_persons, seed=seed)
+    return LoadedDataset(dataset=dataset, mapping=snb_schema_mapping())

@@ -1,0 +1,244 @@
+"""Deterministic synthetic SNB data generator.
+
+The official LDBC data generator (and its SF10 output) is not available
+offline, so this module produces an SNB-shaped dataset with the structural
+features the reproduced queries care about:
+
+* a skewed ``knows`` friendship graph (preferential attachment) so that
+  2-hop and reachability queries have non-trivial fan-out,
+* every person located in a city, cities grouped into countries,
+* a per-person stream of messages with creation dates, so date-filtered
+  queries (complex query 2) select a meaningful subset,
+* tags, forums, likes and reply edges to fill out the interactive schema.
+
+The generator is fully deterministic for a given ``(scale_persons, seed)``
+pair; every engine loads exactly the same facts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+FIRST_NAMES = [
+    "Jan", "Maria", "Chen", "Amir", "Youning", "Meisam", "Jazal", "Anna",
+    "Carlos", "Wei", "Otto", "Ines", "Rahul", "Yuki", "Lena", "Omar",
+    "Priya", "Ivan", "Sara", "Mohamed", "Elena", "Jack", "Aisha", "Bruno",
+]
+LAST_NAMES = [
+    "Smith", "Mueller", "Zhang", "Shaikhha", "Xia", "Tarabkhah", "Saleem",
+    "Herlihy", "Garcia", "Wang", "Schmidt", "Silva", "Kumar", "Tanaka",
+    "Novak", "Hassan", "Patel", "Petrov", "Johansson", "Ali", "Rossi",
+    "Brown", "Diallo", "Costa",
+]
+CITY_NAMES = [
+    "Edinburgh", "Lausanne", "Berlin", "Beijing", "Delhi", "Tokyo", "Lima",
+    "Nairobi", "Toronto", "Sydney", "Oslo", "Porto", "Kyiv", "Seoul",
+    "Austin", "Zurich", "Glasgow", "Tehran", "Lahore", "Bogota",
+]
+COUNTRY_NAMES = [
+    "United Kingdom", "Switzerland", "Germany", "China", "India", "Japan",
+    "Peru", "Kenya", "Canada", "Australia",
+]
+TAG_NAMES = [
+    "datalog", "graphs", "recursion", "databases", "compilers", "sql",
+    "cypher", "semantics", "optimization", "benchmarks", "networks",
+    "program-analysis", "knowledge-graphs", "fixpoints", "joins", "queries",
+]
+BROWSERS = ["Firefox", "Chrome", "Safari", "Edge"]
+
+#: Milliseconds-style epoch base used for creationDate properties.
+BASE_DATE = 1_262_304_000_000  # 2010-01-01
+DAY = 86_400_000
+
+
+@dataclass
+class SNBDataset:
+    """A generated dataset: facts keyed by DL-Schema relation name."""
+
+    scale_persons: int
+    seed: int
+    facts: Dict[str, List[Tuple]] = field(default_factory=dict)
+    person_ids: List[int] = field(default_factory=list)
+    message_date_range: Tuple[int, int] = (BASE_DATE, BASE_DATE)
+
+    def relation(self, name: str) -> List[Tuple]:
+        """Return the facts of ``name`` (empty list when absent)."""
+        return self.facts.get(name, [])
+
+    def fact_count(self) -> int:
+        """Return the total number of facts across all relations."""
+        return sum(len(rows) for rows in self.facts.values())
+
+    def median_message_date(self) -> int:
+        """Return a date splitting the message stream roughly in half.
+
+        Used as the ``maxDate`` parameter of complex query 2 so the filter
+        keeps a meaningful subset.
+        """
+        low, high = self.message_date_range
+        return (low + high) // 2
+
+    def default_person_id(self) -> int:
+        """Return a deterministic person id with a non-trivial neighbourhood.
+
+        The generator wires the preferential-attachment hubs to the earliest
+        ids, so the first person is a good default query parameter.
+        """
+        return self.person_ids[0] if self.person_ids else 0
+
+
+def _person_rows(count: int, rng: random.Random, city_ids: List[int]) -> Tuple[List[Tuple], List[Tuple]]:
+    persons: List[Tuple] = []
+    located: List[Tuple] = []
+    for index in range(count):
+        person_id = index + 1
+        first = FIRST_NAMES[rng.randrange(len(FIRST_NAMES))]
+        last = LAST_NAMES[rng.randrange(len(LAST_NAMES))]
+        gender = "female" if rng.random() < 0.5 else "male"
+        birthday = BASE_DATE - rng.randrange(18 * 365, 60 * 365) * DAY
+        creation = BASE_DATE + rng.randrange(0, 365 * 3) * DAY
+        ip = f"10.{rng.randrange(256)}.{rng.randrange(256)}.{rng.randrange(256)}"
+        browser = BROWSERS[rng.randrange(len(BROWSERS))]
+        persons.append(
+            (person_id, first, last, gender, birthday, creation, ip, browser)
+        )
+        city = city_ids[rng.randrange(len(city_ids))]
+        located.append((person_id, city, 100_000 + person_id))
+    return persons, located
+
+
+def _knows_rows(person_ids: List[int], rng: random.Random, average_degree: int) -> List[Tuple]:
+    """Generate a skewed friendship graph via preferential attachment."""
+    edges: List[Tuple] = []
+    seen = set()
+    targets: List[int] = []
+    edge_id = 200_000
+    for person in person_ids:
+        # Connect each new person to a few existing ones, preferring people
+        # who already have many connections (the `targets` multiset).
+        attachments = max(1, min(average_degree, len(targets) or 1))
+        draws = rng.randrange(1, attachments + 1)
+        for _ in range(draws):
+            if targets and rng.random() < 0.8:
+                other = targets[rng.randrange(len(targets))]
+            else:
+                other = person_ids[rng.randrange(len(person_ids))]
+            if other == person:
+                continue
+            key = (min(person, other), max(person, other))
+            if key in seen:
+                continue
+            seen.add(key)
+            edge_id += 1
+            creation = BASE_DATE + rng.randrange(0, 365 * 3) * DAY
+            edges.append((key[0], key[1], edge_id, creation))
+            targets.extend([person, other])
+    return edges
+
+
+def generate_snb_dataset(scale_persons: int = 200, seed: int = 42) -> SNBDataset:
+    """Generate a deterministic SNB-shaped dataset.
+
+    ``scale_persons`` plays the role of the LDBC scale factor: messages,
+    forums and edges scale linearly with it.
+    """
+    rng = random.Random(seed)
+    dataset = SNBDataset(scale_persons=scale_persons, seed=seed)
+    facts = dataset.facts
+
+    country_count = min(len(COUNTRY_NAMES), max(3, scale_persons // 60))
+    city_count = min(len(CITY_NAMES), max(5, scale_persons // 20))
+    tag_count = min(len(TAG_NAMES), max(6, scale_persons // 25))
+    forum_count = max(3, scale_persons // 10)
+
+    country_ids = [10_000 + index for index in range(country_count)]
+    facts["Country"] = [
+        (country_id, COUNTRY_NAMES[index % len(COUNTRY_NAMES)])
+        for index, country_id in enumerate(country_ids)
+    ]
+    city_ids = [20_000 + index for index in range(city_count)]
+    facts["City"] = [
+        (city_id, CITY_NAMES[index % len(CITY_NAMES)])
+        for index, city_id in enumerate(city_ids)
+    ]
+    facts["City_IS_PART_OF_Country"] = [
+        (city_id, country_ids[index % len(country_ids)], 300_000 + index)
+        for index, city_id in enumerate(city_ids)
+    ]
+    tag_ids = [30_000 + index for index in range(tag_count)]
+    facts["Tag"] = [
+        (tag_id, TAG_NAMES[index % len(TAG_NAMES)])
+        for index, tag_id in enumerate(tag_ids)
+    ]
+
+    persons, located = _person_rows(scale_persons, rng, city_ids)
+    facts["Person"] = persons
+    facts["Person_IS_LOCATED_IN_City"] = located
+    person_ids = [row[0] for row in persons]
+    dataset.person_ids = person_ids
+
+    facts["Person_KNOWS_Person"] = _knows_rows(person_ids, rng, average_degree=6)
+
+    facts["Person_HAS_INTEREST_Tag"] = [
+        (person, tag_ids[rng.randrange(len(tag_ids))], 400_000 + index)
+        for index, person in enumerate(person_ids)
+        for _ in range(rng.randrange(1, 4))
+    ]
+
+    forum_ids = [40_000 + index for index in range(forum_count)]
+    facts["Forum"] = [
+        (forum_id, f"Forum {index}", BASE_DATE + index * DAY)
+        for index, forum_id in enumerate(forum_ids)
+    ]
+    facts["Forum_HAS_MODERATOR_Person"] = [
+        (forum_id, person_ids[rng.randrange(len(person_ids))], 500_000 + index)
+        for index, forum_id in enumerate(forum_ids)
+    ]
+    facts["Forum_HAS_MEMBER_Person"] = [
+        (forum_ids[rng.randrange(len(forum_ids))], person, 510_000 + index, BASE_DATE + rng.randrange(0, 900) * DAY)
+        for index, person in enumerate(person_ids)
+        for _ in range(rng.randrange(1, 3))
+    ]
+
+    # Messages: a per-person stream with dates spread over ~3 years.
+    messages: List[Tuple] = []
+    has_creator: List[Tuple] = []
+    container_of: List[Tuple] = []
+    has_tag: List[Tuple] = []
+    likes: List[Tuple] = []
+    reply_of: List[Tuple] = []
+    message_id = 1_000_000
+    min_date = None
+    max_date = None
+    messages_per_person = 8
+    for person in person_ids:
+        for _ in range(rng.randrange(messages_per_person // 2, messages_per_person + 1)):
+            message_id += 1
+            creation = BASE_DATE + rng.randrange(0, 365 * 3) * DAY + rng.randrange(0, DAY)
+            min_date = creation if min_date is None else min(min_date, creation)
+            max_date = creation if max_date is None else max(max_date, creation)
+            content = f"message {message_id} about {TAG_NAMES[rng.randrange(len(TAG_NAMES))]}"
+            messages.append((message_id, content, creation, len(content)))
+            has_creator.append((message_id, person, 600_000 + message_id))
+            container_of.append(
+                (forum_ids[rng.randrange(len(forum_ids))], message_id, 610_000 + message_id)
+            )
+            has_tag.append(
+                (message_id, tag_ids[rng.randrange(len(tag_ids))], 620_000 + message_id)
+            )
+            if rng.random() < 0.4:
+                liker = person_ids[rng.randrange(len(person_ids))]
+                likes.append((liker, message_id, 630_000 + message_id, creation + DAY))
+            if rng.random() < 0.3 and len(messages) > 1:
+                parent = messages[rng.randrange(len(messages) - 1)][0]
+                reply_of.append((message_id, parent, 640_000 + message_id))
+    facts["Message"] = messages
+    facts["Message_HAS_CREATOR_Person"] = has_creator
+    facts["Forum_CONTAINER_OF_Message"] = container_of
+    facts["Message_HAS_TAG_Tag"] = has_tag
+    facts["Person_LIKES_Message"] = likes
+    facts["Message_REPLY_OF_Message"] = reply_of
+    dataset.message_date_range = (min_date or BASE_DATE, max_date or BASE_DATE)
+    return dataset

@@ -1,0 +1,101 @@
+"""Cypher text of the LDBC SNB queries used in the paper's evaluation.
+
+Following the paper's normalisation (Section 3), ``ORDER BY`` and ``LIMIT``
+are omitted and ``RETURN DISTINCT`` is used so that the translated queries
+are set-semantics-equivalent across all backends.
+
+* :data:`SHORT_QUERY_1` -- interactive short query 1 (IS1), in the simplified
+  form of the paper's running example (Figure 3a) extended with the remaining
+  IS1 projection columns.
+* :data:`COMPLEX_QUERY_2` -- interactive complex query 2 (IC2): recent
+  messages of a person's friends before a date.
+* :data:`FRIEND_REACHABILITY`, :data:`FRIENDS_OF_FRIENDS`,
+  :data:`SHORTEST_PATH_QUERY` -- recursion-exercising companions used by the
+  additional microbenchmarks (transitive closure over ``knows``, bounded
+  2-hop expansion, and an IC13-style shortest path length).
+"""
+
+from __future__ import annotations
+
+#: The running example of the paper (Figure 3a): person 42's first name and city.
+RUNNING_EXAMPLE = """
+MATCH (n:Person {id: 42})-[:IS_LOCATED_IN]->(p:City)
+RETURN DISTINCT n.firstName AS firstName, p.id AS cityId
+"""
+
+#: IS1: profile of a person (simplified per the paper: DISTINCT, no ORDER BY).
+SHORT_QUERY_1 = """
+MATCH (n:Person {id: $personId})-[:IS_LOCATED_IN]->(p:City)
+RETURN DISTINCT
+  n.firstName AS firstName,
+  n.lastName AS lastName,
+  n.birthday AS birthday,
+  n.locationIP AS locationIP,
+  n.browserUsed AS browserUsed,
+  p.id AS cityId,
+  n.gender AS gender,
+  n.creationDate AS creationDate
+"""
+
+#: IC2: recent messages by friends, filtered by a maximum creation date.
+COMPLEX_QUERY_2 = """
+MATCH (p:Person {id: $personId})-[:KNOWS]-(friend:Person)<-[:HAS_CREATOR]-(message:Message)
+WHERE message.creationDate <= $maxDate
+RETURN DISTINCT
+  friend.id AS personId,
+  friend.firstName AS personFirstName,
+  friend.lastName AS personLastName,
+  message.id AS messageId,
+  message.content AS messageContent,
+  message.creationDate AS messageCreationDate
+"""
+
+#: Unbounded transitive closure over the friendship graph from one person.
+FRIEND_REACHABILITY = """
+MATCH (p:Person {id: $personId})-[:KNOWS*]-(friend:Person)
+RETURN DISTINCT friend.id AS friendId
+"""
+
+#: Friends and friends-of-friends (bounded variable-length pattern).
+FRIENDS_OF_FRIENDS = """
+MATCH (p:Person {id: $personId})-[:KNOWS*1..2]-(friend:Person)
+WHERE friend.id <> $personId
+RETURN DISTINCT friend.id AS friendId, friend.firstName AS firstName
+"""
+
+#: IC13-style shortest path length between two people over KNOWS.
+SHORTEST_PATH_QUERY = """
+MATCH path = shortestPath((a:Person {id: $person1Id})-[:KNOWS*]-(b:Person {id: $person2Id}))
+RETURN DISTINCT length(path) AS shortestPathLength
+"""
+
+
+def short_query_1(person_id: int) -> dict:
+    """Return the (query text, parameters) pair for IS1."""
+    return {"query": SHORT_QUERY_1, "parameters": {"personId": person_id}}
+
+
+def complex_query_2(person_id: int, max_date: int) -> dict:
+    """Return the (query text, parameters) pair for IC2."""
+    return {
+        "query": COMPLEX_QUERY_2,
+        "parameters": {"personId": person_id, "maxDate": max_date},
+    }
+
+
+def friend_reachability(person_id: int) -> dict:
+    """Return the (query text, parameters) pair for the reachability query."""
+    return {"query": FRIEND_REACHABILITY, "parameters": {"personId": person_id}}
+
+
+def friends_of_friends(person_id: int) -> dict:
+    """Return the (query text, parameters) pair for the 2-hop expansion."""
+    return {"query": FRIENDS_OF_FRIENDS, "parameters": {"personId": person_id}}
+
+
+def shortest_path_query(person1_id: int, person2_id: int) -> dict:
+    """Return the (query text, parameters) pair for the IC13-style query."""
+    return {
+        "query": SHORTEST_PATH_QUERY,
+        "parameters": {"person1Id": person1_id, "person2Id": person2_id},
+    }

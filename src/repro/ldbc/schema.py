@@ -1,0 +1,54 @@
+"""The SNB-shaped property-graph schema used by the reproduction.
+
+The schema follows the LDBC SNB interactive schema with one simplification:
+``Post`` and ``Comment`` are merged into a single ``Message`` node type (the
+LDBC specification itself treats them as subtypes of Message, and the queries
+reproduced here only access Message-level properties).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.schema.pg_schema import PGSchema
+from repro.schema.translate import SchemaMapping, pg_to_dl_schema
+
+#: PG-Schema text of the SNB subset, in the paper's ``CREATE GRAPH`` syntax.
+SNB_PG_SCHEMA_TEXT = """
+CREATE GRAPH {
+  (personType : Person {
+     id INT, firstName STRING, lastName STRING, gender STRING,
+     birthday INT, creationDate INT, locationIP STRING, browserUsed STRING
+  }),
+  (cityType : City { id INT, name STRING }),
+  (countryType : Country { id INT, name STRING }),
+  (tagType : Tag { id INT, name STRING }),
+  (forumType : Forum { id INT, title STRING, creationDate INT }),
+  (messageType : Message { id INT, content STRING, creationDate INT, length INT }),
+  (:personType)-[knowsType : knows { id INT, creationDate INT }]->(:personType),
+  (:personType)-[personLocationType : isLocatedIn { id INT }]->(:cityType),
+  (:cityType)-[cityPartType : isPartOf { id INT }]->(:countryType),
+  (:personType)-[interestType : hasInterest { id INT }]->(:tagType),
+  (:messageType)-[creatorType : hasCreator { id INT }]->(:personType),
+  (:messageType)-[messageTagType : hasTag { id INT }]->(:tagType),
+  (:personType)-[likesType : likes { id INT, creationDate INT }]->(:messageType),
+  (:forumType)-[memberType : hasMember { id INT, joinDate INT }]->(:personType),
+  (:forumType)-[moderatorType : hasModerator { id INT }]->(:personType),
+  (:forumType)-[containerType : containerOf { id INT }]->(:messageType),
+  (:messageType)-[replyType : replyOf { id INT }]->(:messageType)
+}
+"""
+
+
+@lru_cache(maxsize=1)
+def snb_pg_schema() -> PGSchema:
+    """Return the SNB PG-Schema (parsed once and cached)."""
+    from repro.schema.pg_parser import parse_pg_schema
+
+    return parse_pg_schema(SNB_PG_SCHEMA_TEXT)
+
+
+@lru_cache(maxsize=1)
+def snb_schema_mapping() -> SchemaMapping:
+    """Return the DL-Schema mapping of the SNB schema (cached)."""
+    return pg_to_dl_schema(snb_pg_schema())

@@ -1,0 +1,45 @@
+"""DLIR optimizer (paper Section 5).
+
+The optimizer is a small pass framework over DLIR programs.  Each pass is a
+pure program-to-program transformation; the :class:`PassManager` runs a
+pipeline of passes and records a trace (rule counts before/after each pass)
+used by the ablation benchmarks.
+
+Passes shipped with the reproduction:
+
+* :class:`InlineRules`             -- view inlining (Figure 4a),
+* :class:`RemoveDuplicateAtoms`    -- duplicate-atom / self-join cleanup,
+* :class:`DeadRuleElimination`     -- drop rules unreachable from outputs (Figure 4b),
+* :class:`ConstantPropagation`     -- substitute variables equated to constants,
+* :class:`SemanticJoinElimination` -- drop node-membership atoms implied by
+  PG-Schema foreign keys (semantic join optimization),
+* :class:`MagicSets`               -- magic-set transformation for bound
+  recursive queries (pushing selections past recursion),
+* :class:`LinearizeRecursion`      -- rewrite doubly-recursive chain rules
+  into linear ones.
+"""
+
+from repro.optimize.base import OptimizationTrace, Pass, PassManager
+from repro.optimize.constant_propagation import ConstantPropagation
+from repro.optimize.dead_rules import DeadRuleElimination
+from repro.optimize.duplicates import RemoveDuplicateAtoms
+from repro.optimize.inline import InlineRules
+from repro.optimize.linearize import LinearizeRecursion
+from repro.optimize.magic_sets import MagicSets
+from repro.optimize.semantic import SemanticJoinElimination
+from repro.optimize.pipeline import default_pipeline, optimize_program
+
+__all__ = [
+    "Pass",
+    "PassManager",
+    "OptimizationTrace",
+    "InlineRules",
+    "RemoveDuplicateAtoms",
+    "DeadRuleElimination",
+    "ConstantPropagation",
+    "SemanticJoinElimination",
+    "MagicSets",
+    "LinearizeRecursion",
+    "default_pipeline",
+    "optimize_program",
+]

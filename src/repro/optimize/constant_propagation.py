@@ -1,0 +1,83 @@
+"""Constant propagation.
+
+An equality comparison ``x = c`` (or ``c = x``) with a constant ``c`` allows
+every other occurrence of ``x`` in the rule to be replaced by ``c``.  The
+comparison that performed the binding is kept only when ``x`` appears in the
+head (so the head stays range-restricted after substitution the comparison is
+no longer needed there either, because the head occurrence is also replaced).
+
+Pushing constants into atoms is what later lets the engines use index lookups
+instead of full scans, and it exposes further simplification for the magic-set
+transformation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dlir.core import (
+    Comparison,
+    Const,
+    DLIRProgram,
+    Literal,
+    Rule,
+    Term,
+    Var,
+)
+from repro.optimize.base import Pass
+
+
+def _constant_bindings(rule: Rule) -> Dict[str, Const]:
+    """Return variables equated to constants by the rule body."""
+    bindings: Dict[str, Const] = {}
+    for comparison in rule.comparisons():
+        if comparison.op != "=":
+            continue
+        left, right = comparison.left, comparison.right
+        if isinstance(left, Var) and isinstance(right, Const):
+            bindings.setdefault(left.name, right)
+        elif isinstance(right, Var) and isinstance(left, Const):
+            bindings.setdefault(right.name, left)
+    return bindings
+
+
+class ConstantPropagation(Pass):
+    """Substitute variables bound to constants throughout each rule."""
+
+    name = "constant-propagation"
+
+    def run(self, program: DLIRProgram) -> DLIRProgram:
+        changed = False
+        new_rules: List[Rule] = []
+        for rule in program.rules:
+            new_rule = self._propagate(rule)
+            new_rules.append(new_rule)
+            changed = changed or new_rule is not rule
+        if not changed:
+            return program
+        result = program.copy()
+        result.rules = new_rules
+        return result
+
+    def _propagate(self, rule: Rule) -> Rule:
+        bindings = _constant_bindings(rule)
+        if not bindings:
+            return rule
+        mapping: Dict[str, Term] = dict(bindings)
+        substituted = rule.substitute(mapping)
+        # Drop comparisons that became trivially true (c = c); keep ones that
+        # became contradictions so the emptiness stays visible to the engines.
+        body: List[Literal] = []
+        for literal in substituted.body:
+            if isinstance(literal, Comparison) and literal.op == "=":
+                if (
+                    isinstance(literal.left, Const)
+                    and isinstance(literal.right, Const)
+                    and literal.left.value == literal.right.value
+                ):
+                    continue
+            body.append(literal)
+        new_rule = substituted.with_body(body)
+        if str(new_rule) == str(rule):
+            return rule
+        return new_rule

@@ -1,0 +1,58 @@
+"""Dead rule elimination (paper Figure 4b).
+
+A rule is dead when its head relation is not reachable (through rule bodies,
+including negated atoms) from any output relation.  Dead rules are removed
+along with the now-unused IDB declarations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.dlir.core import DLIRProgram, Rule
+from repro.optimize.base import Pass
+from repro.schema.dl_schema import DLSchema
+
+
+def reachable_relations(program: DLIRProgram) -> Set[str]:
+    """Return the relations reachable from the program outputs."""
+    reachable: Set[str] = set(program.outputs)
+    worklist: List[str] = list(program.outputs)
+    while worklist:
+        current = worklist.pop()
+        for rule in program.rules_for(current):
+            for relation in rule.referenced_relations():
+                if relation not in reachable:
+                    reachable.add(relation)
+                    worklist.append(relation)
+    return reachable
+
+
+class DeadRuleElimination(Pass):
+    """Remove rules (and IDB declarations) unreachable from the outputs."""
+
+    name = "dead-rule-elimination"
+
+    def run(self, program: DLIRProgram) -> DLIRProgram:
+        if not program.outputs:
+            return program
+        reachable = reachable_relations(program)
+        kept_rules: List[Rule] = [
+            rule for rule in program.rules if rule.head.relation in reachable
+        ]
+        if len(kept_rules) == len(program.rules):
+            return program
+        result = program.copy()
+        result.rules = kept_rules
+        # Drop declarations of IDBs that no longer have rules and are not
+        # referenced anywhere (EDB declarations always stay).
+        referenced: Set[str] = set(program.outputs)
+        for rule in kept_rules:
+            referenced.add(rule.head.relation)
+            referenced.update(rule.referenced_relations())
+        new_schema = DLSchema()
+        for relation in result.schema:
+            if relation.is_edb or relation.name in referenced:
+                new_schema.add(relation)
+        result.schema = new_schema
+        return result

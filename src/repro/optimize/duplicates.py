@@ -1,0 +1,116 @@
+"""Duplicate-atom removal and key-based self-join elimination.
+
+Two cleanups that typically become possible after inlining:
+
+* *exact duplicates*: the same literal appearing twice in one body,
+* *key self-joins*: two atoms over the same relation whose key column (the
+  first column, which holds the node id by construction of the DL-Schema)
+  is the same term.  The second atom is merged into the first by unifying
+  the remaining columns, which removes a join the paper attributes to
+  "removing self-joins on primary keys".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.dlir.core import (
+    Atom,
+    Comparison,
+    DLIRProgram,
+    Literal,
+    Rule,
+    Term,
+    Var,
+    Wildcard,
+)
+from repro.optimize.base import Pass
+from repro.optimize.inline import remove_duplicate_literals
+
+
+def _merge_atoms(first: Atom, second: Atom) -> Optional[Tuple[Atom, List[Literal]]]:
+    """Merge two atoms over the same relation and key.
+
+    Returns the merged atom plus any equality constraints needed when both
+    atoms bind the same column to different non-wildcard variables.  Returns
+    ``None`` when the atoms bind a column to two different constants (the
+    join is empty and the rule should be left alone for clarity).
+    """
+    merged_terms: List[Term] = []
+    extras: List[Literal] = []
+    for left, right in zip(first.terms, second.terms):
+        if isinstance(left, Wildcard):
+            merged_terms.append(right)
+        elif isinstance(right, Wildcard):
+            merged_terms.append(left)
+        elif left == right:
+            merged_terms.append(left)
+        elif isinstance(left, Var) and isinstance(right, Var):
+            merged_terms.append(left)
+            extras.append(Comparison("=", left, right))
+        else:
+            return None
+    return Atom(first.relation, tuple(merged_terms)), extras
+
+
+class RemoveDuplicateAtoms(Pass):
+    """Remove duplicate literals and merge key-equal self-joins."""
+
+    name = "duplicate-atom-removal"
+
+    def __init__(self, key_column: int = 0) -> None:
+        self._key_column = key_column
+
+    def run(self, program: DLIRProgram) -> DLIRProgram:
+        changed = False
+        new_rules: List[Rule] = []
+        for rule in program.rules:
+            new_rule = self._clean_rule(rule, program)
+            new_rules.append(new_rule)
+            changed = changed or new_rule is not rule
+        if not changed:
+            return program
+        result = program.copy()
+        result.rules = new_rules
+        return result
+
+    def _clean_rule(self, rule: Rule, program: DLIRProgram) -> Rule:
+        body = remove_duplicate_literals(list(rule.body))
+        body = self._merge_self_joins(body, program)
+        if tuple(body) == rule.body:
+            return rule
+        return rule.with_body(body)
+
+    def _merge_self_joins(
+        self, body: List[Literal], program: DLIRProgram
+    ) -> List[Literal]:
+        result: List[Literal] = []
+        # Key: (relation, key term text) -> index of the atom kept in `result`.
+        kept_index: Dict[Tuple[str, str], int] = {}
+        for literal in body:
+            if not isinstance(literal, Atom) or not literal.terms:
+                result.append(literal)
+                continue
+            declaration = program.schema.maybe_get(literal.relation)
+            if declaration is None or not declaration.is_edb:
+                result.append(literal)
+                continue
+            key_term = literal.terms[self._key_column]
+            if isinstance(key_term, Wildcard):
+                result.append(literal)
+                continue
+            key = (literal.relation, str(key_term))
+            if key not in kept_index:
+                kept_index[key] = len(result)
+                result.append(literal)
+                continue
+            existing = result[kept_index[key]]
+            assert isinstance(existing, Atom)
+            merged = _merge_atoms(existing, literal)
+            if merged is None:
+                result.append(literal)
+                continue
+            merged_atom, extras = merged
+            result[kept_index[key]] = merged_atom
+            result.extend(extras)
+        return remove_duplicate_literals(result)

@@ -1,0 +1,176 @@
+"""View inlining (paper Figure 4a).
+
+An IDB atom in a rule body is replaced by the body of its defining rule when
+that is safe:
+
+* the referenced relation is defined by exactly one rule,
+* that rule is not recursive (directly or mutually),
+* that rule carries no aggregation and no subsumption marker,
+* the atom occurs positively (negated atoms are never inlined).
+
+During inlining the defining rule's variables are renamed apart, its head
+terms are unified with the call-site terms, and duplicate atoms that result
+from the substitution are removed (the paper's "since Person appears twice,
+the duplication is removed").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.dependencies import build_dependency_graph
+from repro.common.names import NameGenerator
+from repro.dlir.core import (
+    Atom,
+    Comparison,
+    Const,
+    DLIRProgram,
+    Literal,
+    NegatedAtom,
+    Rule,
+    Term,
+    Var,
+    Wildcard,
+)
+from repro.optimize.base import Pass
+
+
+def _rename_apart(rule: Rule, names: NameGenerator) -> Rule:
+    """Rename every variable of ``rule`` to a fresh name."""
+    mapping: Dict[str, Term] = {}
+    for variable in rule.variables():
+        mapping[variable] = Var(names.fresh(f"{variable}_i"))
+    return rule.substitute(mapping)
+
+
+def _unify_head(definition: Rule, call: Atom) -> Optional[List[Literal]]:
+    """Unify the definition's head with the call-site atom.
+
+    Returns the extra literals implied by the unification (equality
+    comparisons between call-site constants/variables and definition-body
+    terms) plus the substituted body, or ``None`` when unification fails.
+    """
+    substitution: Dict[str, Term] = {}
+    extras: List[Literal] = []
+    for head_term, call_term in zip(definition.head.terms, call.terms):
+        if isinstance(head_term, Var):
+            existing = substitution.get(head_term.name)
+            if existing is None:
+                substitution[head_term.name] = call_term
+            elif existing != call_term:
+                extras.append(Comparison("=", existing, call_term))
+        elif isinstance(head_term, Const):
+            if isinstance(call_term, Const):
+                if call_term.value != head_term.value:
+                    return None  # definitely empty join; keep original rule
+            elif isinstance(call_term, Wildcard):
+                continue
+            else:
+                extras.append(Comparison("=", call_term, head_term))
+        else:
+            # Arithmetic heads are not inlined.
+            return None
+    body: List[Literal] = []
+    for literal in definition.body:
+        if isinstance(literal, (Atom, NegatedAtom, Comparison)):
+            body.append(literal.substitute(substitution))
+        else:  # pragma: no cover - defensive
+            body.append(literal)
+    # Call-site terms bound to wildcards in the definition body are dropped by
+    # substitution already; wildcards at the call site simply vanish.
+    return body + extras
+
+
+def remove_duplicate_literals(body: List[Literal]) -> List[Literal]:
+    """Remove exact duplicate literals while preserving order."""
+    seen: Set[str] = set()
+    result: List[Literal] = []
+    for literal in body:
+        key = str(literal)
+        if key in seen:
+            continue
+        seen.add(key)
+        result.append(literal)
+    return result
+
+
+class InlineRules(Pass):
+    """Inline single-rule, non-recursive, aggregation-free IDB definitions."""
+
+    name = "inline"
+
+    def __init__(self, protect: Tuple[str, ...] = ()) -> None:
+        self._protect = set(protect)
+
+    def _inlinable(self, program: DLIRProgram) -> Dict[str, Rule]:
+        graph = build_dependency_graph(program)
+        candidates: Dict[str, Rule] = {}
+        for relation in program.idb_names():
+            if relation in self._protect:
+                continue
+            rules = program.rules_for(relation)
+            if len(rules) != 1:
+                continue
+            rule = rules[0]
+            if graph.is_recursive(relation):
+                continue
+            if rule.has_aggregation() or rule.subsume_min is not None or rule.subsume_max is not None:
+                continue
+            candidates[relation] = rule
+        return candidates
+
+    def run(self, program: DLIRProgram) -> DLIRProgram:
+        # Inlining one view can expose another inlinable view inside the
+        # expansion (Return -> Where1 -> Match1 in the paper's example), so the
+        # pass iterates to a fixpoint; the bound is the number of IDB views.
+        current = program
+        for _ in range(max(1, len(program.idb_names()))):
+            result = self._run_once(current)
+            if result is current:
+                break
+            current = result
+        return current
+
+    def _run_once(self, program: DLIRProgram) -> DLIRProgram:
+        candidates = self._inlinable(program)
+        if not candidates:
+            return program
+        names = NameGenerator()
+        for rule in program.rules:
+            names.reserve_all(rule.variables())
+        changed = False
+        new_rules: List[Rule] = []
+        for rule in program.rules:
+            new_rule, rule_changed = self._inline_rule(rule, candidates, names)
+            new_rules.append(new_rule)
+            changed = changed or rule_changed
+        if not changed:
+            return program
+        result = program.copy()
+        result.rules = new_rules
+        return result
+
+    def _inline_rule(
+        self, rule: Rule, candidates: Dict[str, Rule], names: NameGenerator
+    ) -> Tuple[Rule, bool]:
+        changed = False
+        body: List[Literal] = []
+        for literal in rule.body:
+            if (
+                isinstance(literal, Atom)
+                and literal.relation in candidates
+                and literal.relation != rule.head.relation
+            ):
+                definition = _rename_apart(candidates[literal.relation], names)
+                expansion = _unify_head(definition, literal)
+                if expansion is None:
+                    body.append(literal)
+                    continue
+                body.extend(expansion)
+                changed = True
+            else:
+                body.append(literal)
+        if not changed:
+            return rule, False
+        deduplicated = remove_duplicate_literals(body)
+        return rule.with_body(deduplicated), True

@@ -1,0 +1,122 @@
+"""Linearization of non-linear recursive rules (paper Section 4, "Linearity").
+
+The classic doubly-recursive formulation of transitive closure::
+
+    TC(x, y) :- TC(x, z), TC(z, y).
+
+derives the same relation as the right-linear formulation in which the second
+recursive call is replaced by the base case::
+
+    TC(x, y) :- TC(x, z), <base body with head unified to (z, y)>.
+
+Rewriting to the linear form removes a self-join of the (potentially large)
+recursive relation and makes the program acceptable to backends that only
+support linear recursion (SQL ``WITH RECURSIVE``).  The pass only fires on
+the exact chain pattern above: a binary predicate, exactly two recursive body
+atoms that chain head-first-argument -> shared variable -> head-second-
+argument, and no other literals in the body.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.dependencies import build_dependency_graph
+from repro.common.names import NameGenerator
+from repro.dlir.core import Atom, DLIRProgram, Rule, Term, Var
+from repro.optimize.base import Pass
+
+
+def _is_chain_rule(rule: Rule, predicate: str) -> bool:
+    """Return whether ``rule`` is ``P(x,y) :- P(x,z), P(z,y)`` (up to naming)."""
+    if rule.head.relation != predicate or rule.head.arity != 2:
+        return False
+    if len(rule.body) != 2:
+        return False
+    atoms = rule.body_atoms()
+    if len(atoms) != 2 or any(atom.relation != predicate for atom in atoms):
+        return False
+    head_terms = rule.head.terms
+    first, second = atoms
+    if not all(isinstance(term, Var) for term in head_terms + first.terms + second.terms):
+        return False
+    x, y = head_terms
+    if first.terms[0] != x or second.terms[1] != y:
+        return False
+    # The chaining variable must be shared and distinct from x and y.
+    z_first = first.terms[1]
+    z_second = second.terms[0]
+    return z_first == z_second and z_first not in (x, y)
+
+
+def _unify_base(base: Rule, target_terms: List[Term], names: NameGenerator) -> Optional[List]:
+    """Instantiate ``base``'s body with its head unified to ``target_terms``."""
+    renamed = base.substitute(
+        {variable: Var(names.fresh(f"{variable}_l")) for variable in base.variables()}
+    )
+    mapping: Dict[str, Term] = {}
+    for head_term, target in zip(renamed.head.terms, target_terms):
+        if isinstance(head_term, Var):
+            if head_term.name in mapping and mapping[head_term.name] != target:
+                return None
+            mapping[head_term.name] = target
+        elif head_term != target:
+            return None
+    return [
+        literal.substitute(mapping) if hasattr(literal, "substitute") else literal
+        for literal in renamed.body
+    ]
+
+
+class LinearizeRecursion(Pass):
+    """Rewrite doubly-recursive chain rules into right-linear rules."""
+
+    name = "linearize-recursion"
+
+    def run(self, program: DLIRProgram) -> DLIRProgram:
+        graph = build_dependency_graph(program)
+        names = NameGenerator()
+        for rule in program.rules:
+            names.reserve_all(rule.variables())
+        changed = False
+        new_rules: List[Rule] = []
+        for rule in program.rules:
+            predicate = rule.head.relation
+            component = graph.scc_of.get(predicate, frozenset())
+            if len(component) != 1 or not _is_chain_rule(rule, predicate):
+                new_rules.append(rule)
+                continue
+            base_rules = [
+                candidate
+                for candidate in program.rules_for(predicate)
+                if predicate not in candidate.body_relations()
+            ]
+            if not base_rules:
+                new_rules.append(rule)
+                continue
+            replacements = self._linearize(rule, base_rules, names)
+            if replacements is None:
+                new_rules.append(rule)
+                continue
+            new_rules.extend(replacements)
+            changed = True
+        if not changed:
+            return program
+        result = program.copy()
+        result.rules = new_rules
+        return result
+
+    def _linearize(
+        self, rule: Rule, base_rules: List[Rule], names: NameGenerator
+    ) -> Optional[List[Rule]]:
+        atoms = rule.body_atoms()
+        first, second = atoms
+        replacements: List[Rule] = []
+        for base in base_rules:
+            if base.has_aggregation() or base.has_negation():
+                return None
+            expansion = _unify_base(base, list(second.terms), names)
+            if expansion is None:
+                return None
+            replacements.append(rule.with_body([first] + expansion))
+        return replacements

@@ -1,0 +1,58 @@
+"""Default optimization pipelines.
+
+``default_pipeline`` mirrors the "fully optimized" configuration of the
+paper's Table 1: constant propagation, inlining, duplicate-atom cleanup,
+semantic join elimination (when a schema mapping is available), linearization,
+magic sets, and dead-rule elimination, iterated until nothing changes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dlir.core import DLIRProgram
+from repro.optimize.base import OptimizationTrace, Pass, PassManager
+from repro.optimize.constant_propagation import ConstantPropagation
+from repro.optimize.dead_rules import DeadRuleElimination
+from repro.optimize.duplicates import RemoveDuplicateAtoms
+from repro.optimize.inline import InlineRules
+from repro.optimize.linearize import LinearizeRecursion
+from repro.optimize.magic_sets import MagicSets
+from repro.optimize.semantic import SemanticJoinElimination
+from repro.schema.translate import SchemaMapping
+
+
+def default_pipeline(
+    mapping: Optional[SchemaMapping] = None,
+    enable_magic_sets: bool = True,
+    enable_linearization: bool = True,
+) -> List[Pass]:
+    """Return the default pass list used by :func:`optimize_program`."""
+    passes: List[Pass] = [
+        ConstantPropagation(),
+        InlineRules(),
+        RemoveDuplicateAtoms(),
+    ]
+    if mapping is not None:
+        passes.append(SemanticJoinElimination(mapping))
+    if enable_linearization:
+        passes.append(LinearizeRecursion())
+    if enable_magic_sets:
+        passes.append(MagicSets())
+    passes.append(DeadRuleElimination())
+    return passes
+
+
+def optimize_program(
+    program: DLIRProgram,
+    mapping: Optional[SchemaMapping] = None,
+    passes: Optional[List[Pass]] = None,
+    iterate: bool = True,
+) -> tuple[DLIRProgram, OptimizationTrace]:
+    """Optimize ``program`` with the default (or a custom) pipeline.
+
+    Returns the optimized program and the optimization trace.
+    """
+    manager = PassManager(passes or default_pipeline(mapping), iterate=iterate)
+    optimized = manager.run(program)
+    return optimized, manager.trace

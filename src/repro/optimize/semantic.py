@@ -1,0 +1,88 @@
+"""Semantic join elimination (paper Section 5, "Semantic Join Optimizations").
+
+The DL-Schema derived from a PG-Schema carries implicit integrity
+constraints: the ``id1`` / ``id2`` columns of an edge relation are foreign
+keys into the source / target node relations.  Consequently a node-membership
+atom such as ``Person(n, _, _, ...)`` is redundant when ``n`` is already bound
+by the ``id1`` column of ``Person_IS_LOCATED_IN_City`` in the same body and no
+other column of the node atom is used.  Removing the atom removes a join.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.dlir.core import Atom, DLIRProgram, Literal, Rule, Var, Wildcard
+from repro.optimize.base import Pass
+from repro.schema.translate import SchemaMapping
+
+
+class SemanticJoinElimination(Pass):
+    """Remove node-membership atoms implied by edge foreign-key constraints."""
+
+    name = "semantic-join-elimination"
+
+    def __init__(self, mapping: Optional[SchemaMapping] = None) -> None:
+        self._mapping = mapping
+
+    def run(self, program: DLIRProgram) -> DLIRProgram:
+        if self._mapping is None:
+            return program
+        changed = False
+        new_rules: List[Rule] = []
+        for rule in program.rules:
+            new_rule = self._clean_rule(rule)
+            new_rules.append(new_rule)
+            changed = changed or new_rule is not rule
+        if not changed:
+            return program
+        result = program.copy()
+        result.rules = new_rules
+        return result
+
+    # -- helpers ----------------------------------------------------------
+
+    def _guaranteed_node_bindings(self, rule: Rule) -> Set[tuple]:
+        """Return ``(node label, variable)`` pairs guaranteed by edge atoms."""
+        assert self._mapping is not None
+        guaranteed: Set[tuple] = set()
+        for atom in rule.body_atoms():
+            if not self._mapping.is_edge_relation(atom.relation):
+                continue
+            source_label, target_label = self._mapping.edge_endpoints(atom.relation)
+            if atom.terms and isinstance(atom.terms[0], Var):
+                guaranteed.add((source_label, atom.terms[0].name))
+            if len(atom.terms) > 1 and isinstance(atom.terms[1], Var):
+                guaranteed.add((target_label, atom.terms[1].name))
+        return guaranteed
+
+    def _clean_rule(self, rule: Rule) -> Rule:
+        assert self._mapping is not None
+        guaranteed = self._guaranteed_node_bindings(rule)
+        if not guaranteed:
+            return rule
+        body: List[Literal] = []
+        changed = False
+        for literal in rule.body:
+            if self._is_redundant_node_atom(literal, guaranteed):
+                changed = True
+                continue
+            body.append(literal)
+        if not changed:
+            return rule
+        return rule.with_body(body)
+
+    def _is_redundant_node_atom(self, literal: Literal, guaranteed: Set[tuple]) -> bool:
+        assert self._mapping is not None
+        if not isinstance(literal, Atom):
+            return False
+        if not self._mapping.is_node_relation(literal.relation):
+            return False
+        if not literal.terms or not isinstance(literal.terms[0], Var):
+            return False
+        # Every non-key column must be a wildcard: if any property is read,
+        # the atom is doing real work and must stay.
+        if any(not isinstance(term, Wildcard) for term in literal.terms[1:]):
+            return False
+        label = literal.relation
+        return (label, literal.terms[0].name) in guaranteed

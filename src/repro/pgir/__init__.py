@@ -1,0 +1,58 @@
+"""PGIR: the Property Graph intermediate representation (paper Figure 3b).
+
+PGIR is a clause-structured IR inspired by Cypher and the GPC pattern
+calculus.  A PGIR query is an ordered sequence of clause constructs (MATCH,
+WHERE, WITH, UNWIND, RETURN) whose contents are fully normalised:
+
+* every node and edge pattern carries a compiler-generated identifier,
+* inline property maps are rewritten into explicit WHERE conditions,
+* expressions use PGIR's own small expression language
+  (:mod:`repro.pgir.expr`), independent of the Cypher AST.
+"""
+
+from repro.pgir.expr import (
+    PGAggregate,
+    PGBinary,
+    PGConst,
+    PGExpression,
+    PGFunction,
+    PGNot,
+    PGProperty,
+    PGVariable,
+)
+from repro.pgir.lower import LoweringResult, lower_cypher_to_pgir
+from repro.pgir.nodes import (
+    PGEdgePattern,
+    PGIRQuery,
+    PGMatch,
+    PGNodePattern,
+    PGProjectionItem,
+    PGReturn,
+    PGUnwind,
+    PGWhere,
+    PGWith,
+)
+from repro.pgir.printer import pgir_to_text
+
+__all__ = [
+    "PGExpression",
+    "PGVariable",
+    "PGConst",
+    "PGProperty",
+    "PGBinary",
+    "PGNot",
+    "PGFunction",
+    "PGAggregate",
+    "PGIRQuery",
+    "PGMatch",
+    "PGWhere",
+    "PGWith",
+    "PGUnwind",
+    "PGReturn",
+    "PGProjectionItem",
+    "PGNodePattern",
+    "PGEdgePattern",
+    "LoweringResult",
+    "lower_cypher_to_pgir",
+    "pgir_to_text",
+]

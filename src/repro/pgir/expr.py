@@ -1,0 +1,164 @@
+"""PGIR expression language.
+
+PGIR expressions are a normalised form of Cypher expressions: parameters have
+been substituted, ``!=`` has been rewritten to ``<>``, and aggregation calls
+are explicit :class:`PGAggregate` nodes so later stages can detect them
+without knowing Cypher's function-name conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple, Union
+
+ConstValue = Union[int, float, str, bool, None]
+
+
+class PGExpression:
+    """Base class for PGIR expressions (marker class)."""
+
+    def walk(self) -> Iterator["PGExpression"]:
+        """Yield this expression and every sub-expression, depth first."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> Tuple["PGExpression", ...]:
+        """Return direct sub-expressions."""
+        return ()
+
+
+@dataclass(frozen=True)
+class PGVariable(PGExpression):
+    """A reference to a pattern identifier or a projected alias."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PGConst(PGExpression):
+    """A constant value (int, float, string, bool or null)."""
+
+    value: ConstValue
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        if self.value is None:
+            return "null"
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class PGProperty(PGExpression):
+    """A property access ``identifier.property``."""
+
+    variable: str
+    property_name: str
+
+    def __str__(self) -> str:
+        return f"{self.variable}.{self.property_name}"
+
+
+@dataclass(frozen=True)
+class PGBinary(PGExpression):
+    """A binary operation (comparison, boolean connective or arithmetic)."""
+
+    op: str
+    left: PGExpression
+    right: PGExpression
+
+    def children(self) -> Tuple[PGExpression, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class PGNot(PGExpression):
+    """Logical negation."""
+
+    operand: PGExpression
+
+    def children(self) -> Tuple[PGExpression, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+@dataclass(frozen=True)
+class PGFunction(PGExpression):
+    """A scalar function call, e.g. ``id(n)`` or ``length(p)``."""
+
+    name: str
+    args: Tuple[PGExpression, ...]
+
+    def children(self) -> Tuple[PGExpression, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(arg) for arg in self.args)})"
+
+
+@dataclass(frozen=True)
+class PGAggregate(PGExpression):
+    """An aggregation: ``count``, ``sum``, ``avg``, ``min``, ``max``, ``collect``.
+
+    ``argument`` is ``None`` for ``count(*)``.
+    """
+
+    func: str
+    argument: Optional[PGExpression]
+    distinct: bool = False
+
+    def children(self) -> Tuple[PGExpression, ...]:
+        return (self.argument,) if self.argument is not None else ()
+
+    def __str__(self) -> str:
+        inner = "*" if self.argument is None else str(self.argument)
+        distinct = "DISTINCT " if self.distinct else ""
+        return f"{self.func}({distinct}{inner})"
+
+
+def expression_variables(expression: PGExpression) -> Tuple[str, ...]:
+    """Return the names of all identifiers referenced by ``expression``."""
+    names = []
+    for node in expression.walk():
+        if isinstance(node, PGVariable):
+            names.append(node.name)
+        elif isinstance(node, PGProperty):
+            names.append(node.variable)
+    seen = set()
+    unique = []
+    for name in names:
+        if name not in seen:
+            seen.add(name)
+            unique.append(name)
+    return tuple(unique)
+
+
+def contains_aggregate(expression: PGExpression) -> bool:
+    """Return whether ``expression`` contains an aggregation call."""
+    return any(isinstance(node, PGAggregate) for node in expression.walk())
+
+
+def split_conjunction(expression: PGExpression) -> Tuple[PGExpression, ...]:
+    """Split a top-level ``AND`` tree into its conjuncts."""
+    if isinstance(expression, PGBinary) and expression.op == "AND":
+        return split_conjunction(expression.left) + split_conjunction(expression.right)
+    return (expression,)
+
+
+def conjoin(expressions: Tuple[PGExpression, ...]) -> Optional[PGExpression]:
+    """Combine expressions with ``AND``; return ``None`` for an empty tuple."""
+    result: Optional[PGExpression] = None
+    for expression in expressions:
+        result = expression if result is None else PGBinary("AND", result, expression)
+    return result

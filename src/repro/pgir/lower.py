@@ -1,0 +1,331 @@
+"""Cypher-to-PGIR lowering (the first translation step of the pipeline).
+
+The lowering normalises the query:
+
+* every anonymous node or relationship receives a compiler-generated
+  identifier (``x1``, ``x2``, ... for edges, ``n1``, ``n2``, ... for nodes),
+* inline property maps such as ``{id: 42}`` become explicit WHERE conditions,
+* incoming relationship patterns are normalised to directed patterns by
+  swapping their endpoints,
+* query parameters are substituted with the values supplied at compile time,
+* ``ORDER BY``, ``SKIP`` and ``LIMIT`` are dropped with a warning (the paper
+  removes them so that set-semantics backends produce equivalent results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.common.errors import TranslationError, UnsupportedFeatureError
+from repro.common.names import NameGenerator
+from repro.frontend.cypher import ast as cy
+from repro.pgir.expr import (
+    PGAggregate,
+    PGBinary,
+    PGConst,
+    PGExpression,
+    PGFunction,
+    PGNot,
+    PGProperty,
+    PGVariable,
+    conjoin,
+)
+from repro.pgir.nodes import (
+    PGDirection,
+    PGEdgePattern,
+    PGIRQuery,
+    PGMatch,
+    PGNodePattern,
+    PGProjectionItem,
+    PGReturn,
+    PGUnwind,
+    PGWhere,
+    PGWith,
+)
+
+ParamValues = Mapping[str, object]
+
+
+@dataclass
+class LoweringResult:
+    """The outcome of lowering: the PGIR query plus bookkeeping.
+
+    ``node_labels`` maps node identifiers to the label they were declared
+    with (when any), which the PGIR-to-DLIR translation uses to pick EDBs.
+    """
+
+    query: PGIRQuery
+    node_labels: Dict[str, Optional[str]] = field(default_factory=dict)
+    edge_labels: Dict[str, Optional[str]] = field(default_factory=dict)
+
+
+class _Lowerer:
+    def __init__(self, parameters: Optional[ParamValues] = None) -> None:
+        self._parameters = dict(parameters or {})
+        self._names = NameGenerator()
+        self._node_labels: Dict[str, Optional[str]] = {}
+        self._edge_labels: Dict[str, Optional[str]] = {}
+        self._warnings: List[str] = []
+        self._with_counter = 0
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def lower(self, query: cy.CypherQuery) -> LoweringResult:
+        self._reserve_user_names(query)
+        clauses: List[object] = []
+        for clause in query.clauses:
+            clauses.extend(self._lower_clause(clause))
+        pgir = PGIRQuery(clauses=list(clauses), warnings=list(self._warnings))
+        return LoweringResult(
+            query=pgir,
+            node_labels=dict(self._node_labels),
+            edge_labels=dict(self._edge_labels),
+        )
+
+    def _reserve_user_names(self, query: cy.CypherQuery) -> None:
+        for clause in query.clauses:
+            if isinstance(clause, cy.MatchClause):
+                for pattern in clause.patterns:
+                    for node in pattern.nodes:
+                        if node.variable:
+                            self._names.reserve(node.variable)
+                    for relationship in pattern.relationships:
+                        if relationship.variable:
+                            self._names.reserve(relationship.variable)
+            elif isinstance(clause, (cy.ReturnClause, cy.WithClause)):
+                for item in clause.items:
+                    if item.alias:
+                        self._names.reserve(item.alias)
+            elif isinstance(clause, cy.UnwindClause):
+                self._names.reserve(clause.variable)
+
+    # ------------------------------------------------------------------
+    # Clauses
+    # ------------------------------------------------------------------
+
+    def _lower_clause(self, clause: cy.Clause) -> List[object]:
+        if isinstance(clause, cy.MatchClause):
+            return self._lower_match(clause)
+        if isinstance(clause, cy.WhereClause):
+            return [PGWhere(condition=self._lower_expression(clause.condition))]
+        if isinstance(clause, cy.WithClause):
+            return self._lower_with(clause)
+        if isinstance(clause, cy.UnwindClause):
+            return [
+                PGUnwind(
+                    expression=self._lower_expression(clause.expression),
+                    alias=clause.variable,
+                )
+            ]
+        if isinstance(clause, cy.ReturnClause):
+            return self._lower_return(clause)
+        raise TranslationError(f"cannot lower Cypher clause {clause!r}")
+
+    def _lower_match(self, clause: cy.MatchClause) -> List[object]:
+        edge_patterns: List[PGEdgePattern] = []
+        isolated_nodes: List[PGNodePattern] = []
+        conditions: List[PGExpression] = []
+        for pattern in clause.patterns:
+            edges, nodes, pattern_conditions = self._lower_path(pattern)
+            edge_patterns.extend(edges)
+            isolated_nodes.extend(nodes)
+            conditions.extend(pattern_conditions)
+        if clause.where is not None:
+            conditions.append(self._lower_expression(clause.where))
+        result: List[object] = [
+            PGMatch(
+                edge_patterns=tuple(edge_patterns),
+                node_patterns=tuple(isolated_nodes),
+                optional=clause.optional,
+            )
+        ]
+        condition = conjoin(tuple(conditions))
+        if condition is not None:
+            result.append(PGWhere(condition=condition))
+        return result
+
+    def _lower_path(
+        self, pattern: cy.PathPattern
+    ) -> Tuple[List[PGEdgePattern], List[PGNodePattern], List[PGExpression]]:
+        conditions: List[PGExpression] = []
+        node_patterns: List[PGNodePattern] = []
+        for node in pattern.nodes:
+            node_patterns.append(self._lower_node(node, conditions))
+        edges: List[PGEdgePattern] = []
+        for index, relationship in enumerate(pattern.relationships):
+            source = node_patterns[index]
+            target = node_patterns[index + 1]
+            edges.append(
+                self._lower_relationship(
+                    relationship, source, target, pattern, conditions
+                )
+            )
+        isolated = [] if edges else [node_patterns[0]]
+        return edges, isolated, conditions
+
+    def _lower_node(
+        self, node: cy.NodePattern, conditions: List[PGExpression]
+    ) -> PGNodePattern:
+        identifier = node.variable or self._names.fresh("n")
+        label = node.labels[0] if node.labels else None
+        if len(node.labels) > 1:
+            raise UnsupportedFeatureError("multiple node labels in one pattern")
+        existing = self._node_labels.get(identifier)
+        if existing is None or label is not None:
+            self._node_labels[identifier] = label or existing
+        for key, value in node.properties:
+            conditions.append(
+                PGBinary(
+                    "=",
+                    PGProperty(identifier, key),
+                    self._lower_expression(value),
+                )
+            )
+        return PGNodePattern(identifier=identifier, label=self._node_labels[identifier])
+
+    def _lower_relationship(
+        self,
+        relationship: cy.RelPattern,
+        source: PGNodePattern,
+        target: PGNodePattern,
+        pattern: cy.PathPattern,
+        conditions: List[PGExpression],
+    ) -> PGEdgePattern:
+        identifier = relationship.variable or self._names.fresh("x")
+        if len(relationship.types) > 1:
+            raise UnsupportedFeatureError("alternative relationship types")
+        label = relationship.types[0] if relationship.types else None
+        self._edge_labels[identifier] = label
+        for key, value in relationship.properties:
+            conditions.append(
+                PGBinary(
+                    "=",
+                    PGProperty(identifier, key),
+                    self._lower_expression(value),
+                )
+            )
+        if relationship.direction is cy.RelDirection.INCOMING:
+            source, target = target, source
+            direction = PGDirection.DIRECTED
+        elif relationship.direction is cy.RelDirection.OUTGOING:
+            direction = PGDirection.DIRECTED
+        else:
+            direction = PGDirection.UNDIRECTED
+        return PGEdgePattern(
+            identifier=identifier,
+            label=label,
+            source=source,
+            target=target,
+            direction=direction,
+            var_length=relationship.var_length,
+            min_hops=relationship.min_hops,
+            max_hops=relationship.max_hops,
+            shortest=pattern.shortest,
+            path_variable=pattern.path_variable,
+        )
+
+    def _lower_with(self, clause: cy.WithClause) -> List[object]:
+        if clause.order_by or clause.skip is not None or clause.limit is not None:
+            self._warnings.append(
+                "ORDER BY / SKIP / LIMIT in WITH dropped for set-semantics equivalence"
+            )
+        items = tuple(self._lower_item(item) for item in clause.items)
+        result: List[object] = [PGWith(items=items, distinct=clause.distinct)]
+        if clause.where is not None:
+            result.append(PGWhere(condition=self._lower_expression(clause.where)))
+        return result
+
+    def _lower_return(self, clause: cy.ReturnClause) -> List[object]:
+        if clause.order_by or clause.skip is not None or clause.limit is not None:
+            self._warnings.append(
+                "ORDER BY / SKIP / LIMIT in RETURN dropped for set-semantics equivalence"
+            )
+        items = tuple(self._lower_item(item) for item in clause.items)
+        return [PGReturn(items=items, distinct=clause.distinct)]
+
+    def _lower_item(self, item: cy.ReturnItem) -> PGProjectionItem:
+        expression = self._lower_expression(item.expression)
+        alias = item.alias or self._default_alias(item)
+        return PGProjectionItem(expression=expression, alias=alias)
+
+    def _default_alias(self, item: cy.ReturnItem) -> str:
+        name = item.output_name()
+        if name.isidentifier():
+            return name
+        self._with_counter += 1
+        return f"col{self._with_counter}"
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _lower_expression(self, expression: cy.Expression) -> PGExpression:
+        if isinstance(expression, cy.Variable):
+            return PGVariable(expression.name)
+        if isinstance(expression, cy.Literal):
+            return PGConst(expression.value)
+        if isinstance(expression, cy.Parameter):
+            if expression.name not in self._parameters:
+                raise TranslationError(
+                    f"no value supplied for query parameter ${expression.name}"
+                )
+            return PGConst(self._parameters[expression.name])  # type: ignore[arg-type]
+        if isinstance(expression, cy.PropertyAccess):
+            subject = expression.subject
+            if not isinstance(subject, cy.Variable):
+                raise UnsupportedFeatureError("nested property access")
+            return PGProperty(subject.name, expression.property_name)
+        if isinstance(expression, cy.BinaryOp):
+            op = "<>" if expression.op == "!=" else expression.op
+            return PGBinary(
+                op,
+                self._lower_expression(expression.left),
+                self._lower_expression(expression.right),
+            )
+        if isinstance(expression, cy.UnaryOp):
+            return self._lower_unary(expression)
+        if isinstance(expression, cy.FunctionCall):
+            return PGFunction(
+                expression.name,
+                tuple(self._lower_expression(arg) for arg in expression.args),
+            )
+        if isinstance(expression, cy.Aggregate):
+            argument = (
+                self._lower_expression(expression.argument)
+                if expression.argument is not None
+                else None
+            )
+            return PGAggregate(
+                func=expression.func, argument=argument, distinct=expression.distinct
+            )
+        if isinstance(expression, cy.ListLiteral):
+            return PGFunction(
+                "list", tuple(self._lower_expression(item) for item in expression.items)
+            )
+        raise TranslationError(f"cannot lower Cypher expression {expression!r}")
+
+    def _lower_unary(self, expression: cy.UnaryOp) -> PGExpression:
+        operand = self._lower_expression(expression.operand)
+        if expression.op == "NOT":
+            return PGNot(operand)
+        if expression.op == "-":
+            return PGBinary("-", PGConst(0), operand)
+        if expression.op == "IS NULL":
+            return PGFunction("isNull", (operand,))
+        if expression.op == "IS NOT NULL":
+            return PGNot(PGFunction("isNull", (operand,)))
+        raise TranslationError(f"cannot lower unary operator {expression.op!r}")
+
+
+def lower_cypher_to_pgir(
+    query: cy.CypherQuery, parameters: Optional[ParamValues] = None
+) -> LoweringResult:
+    """Lower a parsed Cypher query into PGIR.
+
+    ``parameters`` supplies values for ``$param`` references; a missing value
+    raises :class:`~repro.common.errors.TranslationError`.
+    """
+    return _Lowerer(parameters).lower(query)

@@ -1,0 +1,52 @@
+"""Textual rendering of PGIR queries.
+
+The pretty printer produces the boxed, clause-per-line layout used in the
+paper's Figure 3b, which the tests and the Figure 3 benchmark compare against.
+"""
+
+from __future__ import annotations
+
+from repro.pgir.nodes import (
+    PGIRQuery,
+    PGMatch,
+    PGReturn,
+    PGUnwind,
+    PGWhere,
+    PGWith,
+)
+
+
+def pgir_to_text(query: PGIRQuery) -> str:
+    """Render ``query`` as readable multi-line text, one clause per block."""
+    lines = []
+    for clause in query.clauses:
+        if isinstance(clause, PGMatch):
+            keyword = "OPTIONAL MATCH" if clause.optional else "MATCH"
+            lines.append(keyword)
+            for edge in clause.edge_patterns:
+                lines.append(f"  edge {edge}")
+            for node in clause.node_patterns:
+                lines.append(f"  node {node}")
+        elif isinstance(clause, PGWhere):
+            lines.append("WHERE")
+            lines.append(f"  {clause.condition}")
+        elif isinstance(clause, PGWith):
+            keyword = "WITH DISTINCT" if clause.distinct else "WITH"
+            lines.append(keyword)
+            for item in clause.items:
+                lines.append(f"  {item}")
+        elif isinstance(clause, PGUnwind):
+            lines.append("UNWIND")
+            lines.append(f"  {clause.expression} AS {clause.alias}")
+        elif isinstance(clause, PGReturn):
+            keyword = "RETURN DISTINCT" if clause.distinct else "RETURN"
+            lines.append(keyword)
+            for item in clause.items:
+                lines.append(f"  {item}")
+        else:
+            lines.append(str(clause))
+    if query.warnings:
+        lines.append("-- warnings:")
+        for warning in query.warnings:
+            lines.append(f"--   {warning}")
+    return "\n".join(lines)

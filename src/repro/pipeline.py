@@ -1,0 +1,268 @@
+"""The Raqlet compiler facade: one object driving the whole pipeline.
+
+:class:`Raqlet` wraps the full translation chain of the paper's Figure 1:
+
+* Cypher text  ->  PGIR  ->  DLIR  ->  {Soufflé Datalog text, SQIR, SQL text}
+* Datalog text ->  DLIR  ->  {Soufflé Datalog text, SQIR, SQL text}
+
+plus the static analyses (Section 4), the optimizer (Section 5), and helpers
+to execute a compiled query on each of the four execution engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.analysis import AnalysisReport, analyze_program
+from repro.analysis.report import BACKEND_CAPABILITIES, check_backend_support
+from repro.backends import dlir_to_souffle, pgir_to_cypher, sqir_to_sql
+from repro.common.errors import RaqletError, UnsupportedFeatureError
+from repro.dlir import DLIRProgram, translate_pgir_to_dlir
+from repro.engines.datalog import DatalogEngine
+from repro.engines.graph import GraphEngine, PropertyGraph
+from repro.engines.relational import Database, RelationalEngine
+from repro.engines.result import QueryResult
+from repro.engines.sqlite_exec import SQLiteExecutor
+from repro.frontend.cypher import parse_cypher
+from repro.frontend.datalog import parse_datalog
+from repro.optimize import OptimizationTrace, optimize_program
+from repro.pgir import LoweringResult, lower_cypher_to_pgir, pgir_to_text
+from repro.schema import PGSchema, SchemaMapping, parse_pg_schema, pg_to_dl_schema
+from repro.sqir import SQIRQuery, translate_dlir_to_sqir
+
+FactsInput = Mapping[str, Iterable[Tuple]]
+
+
+@dataclass
+class CompiledQuery:
+    """Everything Raqlet produces for one input query.
+
+    The artifacts mirror the paper's Figure 3: the PGIR form, the DLIR form
+    (unoptimized and optimized), the generated Soufflé Datalog text and the
+    generated SQL text, plus the static analysis report.
+    """
+
+    source_language: str
+    source_text: str
+    parameters: Dict[str, object] = field(default_factory=dict)
+    lowering: Optional[LoweringResult] = None
+    dlir: Optional[DLIRProgram] = None
+    dlir_optimized: Optional[DLIRProgram] = None
+    optimization_trace: Optional[OptimizationTrace] = None
+    analysis: Optional[AnalysisReport] = None
+
+    # -- artifact accessors ------------------------------------------------
+
+    def program(self, optimized: bool = True) -> DLIRProgram:
+        """Return the optimized (default) or unoptimized DLIR program."""
+        program = self.dlir_optimized if optimized else self.dlir
+        if program is None:
+            raise RaqletError("query was not compiled to DLIR")
+        return program
+
+    def pgir_text(self) -> str:
+        """Return the PGIR rendering (only for Cypher inputs)."""
+        if self.lowering is None:
+            raise RaqletError("no PGIR available for this input language")
+        return pgir_to_text(self.lowering.query)
+
+    def cypher_text(self) -> str:
+        """Return normalised Cypher regenerated from PGIR."""
+        if self.lowering is None:
+            raise RaqletError("no PGIR available for this input language")
+        return pgir_to_cypher(self.lowering.query)
+
+    def datalog_text(self, optimized: bool = True) -> str:
+        """Return Soufflé Datalog text for the chosen program variant."""
+        return dlir_to_souffle(self.program(optimized))
+
+    def sqir(self, optimized: bool = True) -> SQIRQuery:
+        """Return the SQIR plan for the chosen program variant."""
+        return translate_dlir_to_sqir(self.program(optimized))
+
+    def sql_text(self, optimized: bool = True, dialect: str = "ansi") -> str:
+        """Return SQL text for the chosen program variant."""
+        return sqir_to_sql(self.sqir(optimized), dialect=dialect)
+
+    def backend_problems(self, backend: str) -> List[str]:
+        """Return the reasons ``backend`` cannot run this query (empty = ok)."""
+        if self.analysis is None:
+            raise RaqletError("query was not analysed")
+        capability = BACKEND_CAPABILITIES.get(backend)
+        if capability is None:
+            raise RaqletError(f"unknown backend {backend!r}")
+        return check_backend_support(self.analysis, capability)
+
+    def warnings(self) -> List[str]:
+        """Return normalisation and analysis warnings."""
+        warnings: List[str] = []
+        if self.lowering is not None:
+            warnings.extend(self.lowering.query.warnings)
+        if self.analysis is not None:
+            warnings.extend(self.analysis.warnings)
+        return warnings
+
+
+class Raqlet:
+    """The compiler facade.
+
+    Parameters
+    ----------
+    schema:
+        Either a :class:`PGSchema`, PG-Schema text (``CREATE GRAPH ...``), or
+        an existing :class:`SchemaMapping`.
+    """
+
+    def __init__(self, schema) -> None:
+        if isinstance(schema, SchemaMapping):
+            self._mapping = schema
+        elif isinstance(schema, PGSchema):
+            self._mapping = pg_to_dl_schema(schema)
+        elif isinstance(schema, str):
+            self._mapping = pg_to_dl_schema(parse_pg_schema(schema))
+        else:
+            raise RaqletError(f"unsupported schema input {type(schema).__name__}")
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def mapping(self) -> SchemaMapping:
+        """Return the PG-Schema to DL-Schema mapping."""
+        return self._mapping
+
+    @property
+    def dl_schema(self):
+        """Return the derived DL-Schema."""
+        return self._mapping.dl_schema
+
+    # -- compilation ----------------------------------------------------------
+
+    def compile_cypher(
+        self,
+        query: str,
+        parameters: Optional[Mapping[str, object]] = None,
+        optimize: bool = True,
+    ) -> CompiledQuery:
+        """Compile a Cypher query through PGIR into DLIR (and optimize it)."""
+        ast = parse_cypher(query)
+        lowering = lower_cypher_to_pgir(ast, parameters)
+        dlir = translate_pgir_to_dlir(lowering, self._mapping)
+        compiled = CompiledQuery(
+            source_language="cypher",
+            source_text=query,
+            parameters=dict(parameters or {}),
+            lowering=lowering,
+            dlir=dlir,
+        )
+        self._finish(compiled, optimize)
+        return compiled
+
+    def compile_datalog(self, program_text: str, optimize: bool = True) -> CompiledQuery:
+        """Compile Soufflé-dialect Datalog text into DLIR (and optimize it).
+
+        EDB relations that are declared in the program but also exist in the
+        schema mapping keep the program's declaration; undeclared schema EDBs
+        are added so the program can reference the graph relations directly.
+        """
+        program = parse_datalog(program_text, schema=self._mapping.dl_schema)
+        compiled = CompiledQuery(
+            source_language="datalog", source_text=program_text, dlir=program
+        )
+        self._finish(compiled, optimize)
+        return compiled
+
+    def compile_sql(self, sql_text: str, optimize: bool = True) -> CompiledQuery:
+        """Compile recursive SQL text through SQIR into DLIR (and optimize it).
+
+        Base tables referenced by the query are resolved against the schema
+        mapping's DL-Schema (node and edge relations).
+        """
+        from repro.frontend.sql import parse_sql
+        from repro.sqir.to_dlir import translate_sqir_to_dlir
+
+        sqir = parse_sql(sql_text)
+        program = translate_sqir_to_dlir(sqir, self._mapping.dl_schema)
+        compiled = CompiledQuery(
+            source_language="sql", source_text=sql_text, dlir=program
+        )
+        self._finish(compiled, optimize)
+        return compiled
+
+    def compile_dlir(self, program: DLIRProgram, optimize: bool = True) -> CompiledQuery:
+        """Wrap an already-built DLIR program (analysis + optimization only)."""
+        compiled = CompiledQuery(
+            source_language="dlir", source_text=str(program), dlir=program
+        )
+        self._finish(compiled, optimize)
+        return compiled
+
+    def _finish(self, compiled: CompiledQuery, optimize: bool) -> None:
+        assert compiled.dlir is not None
+        compiled.analysis = analyze_program(compiled.dlir)
+        if optimize:
+            optimized, trace = optimize_program(compiled.dlir, self._mapping)
+            compiled.dlir_optimized = optimized
+            compiled.optimization_trace = trace
+        else:
+            compiled.dlir_optimized = compiled.dlir
+
+    # -- execution ------------------------------------------------------------
+
+    def run_on_datalog_engine(
+        self, compiled: CompiledQuery, facts: FactsInput, optimized: bool = True
+    ) -> QueryResult:
+        """Execute the compiled query on the in-repo Datalog engine."""
+        engine = DatalogEngine(compiled.program(optimized), facts)
+        return engine.query()
+
+    def run_on_relational_engine(
+        self, compiled: CompiledQuery, database: Database, optimized: bool = True
+    ) -> QueryResult:
+        """Execute the generated SQIR on the in-repo relational engine."""
+        problems = compiled.backend_problems("relational-engine")
+        if problems:
+            raise UnsupportedFeatureError("; ".join(problems), backend="relational-engine")
+        return RelationalEngine(database).execute(compiled.sqir(optimized))
+
+    def run_on_sqlite(
+        self, compiled: CompiledQuery, executor: SQLiteExecutor, optimized: bool = True
+    ) -> QueryResult:
+        """Execute the generated SQL text on SQLite."""
+        problems = compiled.backend_problems("sqlite")
+        if problems:
+            raise UnsupportedFeatureError("; ".join(problems), backend="sqlite")
+        return executor.execute_sql(compiled.sql_text(optimized, dialect="sqlite"))
+
+    def run_on_graph_engine(
+        self, compiled: CompiledQuery, graph: PropertyGraph
+    ) -> QueryResult:
+        """Execute the original (PGIR) query on the property-graph engine."""
+        if compiled.lowering is None:
+            raise RaqletError("graph execution requires a Cypher input query")
+        return GraphEngine(graph).execute(compiled.lowering)
+
+    def run_everywhere(
+        self,
+        compiled: CompiledQuery,
+        facts: FactsInput,
+        database: Optional[Database] = None,
+        graph: Optional[PropertyGraph] = None,
+        sqlite_executor: Optional[SQLiteExecutor] = None,
+        optimized: bool = True,
+    ) -> Dict[str, QueryResult]:
+        """Run the query on every engine it supports and collect the results.
+
+        Engines whose capability check rejects the query are skipped.
+        """
+        results: Dict[str, QueryResult] = {}
+        results["datalog"] = self.run_on_datalog_engine(compiled, facts, optimized)
+        if database is not None and not compiled.backend_problems("relational-engine"):
+            results["relational"] = self.run_on_relational_engine(
+                compiled, database, optimized
+            )
+        if sqlite_executor is not None and not compiled.backend_problems("sqlite"):
+            results["sqlite"] = self.run_on_sqlite(compiled, sqlite_executor, optimized)
+        if graph is not None and compiled.lowering is not None:
+            results["graph"] = self.run_on_graph_engine(compiled, graph)
+        return results

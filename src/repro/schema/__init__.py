@@ -1,0 +1,34 @@
+"""Schema models and the data-model transformation (paper Figure 2).
+
+Raqlet takes a PG-Schema describing a property graph (node types, edge types
+and their properties) and derives a DL-Schema: one extensional relation (EDB)
+per node type and per edge type.  Both models, a parser for the textual
+``CREATE GRAPH`` PG-Schema syntax used in the paper, and the translation live
+in this package.
+"""
+
+from repro.schema.dl_schema import DLColumn, DLRelation, DLSchema, DLType
+from repro.schema.pg_schema import (
+    EdgeType,
+    NodeType,
+    PGSchema,
+    PropertyDef,
+    PropertyType,
+)
+from repro.schema.pg_parser import parse_pg_schema
+from repro.schema.translate import SchemaMapping, pg_to_dl_schema
+
+__all__ = [
+    "PropertyType",
+    "PropertyDef",
+    "NodeType",
+    "EdgeType",
+    "PGSchema",
+    "parse_pg_schema",
+    "DLType",
+    "DLColumn",
+    "DLRelation",
+    "DLSchema",
+    "SchemaMapping",
+    "pg_to_dl_schema",
+]

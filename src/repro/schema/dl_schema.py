@@ -1,0 +1,164 @@
+"""Datalog schema (DL-Schema) model.
+
+The DL-Schema is the relational view of a property graph used by DLIR: one
+extensional relation (EDB) per node type and per edge type, plus any
+intensional relations (IDBs) declared during query compilation.  Column types
+follow Soufflé's convention of ``number`` and ``symbol``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import SchemaError
+from repro.schema.pg_schema import PropertyType
+
+
+class DLType(enum.Enum):
+    """Column types of DL-Schema relations (Soufflé naming)."""
+
+    NUMBER = "number"
+    SYMBOL = "symbol"
+    FLOAT = "float"
+
+    @classmethod
+    def from_property_type(cls, property_type: PropertyType) -> "DLType":
+        """Map a PG-Schema property type to a DL-Schema column type."""
+        mapping = {
+            PropertyType.INT: cls.NUMBER,
+            PropertyType.DATE: cls.NUMBER,
+            PropertyType.BOOL: cls.NUMBER,
+            PropertyType.STRING: cls.SYMBOL,
+            PropertyType.FLOAT: cls.FLOAT,
+        }
+        return mapping[property_type]
+
+    def python_type(self) -> type:
+        """Return the Python type used to represent values of this column."""
+        if self is DLType.NUMBER:
+            return int
+        if self is DLType.FLOAT:
+            return float
+        return str
+
+    def sql_type(self) -> str:
+        """Return the SQL column type used when creating backend tables."""
+        if self is DLType.NUMBER:
+            return "BIGINT"
+        if self is DLType.FLOAT:
+            return "DOUBLE PRECISION"
+        return "VARCHAR"
+
+
+@dataclass(frozen=True)
+class DLColumn:
+    """A named, typed column of a DL-Schema relation."""
+
+    name: str
+    type: DLType
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.type.value}"
+
+
+@dataclass(frozen=True)
+class DLRelation:
+    """A relation declaration: name plus ordered typed columns.
+
+    ``is_edb`` records whether the relation is extensional (stored facts,
+    derived from the schema) or intensional (defined by rules).
+    """
+
+    name: str
+    columns: Tuple[DLColumn, ...]
+    is_edb: bool = True
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    def column_names(self) -> List[str]:
+        """Return column names in order."""
+        return [column.name for column in self.columns]
+
+    def column_types(self) -> List[DLType]:
+        """Return column types in order."""
+        return [column.type for column in self.columns]
+
+    def column_index(self, name: str) -> int:
+        """Return the position of column ``name`` or raise :class:`SchemaError`."""
+        for index, column in enumerate(self.columns):
+            if column.name == name:
+                return index
+        raise SchemaError(f"relation {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        """Return whether the relation declares column ``name``."""
+        return any(column.name == name for column in self.columns)
+
+    def __str__(self) -> str:
+        columns = ", ".join(str(column) for column in self.columns)
+        return f"{self.name}({columns})"
+
+
+@dataclass
+class DLSchema:
+    """A collection of DL-Schema relation declarations keyed by name."""
+
+    relations: Dict[str, DLRelation] = field(default_factory=dict)
+
+    def add(self, relation: DLRelation) -> None:
+        """Register ``relation``; duplicate names raise :class:`SchemaError`."""
+        if relation.name in self.relations:
+            raise SchemaError(f"duplicate relation {relation.name!r}")
+        self.relations[relation.name] = relation
+
+    def get(self, name: str) -> DLRelation:
+        """Return the relation declaration ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self.relations[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown relation {name!r}") from exc
+
+    def maybe_get(self, name: str) -> Optional[DLRelation]:
+        """Return the relation declaration ``name`` or ``None``."""
+        return self.relations.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self):
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def edb_relations(self) -> List[DLRelation]:
+        """Return extensional relations in insertion order."""
+        return [relation for relation in self.relations.values() if relation.is_edb]
+
+    def idb_relations(self) -> List[DLRelation]:
+        """Return intensional relations in insertion order."""
+        return [relation for relation in self.relations.values() if not relation.is_edb]
+
+    def copy(self) -> "DLSchema":
+        """Return a shallow copy that can be extended without affecting this one."""
+        return DLSchema(relations=dict(self.relations))
+
+    @staticmethod
+    def build(relations: Iterable[Tuple[str, List[Tuple[str, str]]]]) -> "DLSchema":
+        """Build a schema from ``(name, [(column, type_name), ...])`` tuples."""
+        schema = DLSchema()
+        for name, columns in relations:
+            schema.add(
+                DLRelation(
+                    name=name,
+                    columns=tuple(
+                        DLColumn(column, DLType(type_name)) for column, type_name in columns
+                    ),
+                )
+            )
+        return schema

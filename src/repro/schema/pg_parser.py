@@ -1,0 +1,212 @@
+"""Parser for the textual PG-Schema fragment used in the paper (Figure 2a).
+
+The supported syntax is::
+
+    CREATE GRAPH {
+      (personType : Person { id INT, firstName STRING, locationIP STRING }),
+      (cityType : City { id INT, name STRING }),
+      (:personType)-[locationType : isLocatedIn { id INT }]->(:cityType)
+    }
+
+Node type declarations are parenthesised, edge type declarations use the
+``(:source)-[typeName : Label { props }]->(:target)`` arrow form.  Property
+lists are optional.  The parser is a small hand-written recursive descent
+parser over a regex tokenizer; it reports positions for every error.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ParseError
+from repro.common.location import SourceLocation
+from repro.schema.pg_schema import (
+    EdgeType,
+    NodeType,
+    PGSchema,
+    PropertyDef,
+    PropertyType,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|\#[^\n]*)
+  | (?P<arrow>->)
+  | (?P<punct>[(){}\[\]:,\-])
+  | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    location: SourceLocation
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    location = SourceLocation(1, 1)
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r}", location, "pg-schema"
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind not in ("ws", "comment"):
+            token_kind = kind if kind != "punct" else value
+            if kind == "arrow":
+                token_kind = "->"
+            tokens.append(_Token(token_kind, value, location))
+        location = location.advanced(value)
+        position = match.end()
+    tokens.append(_Token("eof", "", location))
+    return tokens
+
+
+class _Parser:
+    """Recursive descent parser over the PG-Schema token stream."""
+
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token utilities -------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind!r} but found {token.text or 'end of input'!r}",
+                token.location,
+                "pg-schema",
+            )
+        return self._advance()
+
+    def _expect_word(self, value: Optional[str] = None) -> _Token:
+        token = self._expect("word")
+        if value is not None and token.text.upper() != value.upper():
+            raise ParseError(
+                f"expected keyword {value!r} but found {token.text!r}",
+                token.location,
+                "pg-schema",
+            )
+        return token
+
+    def _at(self, kind: str) -> bool:
+        return self._peek().kind == kind
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse(self) -> PGSchema:
+        self._expect_word("CREATE")
+        self._expect_word("GRAPH")
+        # An optional graph name is accepted for convenience.
+        if self._at("word"):
+            self._advance()
+        self._expect("{")
+        node_types: List[NodeType] = []
+        edge_types: List[Tuple[str, str, str, str, Tuple[PropertyDef, ...]]] = []
+        while not self._at("}"):
+            element = self._parse_element()
+            if isinstance(element, NodeType):
+                node_types.append(element)
+            else:
+                edge_types.append(element)
+            if self._at(","):
+                self._advance()
+        self._expect("}")
+        self._expect("eof")
+        resolved_edges = [
+            EdgeType(
+                type_name=type_name,
+                label=label,
+                source=self._resolve_endpoint(source, node_types),
+                target=self._resolve_endpoint(target, node_types),
+                properties=properties,
+            )
+            for type_name, label, source, target, properties in edge_types
+        ]
+        return PGSchema(node_types=node_types, edge_types=resolved_edges)
+
+    @staticmethod
+    def _resolve_endpoint(name: str, node_types: List[NodeType]) -> str:
+        for node_type in node_types:
+            if node_type.type_name == name or node_type.label == name:
+                return node_type.label
+        # Leave unresolved; PGSchema validation reports the error with context.
+        return name
+
+    def _parse_element(self):
+        start = self._expect("(")
+        if self._at(":"):
+            # "(:personType)" opener means this is an edge declaration.
+            return self._parse_edge(start)
+        return self._parse_node()
+
+    def _parse_node(self) -> NodeType:
+        type_name = self._expect("word").text
+        self._expect(":")
+        label = self._expect("word").text
+        properties: Tuple[PropertyDef, ...] = ()
+        if self._at("{"):
+            properties = self._parse_properties()
+        self._expect(")")
+        return NodeType(type_name=type_name, label=label, properties=properties)
+
+    def _parse_edge(self, start: _Token):
+        self._expect(":")
+        source = self._expect("word").text
+        self._expect(")")
+        self._expect("-")
+        self._expect("[")
+        type_name = self._expect("word").text
+        self._expect(":")
+        label = self._expect("word").text
+        properties: Tuple[PropertyDef, ...] = ()
+        if self._at("{"):
+            properties = self._parse_properties()
+        self._expect("]")
+        self._expect("->")
+        self._expect("(")
+        self._expect(":")
+        target = self._expect("word").text
+        self._expect(")")
+        del start
+        return (type_name, label, source, target, properties)
+
+    def _parse_properties(self) -> Tuple[PropertyDef, ...]:
+        self._expect("{")
+        properties: List[PropertyDef] = []
+        while not self._at("}"):
+            name = self._expect("word").text
+            type_token = self._expect("word")
+            properties.append(
+                PropertyDef(name, PropertyType.from_name(type_token.text))
+            )
+            if self._at(","):
+                self._advance()
+        self._expect("}")
+        return tuple(properties)
+
+
+def parse_pg_schema(text: str) -> PGSchema:
+    """Parse PG-Schema text (the ``CREATE GRAPH`` form) into a :class:`PGSchema`."""
+    return _Parser(_tokenize(text)).parse()

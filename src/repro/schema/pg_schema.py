@@ -1,0 +1,267 @@
+"""Property-graph schema (PG-Schema) model.
+
+The model follows the fragment of PG-Schema used in the paper's Figure 2: a
+graph type is a collection of *node types* and *edge types*, each carrying a
+label and a set of typed properties.  Every node type is assumed to expose an
+``id`` property that acts as its key, which is how the LDBC SNB schema (and
+the paper's translation to DL-Schema) identifies nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import SchemaError
+
+
+def normalize_edge_label(label: str) -> str:
+    """Normalise an edge label for matching.
+
+    PG-Schema declarations tend to use camelCase labels (``isLocatedIn``)
+    while Cypher queries use upper-snake-case (``IS_LOCATED_IN``); both
+    normalise to ``IS_LOCATED_IN`` so that lookups succeed either way.
+    """
+    if label.isupper() or "_" in label:
+        return label.upper()
+    pieces = re.findall(r"[A-Z]?[a-z0-9]+|[A-Z]+(?![a-z])", label)
+    return "_".join(piece.upper() for piece in pieces)
+
+
+class PropertyType(enum.Enum):
+    """Primitive property types supported by PG-Schema."""
+
+    INT = "INT"
+    STRING = "STRING"
+    FLOAT = "FLOAT"
+    BOOL = "BOOL"
+    DATE = "DATE"
+
+    @classmethod
+    def from_name(cls, name: str) -> "PropertyType":
+        """Parse a type name as written in PG-Schema text (case-insensitive)."""
+        normalized = name.strip().upper()
+        aliases = {
+            "INTEGER": "INT",
+            "LONG": "INT",
+            "BIGINT": "INT",
+            "TEXT": "STRING",
+            "VARCHAR": "STRING",
+            "DOUBLE": "FLOAT",
+            "REAL": "FLOAT",
+            "BOOLEAN": "BOOL",
+            "DATETIME": "DATE",
+            "TIMESTAMP": "DATE",
+        }
+        normalized = aliases.get(normalized, normalized)
+        try:
+            return cls(normalized)
+        except ValueError as exc:
+            raise SchemaError(f"unknown property type {name!r}") from exc
+
+
+@dataclass(frozen=True)
+class PropertyDef:
+    """A single typed property of a node or edge type."""
+
+    name: str
+    type: PropertyType
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.type.value}"
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """A node type: a type name, a label and an ordered list of properties."""
+
+    type_name: str
+    label: str
+    properties: Tuple[PropertyDef, ...] = ()
+
+    def property_names(self) -> List[str]:
+        """Return property names in declaration order."""
+        return [prop.name for prop in self.properties]
+
+    def property_type(self, name: str) -> PropertyType:
+        """Return the type of property ``name`` or raise :class:`SchemaError`."""
+        for prop in self.properties:
+            if prop.name == name:
+                return prop.type
+        raise SchemaError(f"node type {self.label!r} has no property {name!r}")
+
+    def has_property(self, name: str) -> bool:
+        """Return whether the node type declares property ``name``."""
+        return any(prop.name == name for prop in self.properties)
+
+
+@dataclass(frozen=True)
+class EdgeType:
+    """An edge type connecting a source node type to a target node type."""
+
+    type_name: str
+    label: str
+    source: str
+    target: str
+    properties: Tuple[PropertyDef, ...] = ()
+
+    def property_names(self) -> List[str]:
+        """Return property names in declaration order."""
+        return [prop.name for prop in self.properties]
+
+    def property_type(self, name: str) -> PropertyType:
+        """Return the type of property ``name`` or raise :class:`SchemaError`."""
+        for prop in self.properties:
+            if prop.name == name:
+                return prop.type
+        raise SchemaError(f"edge type {self.label!r} has no property {name!r}")
+
+    def has_property(self, name: str) -> bool:
+        """Return whether the edge type declares property ``name``."""
+        return any(prop.name == name for prop in self.properties)
+
+
+@dataclass
+class PGSchema:
+    """A property-graph schema: node types plus edge types.
+
+    Node labels must be unique.  Edge labels may be shared by several edge
+    types (the same relationship label between different endpoint types),
+    which is why :meth:`edge_types_by_label` returns a list.
+    """
+
+    node_types: List[NodeType] = field(default_factory=list)
+    edge_types: List[EdgeType] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def _validate(self) -> None:
+        seen_labels: Dict[str, NodeType] = {}
+        for node_type in self.node_types:
+            if node_type.label in seen_labels:
+                raise SchemaError(f"duplicate node label {node_type.label!r}")
+            seen_labels[node_type.label] = node_type
+        node_labels = {node_type.label for node_type in self.node_types}
+        type_to_label = {nt.type_name: nt.label for nt in self.node_types}
+        for edge_type in self.edge_types:
+            for endpoint in (edge_type.source, edge_type.target):
+                if endpoint not in node_labels and endpoint not in type_to_label:
+                    raise SchemaError(
+                        f"edge type {edge_type.label!r} references unknown "
+                        f"node type {endpoint!r}"
+                    )
+
+    # -- lookups ---------------------------------------------------------
+
+    def node_type(self, label: str) -> NodeType:
+        """Return the node type with ``label`` or raise :class:`SchemaError`."""
+        for node_type in self.node_types:
+            if node_type.label == label:
+                return node_type
+        raise SchemaError(f"unknown node label {label!r}")
+
+    def has_node_label(self, label: str) -> bool:
+        """Return whether a node type with ``label`` exists."""
+        return any(node_type.label == label for node_type in self.node_types)
+
+    def node_labels(self) -> List[str]:
+        """Return all node labels in declaration order."""
+        return [node_type.label for node_type in self.node_types]
+
+    def edge_labels(self) -> List[str]:
+        """Return all edge labels in declaration order (may contain duplicates)."""
+        return [edge_type.label for edge_type in self.edge_types]
+
+    def edge_types_by_label(self, label: str) -> List[EdgeType]:
+        """Return every edge type carrying ``label``.
+
+        Labels are compared after upper-snake-case normalisation so that
+        schema declarations (``isLocatedIn``) match query syntax
+        (``IS_LOCATED_IN``).
+        """
+        wanted = normalize_edge_label(label)
+        return [
+            edge_type
+            for edge_type in self.edge_types
+            if normalize_edge_label(edge_type.label) == wanted
+        ]
+
+    def resolve_node_label(self, name: str) -> str:
+        """Resolve ``name`` (a label or a type name) to a node label."""
+        for node_type in self.node_types:
+            if node_type.label == name or node_type.type_name == name:
+                return node_type.label
+        raise SchemaError(f"unknown node type or label {name!r}")
+
+    def edge_type_between(
+        self,
+        label: str,
+        source_label: Optional[str] = None,
+        target_label: Optional[str] = None,
+    ) -> EdgeType:
+        """Return the unique edge type with ``label`` between the given endpoints.
+
+        ``source_label`` / ``target_label`` restrict the candidates when the
+        same edge label connects several node-type pairs; either may be
+        ``None`` to mean "any".
+        """
+        candidates = []
+        for edge_type in self.edge_types_by_label(label):
+            source = self.resolve_node_label(edge_type.source)
+            target = self.resolve_node_label(edge_type.target)
+            if source_label is not None and source != source_label:
+                continue
+            if target_label is not None and target != target_label:
+                continue
+            candidates.append(edge_type)
+        if not candidates:
+            raise SchemaError(
+                f"no edge type {label!r} between {source_label!r} and {target_label!r}"
+            )
+        if len(candidates) > 1:
+            raise SchemaError(
+                f"ambiguous edge type {label!r} between {source_label!r} "
+                f"and {target_label!r}"
+            )
+        return candidates[0]
+
+    # -- construction helpers -------------------------------------------
+
+    @staticmethod
+    def build(
+        nodes: Iterable[Tuple[str, List[Tuple[str, str]]]],
+        edges: Iterable[Tuple[str, str, str, List[Tuple[str, str]]]],
+    ) -> "PGSchema":
+        """Build a schema from plain tuples, mainly for tests and examples.
+
+        ``nodes`` is an iterable of ``(label, [(prop, type_name), ...])`` and
+        ``edges`` of ``(label, source_label, target_label, props)``.
+        """
+        node_types = [
+            NodeType(
+                type_name=f"{label[0].lower()}{label[1:]}Type",
+                label=label,
+                properties=tuple(
+                    PropertyDef(name, PropertyType.from_name(type_name))
+                    for name, type_name in props
+                ),
+            )
+            for label, props in nodes
+        ]
+        edge_types = [
+            EdgeType(
+                type_name=f"{label[0].lower()}{label[1:]}Type",
+                label=label,
+                source=source,
+                target=target,
+                properties=tuple(
+                    PropertyDef(name, PropertyType.from_name(type_name))
+                    for name, type_name in props
+                ),
+            )
+            for label, source, target, props in edges
+        ]
+        return PGSchema(node_types=node_types, edge_types=edge_types)

@@ -1,0 +1,43 @@
+"""SQIR: the SQL intermediate representation (paper Figure 3e).
+
+SQIR models a query as a chain of common table expressions (CTEs) -- one per
+DLIR relation -- followed by a final ``SELECT`` from the output relation.
+Non-recursive DLIR relations become plain CTEs; recursive relations become
+``WITH RECURSIVE`` CTEs whose base members come from the non-recursive rules
+and whose recursive members come from the rules that reference the relation
+itself.
+"""
+
+from repro.sqir.nodes import (
+    CTE,
+    ColumnRef,
+    NotExists,
+    SQLBinary,
+    SQLExpr,
+    SQLFunction,
+    SQLLiteral,
+    SQIRQuery,
+    SelectItem,
+    SelectQuery,
+    TableRef,
+)
+from repro.sqir.from_dlir import DLIRToSQIR, translate_dlir_to_sqir
+from repro.sqir.to_dlir import SQIRToDLIR, translate_sqir_to_dlir
+
+__all__ = [
+    "SQIRToDLIR",
+    "translate_sqir_to_dlir",
+    "SQLExpr",
+    "SQLLiteral",
+    "ColumnRef",
+    "SQLBinary",
+    "SQLFunction",
+    "NotExists",
+    "SelectItem",
+    "TableRef",
+    "SelectQuery",
+    "CTE",
+    "SQIRQuery",
+    "DLIRToSQIR",
+    "translate_dlir_to_sqir",
+]

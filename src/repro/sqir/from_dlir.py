@@ -1,0 +1,326 @@
+"""DLIR-to-SQIR translation (paper Figure 3e).
+
+Every IDB relation becomes a CTE (recursive relations become ``WITH
+RECURSIVE`` CTEs); each of its rules becomes one SELECT member of that CTE:
+
+* every positive body atom contributes a FROM table with a fresh alias,
+* join conditions come from shared variables and constants in atom arguments,
+* comparisons become WHERE conjuncts,
+* negated atoms become ``NOT EXISTS`` subqueries,
+* aggregations become ``GROUP BY`` queries.
+
+Restrictions follow SQL's recursion model and are reported as
+:class:`~repro.common.errors.UnsupportedFeatureError`: mutual recursion,
+non-linear recursive rules, aggregation or negation inside recursion, and
+min/max subsumption cannot be expressed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.dependencies import build_dependency_graph
+from repro.common.errors import TranslationError, UnsupportedFeatureError
+from repro.dlir.core import (
+    Aggregation,
+    ArithExpr,
+    Atom,
+    Comparison,
+    Const,
+    DLIRProgram,
+    NegatedAtom,
+    Rule,
+    Term,
+    Var,
+    Wildcard,
+)
+from repro.sqir.nodes import (
+    CTE,
+    ColumnRef,
+    NotExists,
+    SQLBinary,
+    SQLExpr,
+    SQLFunction,
+    SQLLiteral,
+    SQIRQuery,
+    SelectItem,
+    SelectQuery,
+    TableRef,
+)
+
+_SQL_COMPARISON = {"=": "=", "<>": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+_AGGREGATE_SQL = {
+    "count": "COUNT",
+    "sum": "SUM",
+    "min": "MIN",
+    "max": "MAX",
+    "avg": "AVG",
+    "collect": "GROUP_CONCAT",
+}
+
+
+class _RuleTranslator:
+    """Translate one DLIR rule into one SELECT member."""
+
+    def __init__(self, program: DLIRProgram, rule: Rule) -> None:
+        self._program = program
+        self._rule = rule
+        self._bindings: Dict[str, SQLExpr] = {}
+        self._tables: List[TableRef] = []
+        self._where: List[SQLExpr] = []
+        self._alias_counter = 0
+
+    # -- helpers ----------------------------------------------------------
+
+    def _fresh_alias(self) -> str:
+        self._alias_counter += 1
+        return f"R{self._alias_counter}"
+
+    def _column_name(self, relation: str, index: int) -> str:
+        declaration = self._program.schema.maybe_get(relation)
+        if declaration is not None and index < declaration.arity:
+            return declaration.columns[index].name
+        return f"c{index}"
+
+    def _bind_atom(self, atom: Atom) -> None:
+        alias = self._fresh_alias()
+        self._tables.append(TableRef(atom.relation, alias))
+        for index, term in enumerate(atom.terms):
+            column = ColumnRef(alias, self._column_name(atom.relation, index))
+            if isinstance(term, Wildcard):
+                continue
+            if isinstance(term, Const):
+                self._where.append(SQLBinary("=", column, SQLLiteral(term.value)))
+            elif isinstance(term, Var):
+                if term.name in self._bindings:
+                    self._where.append(SQLBinary("=", self._bindings[term.name], column))
+                else:
+                    self._bindings[term.name] = column
+            else:
+                raise TranslationError(
+                    f"arithmetic term {term} not supported in body atom arguments"
+                )
+
+    def _translate_term(self, term: Term) -> Optional[SQLExpr]:
+        """Translate a term; returns ``None`` when a variable is not yet bound."""
+        if isinstance(term, Const):
+            return SQLLiteral(term.value)
+        if isinstance(term, Var):
+            return self._bindings.get(term.name)
+        if isinstance(term, ArithExpr):
+            left = self._translate_term(term.left)
+            right = self._translate_term(term.right)
+            if left is None or right is None:
+                return None
+            return SQLBinary(term.op, left, right)
+        if isinstance(term, Wildcard):
+            raise TranslationError("wildcard in an expression position")
+        raise TranslationError(f"cannot translate term {term!r}")
+
+    def _process_comparisons(self, comparisons: List[Comparison]) -> None:
+        pending = list(comparisons)
+        progress = True
+        while pending and progress:
+            progress = False
+            remaining: List[Comparison] = []
+            for comparison in pending:
+                left = self._translate_term(comparison.left)
+                right = self._translate_term(comparison.right)
+                if comparison.op == "=" and left is not None and right is None and isinstance(
+                    comparison.right, Var
+                ):
+                    self._bindings[comparison.right.name] = left
+                    progress = True
+                    continue
+                if comparison.op == "=" and right is not None and left is None and isinstance(
+                    comparison.left, Var
+                ):
+                    self._bindings[comparison.left.name] = right
+                    progress = True
+                    continue
+                if left is not None and right is not None:
+                    self._where.append(
+                        SQLBinary(_SQL_COMPARISON[comparison.op], left, right)
+                    )
+                    progress = True
+                    continue
+                remaining.append(comparison)
+            pending = remaining
+        if pending:
+            raise TranslationError(
+                "comparisons with unbound variables: "
+                + "; ".join(str(comparison) for comparison in pending)
+            )
+
+    def _translate_negated(self, negated: NegatedAtom) -> None:
+        atom = negated.atom
+        alias = self._fresh_alias()
+        conditions: List[SQLExpr] = []
+        for index, term in enumerate(atom.terms):
+            column = ColumnRef(alias, self._column_name(atom.relation, index))
+            if isinstance(term, Wildcard):
+                continue
+            if isinstance(term, Const):
+                conditions.append(SQLBinary("=", column, SQLLiteral(term.value)))
+            elif isinstance(term, Var):
+                outer = self._bindings.get(term.name)
+                if outer is None:
+                    # Existential variable local to the negated atom.
+                    continue
+                conditions.append(SQLBinary("=", column, outer))
+            else:
+                raise TranslationError("arithmetic inside a negated atom")
+        subquery = SelectQuery(
+            items=[SelectItem(SQLLiteral(1), "one")],
+            from_tables=[TableRef(atom.relation, alias)],
+            where=conditions,
+            distinct=False,
+        )
+        self._where.append(NotExists(subquery))
+
+    def _aggregate_expr(self, aggregation: Aggregation) -> SQLExpr:
+        function = _AGGREGATE_SQL[aggregation.func]
+        if aggregation.argument is None:
+            return SQLFunction(function, (), star=True)
+        argument = self._translate_term(aggregation.argument)
+        if argument is None:
+            raise TranslationError(
+                f"aggregation argument {aggregation.argument} is not bound"
+            )
+        if aggregation.func == "avg":
+            # Average over integers should not truncate: promote to float.
+            argument = SQLBinary("*", argument, SQLLiteral(1.0))
+        return SQLFunction(function, (argument,), distinct=aggregation.distinct)
+
+    # -- entry point ------------------------------------------------------
+
+    def translate(self) -> SelectQuery:
+        rule = self._rule
+        for atom in rule.body_atoms():
+            self._bind_atom(atom)
+        self._process_comparisons(rule.comparisons())
+        for negated in rule.negated_atoms():
+            self._translate_negated(negated)
+
+        aggregate_results = {
+            aggregation.result.name: aggregation for aggregation in rule.aggregations
+        }
+        head_columns = [
+            self._column_name(rule.head.relation, index)
+            for index in range(rule.head.arity)
+        ]
+        items: List[SelectItem] = []
+        group_by: List[SQLExpr] = []
+        for index, term in enumerate(rule.head.terms):
+            column_name = head_columns[index]
+            if isinstance(term, Var) and term.name in aggregate_results:
+                items.append(
+                    SelectItem(self._aggregate_expr(aggregate_results[term.name]), column_name)
+                )
+                continue
+            expression = self._translate_term(term)
+            if expression is None:
+                raise TranslationError(
+                    f"head term {term} of rule {rule} is not bound by the body"
+                )
+            items.append(SelectItem(expression, column_name))
+            if rule.aggregations:
+                group_by.append(expression)
+        if not rule.body_atoms() and not rule.comparisons():
+            # Ground fact rule: SELECT constants without a FROM clause.
+            return SelectQuery(items=items, from_tables=[], where=[], distinct=True)
+        return SelectQuery(
+            items=items,
+            from_tables=self._tables,
+            where=self._where,
+            group_by=group_by,
+            distinct=True,
+        )
+
+
+class DLIRToSQIR:
+    """Translate a DLIR program into a SQIR query."""
+
+    def __init__(self, program: DLIRProgram, output: Optional[str] = None) -> None:
+        self._program = program
+        if output is None:
+            if not program.outputs:
+                raise TranslationError("DLIR program has no output relation")
+            output = program.outputs[0]
+        self._output = output
+
+    def translate(self) -> SQIRQuery:
+        program = self._program
+        graph = build_dependency_graph(program)
+        idb_names = set(program.idb_names())
+        ctes: List[CTE] = []
+        for component in graph.condensation_order():
+            members = [name for name in component if name in idb_names]
+            if not members:
+                continue
+            if len(members) > 1:
+                raise UnsupportedFeatureError("mutual recursion", backend="sql")
+            ctes.append(self._build_cte(members[0], graph))
+        final = SelectQuery(
+            items=[SelectItem(ColumnRef(self._output, column), column) for column in self._columns(self._output)],
+            from_tables=[TableRef(self._output, self._output)],
+            where=[],
+            distinct=True,
+        )
+        return SQIRQuery(ctes=ctes, final=final)
+
+    def _columns(self, relation: str) -> List[str]:
+        declaration = self._program.schema.maybe_get(relation)
+        if declaration is not None:
+            return declaration.column_names()
+        rules = self._program.rules_for(relation)
+        if rules:
+            return [f"c{index}" for index in range(rules[0].head.arity)]
+        raise TranslationError(f"unknown relation {relation!r}")
+
+    def _build_cte(self, relation: str, graph) -> CTE:
+        rules = self._program.rules_for(relation)
+        if not rules:
+            raise TranslationError(f"IDB relation {relation!r} has no rules")
+        recursive = graph.is_recursive(relation)
+        base_members: List[SelectQuery] = []
+        recursive_members: List[SelectQuery] = []
+        for rule in rules:
+            if rule.subsume_min is not None or rule.subsume_max is not None:
+                raise UnsupportedFeatureError(
+                    "min/max subsumption (shortest-path recursion)", backend="sql"
+                )
+            is_recursive_rule = relation in rule.body_relations()
+            if recursive and is_recursive_rule:
+                if rule.has_aggregation():
+                    raise UnsupportedFeatureError(
+                        "aggregation inside recursion", backend="sql"
+                    )
+                if any(
+                    negated.atom.relation == relation for negated in rule.negated_atoms()
+                ):
+                    raise UnsupportedFeatureError(
+                        "negation inside recursion", backend="sql"
+                    )
+                if sum(1 for name in rule.body_relations() if name == relation) > 1:
+                    raise UnsupportedFeatureError(
+                        "non-linear recursion", backend="sql"
+                    )
+                recursive_members.append(_RuleTranslator(self._program, rule).translate())
+            else:
+                base_members.append(_RuleTranslator(self._program, rule).translate())
+        if recursive and not base_members:
+            raise TranslationError(
+                f"recursive relation {relation!r} has no non-recursive base rule"
+            )
+        return CTE(
+            name=relation,
+            columns=self._columns(relation),
+            base_members=base_members,
+            recursive_members=recursive_members,
+        )
+
+
+def translate_dlir_to_sqir(program: DLIRProgram, output: Optional[str] = None) -> SQIRQuery:
+    """Translate ``program`` into SQIR, selecting from ``output`` (default: first output)."""
+    return DLIRToSQIR(program, output).translate()

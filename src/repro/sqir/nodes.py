@@ -1,0 +1,176 @@
+"""SQIR node types: SQL expressions, SELECT blocks, CTEs and full queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+ConstValue = Union[int, float, str, bool, None]
+
+
+class SQLExpr:
+    """Base class of SQIR expressions (marker class)."""
+
+
+@dataclass(frozen=True)
+class SQLLiteral(SQLExpr):
+    """A literal value."""
+
+    value: ConstValue
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(SQLExpr):
+    """A column reference ``alias.column``."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class SQLBinary(SQLExpr):
+    """A binary expression (comparison, arithmetic or boolean connective)."""
+
+    op: str
+    left: SQLExpr
+    right: SQLExpr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class SQLFunction(SQLExpr):
+    """A function or aggregate call; ``distinct`` applies to aggregates."""
+
+    name: str
+    args: Tuple[SQLExpr, ...]
+    distinct: bool = False
+    star: bool = False
+
+    def __str__(self) -> str:
+        if self.star:
+            return f"{self.name}(*)"
+        inner = ", ".join(str(arg) for arg in self.args)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class NotExists(SQLExpr):
+    """A ``NOT EXISTS (subquery)`` predicate used for negated atoms."""
+
+    subquery: "SelectQuery"
+
+    def __str__(self) -> str:
+        return f"NOT EXISTS ({self.subquery})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """A projection item ``expression AS alias``."""
+
+    expression: SQLExpr
+    alias: str
+
+    def __str__(self) -> str:
+        return f"{self.expression} AS {self.alias}"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause table reference ``name AS alias``."""
+
+    name: str
+    alias: str
+
+    def __str__(self) -> str:
+        if self.name == self.alias:
+            return self.name
+        return f"{self.name} AS {self.alias}"
+
+
+@dataclass
+class SelectQuery:
+    """A single SELECT block.
+
+    ``where`` holds conjuncts (joined with ``AND`` when unparsed); an empty
+    list means no WHERE clause.  ``group_by`` triggers a ``GROUP BY``.
+    """
+
+    items: List[SelectItem]
+    from_tables: List[TableRef] = field(default_factory=list)
+    where: List[SQLExpr] = field(default_factory=list)
+    group_by: List[SQLExpr] = field(default_factory=list)
+    distinct: bool = True
+
+    def __str__(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct and not self.group_by:
+            parts.append("DISTINCT")
+        parts.append(", ".join(str(item) for item in self.items))
+        if self.from_tables:
+            parts.append("FROM " + ", ".join(str(table) for table in self.from_tables))
+        if self.where:
+            parts.append("WHERE " + " AND ".join(f"({cond})" for cond in self.where))
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(str(expr) for expr in self.group_by))
+        return " ".join(parts)
+
+
+@dataclass
+class CTE:
+    """A common table expression: one or more UNIONed SELECT members.
+
+    For recursive CTEs the ``base_members`` come first, then the
+    ``recursive_members``; non-recursive CTEs keep everything in
+    ``base_members``.
+    """
+
+    name: str
+    columns: List[str]
+    base_members: List[SelectQuery]
+    recursive_members: List[SelectQuery] = field(default_factory=list)
+
+    @property
+    def is_recursive(self) -> bool:
+        """Return whether this CTE has recursive members."""
+        return bool(self.recursive_members)
+
+    def all_members(self) -> List[SelectQuery]:
+        """Return base then recursive members."""
+        return list(self.base_members) + list(self.recursive_members)
+
+
+@dataclass
+class SQIRQuery:
+    """A full SQIR query: ordered CTEs plus the final SELECT."""
+
+    ctes: List[CTE]
+    final: SelectQuery
+
+    @property
+    def is_recursive(self) -> bool:
+        """Return whether any CTE is recursive."""
+        return any(cte.is_recursive for cte in self.ctes)
+
+    def cte(self, name: str) -> CTE:
+        """Return the CTE called ``name``."""
+        for cte in self.ctes:
+            if cte.name == name:
+                return cte
+        raise KeyError(name)

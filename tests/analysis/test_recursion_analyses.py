@@ -1,0 +1,169 @@
+"""Tests for linearity, mutual recursion, monotonicity and termination analyses."""
+
+from repro.analysis.monotonicity import analyze_monotonicity
+from repro.analysis.recursion import (
+    analyze_linearity,
+    analyze_mutual_recursion,
+    recursion_summary,
+    recursive_relations,
+)
+from repro.analysis.termination import analyze_termination
+from repro.dlir.builder import ProgramBuilder
+from repro.dlir.core import Aggregation, ArithExpr, Atom, Const, Rule, Var
+
+
+def _linear_tc():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.output("tc")
+    return builder.build()
+
+
+def _nonlinear_tc():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("tc", ["z", "y"])])
+    builder.output("tc")
+    return builder.build()
+
+
+def _mutual():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("even", [("a", "number"), ("b", "number")])
+    builder.idb("odd", [("a", "number"), ("b", "number")])
+    builder.rule("odd", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("even", ["x", "y"], [("odd", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.rule("odd", ["x", "y"], [("even", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.output("even")
+    return builder.build()
+
+
+def test_recursive_relations():
+    assert recursive_relations(_linear_tc()) == {"tc"}
+    assert recursive_relations(_mutual()) == {"even", "odd"}
+
+
+def test_linear_recursion_detected():
+    result = analyze_linearity(_linear_tc())
+    assert result.has_recursion
+    assert result.is_linear
+    assert result.recursive_rule_count == 1
+    assert result.non_linear_rules == []
+
+
+def test_nonlinear_recursion_detected():
+    result = analyze_linearity(_nonlinear_tc())
+    assert result.has_recursion
+    assert not result.is_linear
+    assert len(result.non_linear_rules) == 1
+
+
+def test_non_recursive_program_is_trivially_linear(paper_raqlet):
+    compiled = paper_raqlet.compile_cypher(
+        "MATCH (n:Person)-[:IS_LOCATED_IN]->(p:City) RETURN n.id AS id", optimize=False
+    )
+    result = analyze_linearity(compiled.program(optimized=False))
+    assert not result.has_recursion
+    assert result.is_linear
+
+
+def test_mutual_recursion_detected():
+    result = analyze_mutual_recursion(_mutual())
+    assert result.has_mutual_recursion
+    assert frozenset({"even", "odd"}) in result.groups
+    assert result.self_recursive == []
+
+
+def test_self_recursion_is_not_mutual():
+    result = analyze_mutual_recursion(_linear_tc())
+    assert not result.has_mutual_recursion
+    assert result.self_recursive == ["tc"]
+
+
+def test_recursion_summary_keys():
+    summary = recursion_summary(_mutual())
+    assert summary["has_recursion"]
+    assert summary["has_mutual_recursion"]
+    assert set(summary["recursive_relations"]) == {"even", "odd"}
+
+
+def test_monotonic_positive_program():
+    result = analyze_monotonicity(_linear_tc())
+    assert result.is_monotonic
+    assert not result.uses_negation
+    assert not result.uses_aggregation
+
+
+def test_negation_inside_recursion_is_non_monotonic():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("win", [("a", "number")])
+    builder.rule("win", ["x"], [("edge", ["x", "y"])], negated=[("win", ["y"])])
+    builder.output("win")
+    result = analyze_monotonicity(builder.build())
+    assert not result.is_monotonic
+    assert result.uses_negation
+    assert result.non_monotonic_reasons
+
+
+def test_negation_outside_recursion_is_monotonic_overall():
+    builder = ProgramBuilder()
+    builder.edb("node", [("id", "number")])
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("unlinked", [("id", "number")])
+    builder.rule("unlinked", ["x"], [("node", ["x"])], negated=[("edge", ["x", "_"])])
+    builder.output("unlinked")
+    result = analyze_monotonicity(builder.build())
+    assert result.is_monotonic  # negation is not inside a recursive component
+    assert result.uses_negation
+
+
+def test_subsumption_counted_as_lattice_monotone(snb_raqlet):
+    compiled = snb_raqlet.compile_cypher(
+        "MATCH p = shortestPath((a:Person {id:1})-[:KNOWS*]-(b:Person {id:2})) "
+        "RETURN length(p) AS hops",
+        optimize=False,
+    )
+    result = analyze_monotonicity(compiled.program(optimized=False))
+    assert result.lattice_monotone_rules >= 2
+
+
+def test_termination_flags_unbounded_arithmetic():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("dist", [("a", "number"), ("d", "number")])
+    program = builder.build(validate=False)
+    program.add_rule(
+        Rule(head=Atom("dist", (Var("x"), Const(0))), body=(Atom("edge", (Var("x"), Var("_y"))),))
+    )
+    program.add_rule(
+        Rule(
+            head=Atom("dist", (Var("y"), ArithExpr("+", Var("d"), Const(1)))),
+            body=(Atom("dist", (Var("x"), Var("d"))), Atom("edge", (Var("x"), Var("y")))),
+        )
+    )
+    program.add_output("dist")
+    result = analyze_termination(program)
+    assert result.may_not_terminate
+    assert result.warnings
+
+
+def test_termination_not_flagged_with_subsumption(snb_raqlet):
+    compiled = snb_raqlet.compile_cypher(
+        "MATCH p = shortestPath((a:Person {id:1})-[:KNOWS*]-(b:Person {id:2})) "
+        "RETURN length(p) AS hops",
+        optimize=False,
+    )
+    result = analyze_termination(compiled.program(optimized=False))
+    assert not result.may_not_terminate
+
+
+def test_termination_plain_tc_is_fine():
+    result = analyze_termination(_linear_tc())
+    assert not result.may_not_terminate

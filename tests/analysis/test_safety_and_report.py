@@ -1,0 +1,127 @@
+"""Tests for safety analysis, the combined report and backend capability checks."""
+
+from repro.analysis.report import BACKEND_CAPABILITIES, analyze_program, check_backend_support
+from repro.analysis.safety import analyze_rule_safety, analyze_safety
+from repro.dlir.builder import ProgramBuilder, atom
+from repro.dlir.core import Comparison, Const, Rule, Var
+
+
+def test_safe_rule_has_no_missing_variables():
+    rule = Rule(
+        head=atom("q", ["x"]),
+        body=(atom("r", ["x", "y"]), Comparison("<", Var("y"), Const(5))),
+    )
+    assert analyze_rule_safety(rule) == []
+
+
+def test_unbound_head_variable_is_unsafe():
+    rule = Rule(head=atom("q", ["x", "z"]), body=(atom("r", ["x", "y"]),))
+    assert analyze_rule_safety(rule) == ["z"]
+
+
+def test_variable_bound_through_equality_is_safe():
+    rule = Rule(
+        head=atom("q", ["alias"]),
+        body=(atom("r", ["x", "y"]), Comparison("=", Var("x"), Var("alias"))),
+    )
+    assert analyze_rule_safety(rule) == []
+
+
+def test_variable_bound_to_constant_is_safe():
+    rule = Rule(
+        head=atom("q", ["c"]),
+        body=(atom("r", ["x", "_"]), Comparison("=", Var("c"), Const(7))),
+    )
+    assert analyze_rule_safety(rule) == []
+
+
+def test_negated_atom_variables_must_be_bound():
+    from repro.dlir.core import NegatedAtom
+
+    rule = Rule(
+        head=atom("q", ["x"]),
+        body=(atom("r", ["x", "_"]), NegatedAtom(atom("s", ["x", "w"]))),
+    )
+    assert analyze_rule_safety(rule) == ["w"]
+
+
+def test_inequality_operands_must_be_bound():
+    rule = Rule(head=atom("q", ["x"]), body=(atom("r", ["x", "_"]), Comparison("<", Var("u"), Const(3))))
+    assert analyze_rule_safety(rule) == ["u"]
+
+
+def test_program_safety_report():
+    builder = ProgramBuilder()
+    builder.edb("r", [("a", "number"), ("b", "number")])
+    builder.idb("q", [("a", "number")])
+    builder.rule("q", ["x"], [("r", ["x", "_"])])
+    builder.output("q")
+    result = analyze_safety(builder.build())
+    assert result.is_safe
+    assert result.unsafe_rules == []
+
+
+def test_report_summary_for_paper_query(paper_raqlet):
+    from tests.conftest import PAPER_QUERY
+
+    compiled = paper_raqlet.compile_cypher(PAPER_QUERY)
+    summary = compiled.analysis.summary()
+    assert summary["stratifiable"] is True
+    assert summary["has_recursion"] is False
+    assert summary["safe"] is True
+    assert "static analysis report" in compiled.analysis.to_text()
+
+
+def test_backend_capabilities_table_is_complete():
+    for name in ("souffle", "sql", "sqlite", "relational-engine", "graph-engine", "datalog-engine"):
+        assert name in BACKEND_CAPABILITIES
+
+
+def test_sql_backend_rejects_nonlinear_recursion():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("tc", ["z", "y"])])
+    builder.output("tc")
+    report = analyze_program(builder.build())
+    problems = check_backend_support(report, BACKEND_CAPABILITIES["sql"])
+    assert any("linear" in problem for problem in problems)
+    assert check_backend_support(report, BACKEND_CAPABILITIES["souffle"]) == []
+
+
+def test_sql_backend_rejects_mutual_recursion():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("even", [("a", "number"), ("b", "number")])
+    builder.idb("odd", [("a", "number"), ("b", "number")])
+    builder.rule("odd", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("even", ["x", "y"], [("odd", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.rule("odd", ["x", "y"], [("even", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.output("even")
+    report = analyze_program(builder.build())
+    problems = check_backend_support(report, BACKEND_CAPABILITIES["sql"])
+    assert any("mutual" in problem for problem in problems)
+
+
+def test_graph_backend_rejects_negation():
+    builder = ProgramBuilder()
+    builder.edb("node", [("id", "number")])
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("sink", [("id", "number")])
+    builder.rule("sink", ["x"], [("node", ["x"])], negated=[("edge", ["x", "_"])])
+    builder.output("sink")
+    report = analyze_program(builder.build())
+    problems = check_backend_support(report, BACKEND_CAPABILITIES["graph-engine"])
+    assert any("negation" in problem for problem in problems)
+
+
+def test_linear_tc_supported_by_sql():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.output("tc")
+    report = analyze_program(builder.build())
+    assert check_backend_support(report, BACKEND_CAPABILITIES["sql"]) == []

@@ -1,0 +1,111 @@
+"""Tests for stratification analysis."""
+
+import pytest
+
+from repro.analysis.stratification import analyze_stratification, stratify
+from repro.common.errors import AnalysisError
+from repro.dlir.builder import ProgramBuilder
+from repro.dlir.core import Aggregation, Var
+
+
+def test_positive_program_is_single_stratum():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.output("tc")
+    result = analyze_stratification(builder.build())
+    assert result.is_stratifiable
+    assert result.stratum_count() == 1
+
+
+def test_negation_outside_recursion_adds_stratum():
+    builder = ProgramBuilder()
+    builder.edb("node", [("id", "number")])
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("reach", [("a", "number"), ("b", "number")])
+    builder.idb("unreach", [("a", "number"), ("b", "number")])
+    builder.rule("reach", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("reach", ["x", "y"], [("reach", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.rule(
+        "unreach", ["x", "y"], [("node", ["x"]), ("node", ["y"])], negated=[("reach", ["x", "y"])]
+    )
+    builder.output("unreach")
+    result = analyze_stratification(builder.build())
+    assert result.is_stratifiable
+    assert result.stratum_of["unreach"] == result.stratum_of["reach"] + 1
+
+
+def test_negation_in_cycle_is_rejected():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("p", [("a", "number")])
+    builder.idb("q", [("a", "number")])
+    builder.rule("p", ["x"], [("edge", ["x", "_"])], negated=[("q", ["x"])])
+    builder.rule("q", ["x"], [("p", ["x"])])
+    builder.output("p")
+    result = analyze_stratification(builder.build())
+    assert not result.is_stratifiable
+    assert result.violations
+    with pytest.raises(AnalysisError):
+        stratify(builder.build())
+
+
+def test_aggregation_in_cycle_is_rejected():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("p", [("a", "number"), ("c", "number")])
+    builder.rule(
+        "p",
+        ["x", "c"],
+        [("p", ["x", "y"]), ("edge", ["x", "y"])],
+        aggregations=[Aggregation("count", Var("c"), Var("y"))],
+    )
+    builder.rule("p", ["x", 0], [("edge", ["x", "_"])])
+    builder.output("p")
+    result = analyze_stratification(builder.build())
+    assert not result.is_stratifiable
+
+
+def test_aggregation_outside_recursion_is_fine():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.idb("cnt", [("a", "number"), ("c", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.rule(
+        "cnt",
+        ["x", "c"],
+        [("tc", ["x", "y"])],
+        aggregations=[Aggregation("count", Var("c"), Var("y"))],
+    )
+    builder.output("cnt")
+    result = analyze_stratification(builder.build())
+    assert result.is_stratifiable
+    assert result.stratum_of["cnt"] > result.stratum_of["tc"]
+
+
+def test_strata_lists_cover_all_relations():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.output("tc")
+    result = analyze_stratification(builder.build())
+    flattened = [relation for stratum in result.strata for relation in stratum]
+    assert set(flattened) == set(result.stratum_of)
+
+
+def test_subsumption_consumers_live_in_higher_stratum(snb_raqlet):
+    """Relations reading a min-subsumption relation must come later."""
+    compiled = snb_raqlet.compile_cypher(
+        "MATCH p = shortestPath((a:Person {id:1})-[:KNOWS*]-(b:Person {id:2})) "
+        "RETURN length(p) AS hops",
+        optimize=False,
+    )
+    program = compiled.program(optimized=False)
+    result = analyze_stratification(program)
+    assert result.is_stratifiable
+    assert result.stratum_of["Match1"] > result.stratum_of["ShortestPath1"]

@@ -1,0 +1,67 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.common.errors import (
+    AnalysisError,
+    ExecutionError,
+    ParseError,
+    RaqletError,
+    SchemaError,
+    TranslationError,
+    UnsupportedFeatureError,
+)
+from repro.common.location import SourceLocation
+
+
+def test_all_errors_derive_from_raqlet_error():
+    for exc_type in (
+        ParseError,
+        SchemaError,
+        TranslationError,
+        AnalysisError,
+        ExecutionError,
+        UnsupportedFeatureError,
+    ):
+        assert issubclass(exc_type, RaqletError)
+
+
+def test_parse_error_formats_location_and_source():
+    error = ParseError("bad token", SourceLocation(3, 7), "query.cyp")
+    assert "query.cyp" in str(error)
+    assert "3:7" in str(error)
+    assert "bad token" in str(error)
+
+
+def test_parse_error_without_location():
+    error = ParseError("something broke")
+    assert str(error) == "something broke"
+    assert error.location is None
+
+
+def test_parse_error_keeps_bare_message():
+    error = ParseError("oops", SourceLocation(1, 1), "x")
+    assert error.bare_message == "oops"
+
+
+def test_unsupported_feature_error_mentions_backend():
+    error = UnsupportedFeatureError("mutual recursion", backend="sql")
+    assert "mutual recursion" in str(error)
+    assert "sql" in str(error)
+    assert error.feature == "mutual recursion"
+    assert error.backend == "sql"
+
+
+def test_unsupported_feature_error_without_backend():
+    error = UnsupportedFeatureError("UNWIND")
+    assert "UNWIND" in str(error)
+    assert error.backend is None
+
+
+def test_unsupported_feature_is_translation_error():
+    assert issubclass(UnsupportedFeatureError, TranslationError)
+
+
+def test_errors_can_be_caught_as_raqlet_error():
+    with pytest.raises(RaqletError):
+        raise SchemaError("bad schema")

@@ -1,0 +1,45 @@
+"""Tests for source locations and spans."""
+
+from repro.common.location import SourceLocation, Span
+
+
+def test_location_str():
+    assert str(SourceLocation(4, 12)) == "4:12"
+
+
+def test_location_ordering():
+    assert SourceLocation(1, 5) < SourceLocation(2, 1)
+    assert SourceLocation(2, 1) < SourceLocation(2, 9)
+
+
+def test_advanced_over_plain_text():
+    location = SourceLocation(1, 1).advanced("abc")
+    assert location == SourceLocation(1, 4)
+
+
+def test_advanced_over_newlines():
+    location = SourceLocation(1, 1).advanced("ab\ncd\ne")
+    assert location == SourceLocation(3, 2)
+
+
+def test_advanced_over_empty_string():
+    assert SourceLocation(5, 3).advanced("") == SourceLocation(5, 3)
+
+
+def test_advanced_newline_resets_column():
+    assert SourceLocation(1, 10).advanced("\n") == SourceLocation(2, 1)
+
+
+def test_span_str():
+    span = Span(SourceLocation(1, 1), SourceLocation(1, 5))
+    assert str(span) == "1:1-1:5"
+
+
+def test_point_span():
+    span = Span.point(SourceLocation(2, 3))
+    assert span.start == span.end == SourceLocation(2, 3)
+
+
+def test_locations_are_hashable():
+    locations = {SourceLocation(1, 1), SourceLocation(1, 1), SourceLocation(1, 2)}
+    assert len(locations) == 2

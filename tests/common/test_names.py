@@ -1,0 +1,48 @@
+"""Tests for deterministic fresh-name generation."""
+
+from repro.common.names import NameGenerator
+
+
+def test_fresh_names_are_sequential_per_prefix():
+    names = NameGenerator()
+    assert names.fresh("x") == "x1"
+    assert names.fresh("x") == "x2"
+    assert names.fresh("n") == "n1"
+    assert names.fresh("x") == "x3"
+
+
+def test_reserved_names_are_skipped():
+    names = NameGenerator(reserved=["x1", "x2"])
+    assert names.fresh("x") == "x3"
+
+
+def test_reserve_after_construction():
+    names = NameGenerator()
+    names.reserve("n1")
+    assert names.fresh("n") == "n2"
+
+
+def test_reserve_all():
+    names = NameGenerator()
+    names.reserve_all(["a1", "a2", "a3"])
+    assert names.fresh("a") == "a4"
+
+
+def test_generated_names_become_reserved():
+    names = NameGenerator()
+    first = names.fresh("v")
+    assert names.is_reserved(first)
+    assert names.fresh("v") != first
+
+
+def test_is_reserved_for_unknown_name():
+    names = NameGenerator()
+    assert not names.is_reserved("whatever")
+
+
+def test_determinism_across_instances():
+    first = NameGenerator()
+    second = NameGenerator()
+    sequence_a = [first.fresh("x") for _ in range(5)]
+    sequence_b = [second.fresh("x") for _ in range(5)]
+    assert sequence_a == sequence_b

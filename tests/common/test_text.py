@@ -1,0 +1,45 @@
+"""Tests for text helpers used by the unparsers."""
+
+from repro.common.text import (
+    indent_block,
+    join_nonempty,
+    souffle_quote_string,
+    sql_quote_string,
+    strip_margin,
+)
+
+
+def test_indent_block_indents_every_line():
+    assert indent_block("a\nb", 2) == "  a\n  b"
+
+
+def test_indent_block_leaves_blank_lines_alone():
+    assert indent_block("a\n\nb", 2) == "  a\n\n  b"
+
+
+def test_strip_margin_removes_pipe_prefix():
+    text = """
+        |SELECT 1
+        |FROM t
+    """
+    assert strip_margin(text) == "SELECT 1\nFROM t"
+
+
+def test_strip_margin_keeps_unprefixed_nonempty_lines():
+    assert strip_margin("abc\n|def") == "abc\ndef"
+
+
+def test_sql_quote_string_escapes_quotes():
+    assert sql_quote_string("it's") == "'it''s'"
+
+
+def test_sql_quote_string_plain():
+    assert sql_quote_string("abc") == "'abc'"
+
+
+def test_souffle_quote_string_escapes_backslash_and_quote():
+    assert souffle_quote_string('a"b\\c') == '"a\\"b\\\\c"'
+
+
+def test_join_nonempty_drops_empty_parts():
+    assert join_nonempty(", ", ["a", "", "b", ""]) == "a, b"

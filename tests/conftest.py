@@ -1,0 +1,110 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (the SNB dataset, its per-engine materialisations) are
+session-scoped so the suite stays fast; everything is deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Raqlet
+from repro.ldbc import load_dataset, snb_schema_mapping
+from repro.schema import parse_pg_schema, pg_to_dl_schema
+
+#: The PG-Schema of the paper's running example (Figure 2a).
+PAPER_SCHEMA_TEXT = """
+CREATE GRAPH {
+  (personType : Person { id INT, firstName STRING, locationIP STRING }),
+  (cityType : City { id INT, name STRING }),
+  (:personType)-[locationType : isLocatedIn { id INT }]->(:cityType)
+}
+"""
+
+#: The Cypher query of the paper's running example (Figure 3a).
+PAPER_QUERY = """
+MATCH (n:Person {id: 42})-[:IS_LOCATED_IN]->(p:City)
+RETURN DISTINCT n.firstName AS firstName, p.id AS cityId
+"""
+
+#: A tiny dataset for the running example's schema.
+PAPER_FACTS = {
+    "Person": [
+        (42, "Ada", "10.0.0.1"),
+        (43, "Alan", "10.0.0.2"),
+        (44, "Edgar", "10.0.0.3"),
+    ],
+    "City": [(1, "Edinburgh"), (2, "Lausanne")],
+    "Person_IS_LOCATED_IN_City": [(42, 1, 900), (43, 2, 901), (44, 1, 902)],
+}
+
+#: A small directed edge relation with a cycle, used by recursion tests.
+EDGE_FACTS = {
+    "Node": [(index, f"n{index}") for index in range(8)],
+    "Node_LINKS_TO_Node": [
+        (0, 1, 100),
+        (1, 2, 101),
+        (2, 3, 102),
+        (3, 1, 103),  # cycle 1 -> 2 -> 3 -> 1
+        (4, 5, 104),
+        (5, 6, 105),
+        (0, 4, 106),
+    ],
+}
+
+GRAPH_SCHEMA_TEXT = """
+CREATE GRAPH {
+  (nodeType : Node { id INT, name STRING }),
+  (:nodeType)-[linkType : linksTo { id INT }]->(:nodeType)
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def paper_schema():
+    """The parsed PG-Schema of the running example."""
+    return parse_pg_schema(PAPER_SCHEMA_TEXT)
+
+
+@pytest.fixture(scope="session")
+def paper_mapping(paper_schema):
+    """The DL-Schema mapping of the running example."""
+    return pg_to_dl_schema(paper_schema)
+
+
+@pytest.fixture(scope="session")
+def paper_raqlet(paper_mapping):
+    """A Raqlet compiler over the running-example schema."""
+    return Raqlet(paper_mapping)
+
+
+@pytest.fixture(scope="session")
+def paper_facts():
+    """Facts for the running-example schema."""
+    return {name: list(rows) for name, rows in PAPER_FACTS.items()}
+
+
+@pytest.fixture(scope="session")
+def graph_raqlet():
+    """A Raqlet compiler over the generic Node/linksTo schema."""
+    return Raqlet(GRAPH_SCHEMA_TEXT)
+
+
+@pytest.fixture(scope="session")
+def edge_facts():
+    """A small cyclic edge relation for recursion tests."""
+    return {name: list(rows) for name, rows in EDGE_FACTS.items()}
+
+
+@pytest.fixture(scope="session")
+def snb_raqlet():
+    """A Raqlet compiler over the SNB schema."""
+    return Raqlet(snb_schema_mapping())
+
+
+@pytest.fixture(scope="session")
+def snb_data():
+    """A small deterministic SNB dataset with all engine materialisations."""
+    data = load_dataset(scale_persons=80, seed=7)
+    yield data
+    data.close()

@@ -1,0 +1,136 @@
+"""Tests for the DLIR program builder and type inference."""
+
+import pytest
+
+from repro.dlir.builder import ProgramBuilder, as_term, atom
+from repro.dlir.core import Const, Var, Wildcard
+from repro.dlir.types import declare_idbs, infer_rule_types, infer_variable_types
+from repro.schema.dl_schema import DLType
+
+
+def test_as_term_coercions():
+    assert as_term("x") == Var("x")
+    assert as_term("_") == Wildcard()
+    assert as_term('"sym"') == Const("sym")
+    assert as_term(3) == Const(3)
+    assert as_term(2.5) == Const(2.5)
+    assert as_term(True) == Const(True)
+    assert as_term(Var("y")) == Var("y")
+
+
+def test_atom_helper():
+    built = atom("edge", ["x", 3, "_"])
+    assert built.relation == "edge"
+    assert built.terms == (Var("x"), Const(3), Wildcard())
+
+
+def _tc_builder():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("src", "number"), ("dst", "number")])
+    builder.idb("tc", [("src", "number"), ("dst", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "z"]), ("tc", ["z", "y"])])
+    builder.output("tc")
+    return builder
+
+
+def test_builder_constructs_valid_program():
+    program = _tc_builder().build()
+    assert len(program.rules) == 2
+    assert program.outputs == ["tc"]
+    assert program.schema.get("edge").is_edb
+    assert not program.schema.get("tc").is_edb
+
+
+def test_builder_validation_catches_arity_errors():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("src", "number"), ("dst", "number")])
+    builder.idb("q", [("x", "number")])
+    builder.rule("q", ["x", "y"], [("edge", ["x", "y"])])
+    with pytest.raises(ValueError):
+        builder.build()
+
+
+def test_builder_facts_and_inputs():
+    builder = _tc_builder()
+    builder.fact("edge", [1, 2]).fact("edge", [2, 3]).input("edge")
+    program = builder.build()
+    assert program.facts["edge"] == [(1, 2), (2, 3)]
+    assert program.inputs == ["edge"]
+
+
+def test_builder_negation_and_comparisons():
+    builder = ProgramBuilder()
+    builder.edb("node", [("id", "number")])
+    builder.edb("edge", [("src", "number"), ("dst", "number")])
+    builder.idb("sink", [("id", "number")])
+    builder.rule(
+        "sink",
+        ["x"],
+        [("node", ["x"])],
+        negated=[("edge", ["x", "_"])],
+        comparisons=[(">", "x", 0)],
+    )
+    builder.output("sink")
+    program = builder.build()
+    rule = program.rules[0]
+    assert rule.has_negation()
+    assert rule.comparisons()[0].op == ">"
+
+
+def test_infer_variable_types_from_edbs():
+    program = _tc_builder().build()
+    rule = program.rules[1]
+    env = infer_variable_types(rule, program.schema)
+    assert env["x"] is DLType.NUMBER
+    assert env["z"] is DLType.NUMBER
+
+
+def test_infer_types_through_equality():
+    builder = ProgramBuilder()
+    builder.edb("person", [("id", "number"), ("name", "symbol")])
+    builder.idb("out", [("alias", "symbol")])
+    builder.rule(
+        "out", ["alias"], [("person", ["p", "n"])], comparisons=[("=", "n", "alias")]
+    )
+    builder.output("out")
+    program = builder.build()
+    env = infer_variable_types(program.rules[0], program.schema)
+    assert env["alias"] is DLType.SYMBOL
+
+
+def test_infer_rule_types_builds_declaration():
+    program = _tc_builder().build()
+    declaration = infer_rule_types(program.rules[0], program.schema)
+    assert declaration.name == "tc"
+    assert declaration.column_types() == [DLType.NUMBER, DLType.NUMBER]
+    assert not declaration.is_edb
+
+
+def test_declare_idbs_adds_missing_declarations():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("src", "number"), ("dst", "number")])
+    program = builder.build(validate=False)
+    from repro.dlir.builder import atom as mk_atom
+    from repro.dlir.core import Rule
+
+    program.add_rule(Rule(head=mk_atom("tc", ["x", "y"]), body=(mk_atom("edge", ["x", "y"]),)))
+    declare_idbs(program)
+    assert "tc" in program.schema
+    assert program.schema.get("tc").column_types() == [DLType.NUMBER, DLType.NUMBER]
+
+
+def test_aggregation_types():
+    from repro.dlir.core import Aggregation, Rule
+
+    builder = ProgramBuilder()
+    builder.edb("sale", [("shop", "number"), ("amount", "number")])
+    program = builder.build(validate=False)
+    rule = Rule(
+        head=atom("total", ["s", "t"]),
+        body=(atom("sale", ["s", "a"]),),
+        aggregations=(Aggregation("sum", Var("t"), Var("a")),),
+    )
+    program.add_rule(rule)
+    declare_idbs(program)
+    assert program.schema.get("total").column_types() == [DLType.NUMBER, DLType.NUMBER]

@@ -1,0 +1,165 @@
+"""Tests for the DLIR core data structures."""
+
+import pytest
+
+from repro.common.errors import TranslationError
+from repro.dlir.core import (
+    Aggregation,
+    ArithExpr,
+    Atom,
+    Comparison,
+    Const,
+    DLIRProgram,
+    NegatedAtom,
+    Rule,
+    Var,
+    Wildcard,
+    substitute_term,
+    term_variables,
+)
+from repro.schema.dl_schema import DLColumn, DLRelation, DLSchema, DLType
+
+
+def _edge_atom(a="x", b="y"):
+    return Atom("edge", (Var(a), Var(b)))
+
+
+def test_const_dl_type():
+    assert Const(1).dl_type() is DLType.NUMBER
+    assert Const(1.5).dl_type() is DLType.FLOAT
+    assert Const("a").dl_type() is DLType.SYMBOL
+    assert Const(True).dl_type() is DLType.NUMBER
+
+
+def test_term_variables():
+    expr = ArithExpr("+", Var("d"), Const(1))
+    assert list(term_variables(expr)) == ["d"]
+    assert list(term_variables(Wildcard())) == []
+
+
+def test_substitute_term():
+    expr = ArithExpr("+", Var("d"), Const(1))
+    substituted = substitute_term(expr, {"d": Const(5)})
+    assert substituted == ArithExpr("+", Const(5), Const(1))
+
+
+def test_atom_helpers():
+    atom = Atom("r", (Var("x"), Const(3), Wildcard()))
+    assert atom.arity == 3
+    assert atom.variables() == ["x"]
+    assert str(atom) == "r(x, 3, _)"
+    renamed = atom.substitute({"x": Var("z")})
+    assert renamed.terms[0] == Var("z")
+
+
+def test_negated_atom_and_comparison_str():
+    negated = NegatedAtom(_edge_atom())
+    comparison = Comparison("<=", Var("a"), Const(10))
+    assert str(negated) == "!edge(x, y)"
+    assert str(comparison) == "a <= 10"
+
+
+def test_invalid_comparison_operator_rejected():
+    with pytest.raises(TranslationError):
+        Comparison("~", Var("a"), Var("b"))
+
+
+def test_invalid_aggregate_function_rejected():
+    with pytest.raises(TranslationError):
+        Aggregation("median", Var("m"))
+
+
+def test_rule_accessors():
+    rule = Rule(
+        head=Atom("tc", (Var("x"), Var("y"))),
+        body=(
+            _edge_atom("x", "z"),
+            Atom("tc", (Var("z"), Var("y"))),
+            Comparison("<>", Var("x"), Var("y")),
+            NegatedAtom(Atom("blocked", (Var("x"),))),
+        ),
+    )
+    assert rule.head_variables() == ["x", "y"]
+    assert [a.relation for a in rule.body_atoms()] == ["edge", "tc"]
+    assert rule.body_relations() == ["edge", "tc"]
+    assert rule.referenced_relations() == ["edge", "tc", "blocked"]
+    assert len(rule.comparisons()) == 1
+    assert rule.has_negation()
+    assert not rule.has_aggregation()
+    assert not rule.is_fact()
+    assert rule.variables() == ["x", "y", "z"]
+
+
+def test_rule_aggregation_group_by():
+    rule = Rule(
+        head=Atom("cnt", (Var("p"), Var("c"))),
+        body=(_edge_atom("p", "m"),),
+        aggregations=(Aggregation("count", Var("c"), Var("m")),),
+    )
+    assert rule.aggregate_result_names() == ["c"]
+    assert rule.group_by_variables() == ["p"]
+    assert rule.has_aggregation()
+
+
+def test_rule_substitute_renames_everywhere():
+    rule = Rule(
+        head=Atom("r", (Var("x"),)),
+        body=(_edge_atom("x", "y"), Comparison("=", Var("y"), Const(1))),
+        aggregations=(Aggregation("sum", Var("s"), Var("y")),),
+    )
+    renamed = rule.substitute({"y": Var("w")})
+    assert "w" in renamed.variables()
+    assert "y" not in renamed.variables()
+
+
+def test_fact_rule_str():
+    rule = Rule(head=Atom("magic", (Const(42),)), body=())
+    assert str(rule) == "magic(42)."
+
+
+def test_program_idb_edb_partition():
+    schema = DLSchema()
+    schema.add(DLRelation("edge", (DLColumn("a", DLType.NUMBER), DLColumn("b", DLType.NUMBER))))
+    schema.add(
+        DLRelation("tc", (DLColumn("a", DLType.NUMBER), DLColumn("b", DLType.NUMBER)), is_edb=False)
+    )
+    program = DLIRProgram(schema=schema)
+    program.add_rule(Rule(head=Atom("tc", (Var("x"), Var("y"))), body=(_edge_atom(),)))
+    assert program.idb_names() == ["tc"]
+    assert program.edb_names() == ["edge"]
+    assert len(program.rules_for("tc")) == 1
+    assert program.rules_for("edge") == []
+
+
+def test_program_validate_detects_problems():
+    program = DLIRProgram()
+    program.add_rule(Rule(head=Atom("q", (Var("x"),)), body=(Atom("r", (Var("x"),)),)))
+    problems = program.validate()
+    assert any("not declared" in problem for problem in problems)
+
+
+def test_program_validate_arity_mismatch():
+    schema = DLSchema.build([("r", [("a", "number"), ("b", "number")]), ("q", [("a", "number")])])
+    program = DLIRProgram(schema=schema)
+    program.add_rule(Rule(head=Atom("q", (Var("x"),)), body=(Atom("r", (Var("x"),)),)))
+    problems = program.validate()
+    assert any("arity" in problem for problem in problems)
+
+
+def test_program_copy_is_independent():
+    program = DLIRProgram(schema=DLSchema.build([("r", [("a", "number")])]))
+    copy = program.copy()
+    copy.add_rule(Rule(head=Atom("r", (Const(1),)), body=()))
+    copy.add_output("r")
+    copy.add_fact("r", (2,))
+    assert not program.rules
+    assert not program.outputs
+    assert "r" not in program.facts
+
+
+def test_declare_conflicting_raises():
+    program = DLIRProgram()
+    program.declare(DLRelation("r", (DLColumn("a", DLType.NUMBER),)))
+    program.declare(DLRelation("r", (DLColumn("a", DLType.NUMBER),)))  # identical ok
+    with pytest.raises(TranslationError):
+        program.declare(DLRelation("r", (DLColumn("a", DLType.SYMBOL),)))

@@ -1,0 +1,188 @@
+"""Tests for the PGIR-to-DLIR translation (paper Figure 3c)."""
+
+import pytest
+
+from repro.common.errors import UnsupportedFeatureError
+from repro.dlir import translate_pgir_to_dlir
+from repro.dlir.core import Comparison, Const, Var
+from repro.frontend.cypher import parse_cypher
+from repro.ldbc import snb_schema_mapping
+from repro.pgir import lower_cypher_to_pgir
+
+from tests.conftest import PAPER_QUERY
+
+
+def _translate(query, mapping, parameters=None):
+    lowering = lower_cypher_to_pgir(parse_cypher(query), parameters)
+    return translate_pgir_to_dlir(lowering, mapping)
+
+
+def test_running_example_rule_structure(paper_mapping):
+    program = _translate(PAPER_QUERY, paper_mapping)
+    assert [rule.head.relation for rule in program.rules] == ["Match1", "Where1", "Return"]
+    assert program.outputs == ["Return"]
+
+
+def test_match_rule_joins_node_and_edge_edbs(paper_mapping):
+    program = _translate(PAPER_QUERY, paper_mapping)
+    match_rule = program.rules_for("Match1")[0]
+    relations = set(match_rule.body_relations())
+    assert relations == {"Person", "City", "Person_IS_LOCATED_IN_City"}
+
+
+def test_where_rule_has_constant_comparison(paper_mapping):
+    program = _translate(PAPER_QUERY, paper_mapping)
+    where_rule = program.rules_for("Where1")[0]
+    assert Comparison("=", Var("n"), Const(42)) in where_rule.comparisons()
+    # The paper's Where1 re-includes the Person atom for the n.id access.
+    assert "Person" in where_rule.body_relations()
+
+
+def test_return_rule_binds_alias_like_paper(paper_mapping):
+    program = _translate(PAPER_QUERY, paper_mapping)
+    return_rule = program.rules_for("Return")[0]
+    assert return_rule.head_variables() == ["firstName", "cityId"]
+    assert Comparison("=", Var("p"), Var("cityId")) in return_rule.comparisons()
+
+
+def test_idb_declarations_inferred(paper_mapping):
+    program = _translate(PAPER_QUERY, paper_mapping)
+    return_decl = program.schema.get("Return")
+    assert return_decl.column_names() == ["firstName", "cityId"]
+    assert [t.value for t in return_decl.column_types()] == ["symbol", "number"]
+
+
+def test_program_validates(paper_mapping):
+    program = _translate(PAPER_QUERY, paper_mapping)
+    assert program.validate() == []
+
+
+def test_undirected_edge_generates_symmetric_helper():
+    program = _translate(
+        "MATCH (a:Person {id: 1})-[:KNOWS]-(b:Person) RETURN b.id AS friendId",
+        snb_schema_mapping(),
+    )
+    assert "Undirected_Person_KNOWS_Person" in program.schema
+    helper_rules = program.rules_for("Undirected_Person_KNOWS_Person")
+    assert len(helper_rules) == 2
+
+
+def test_unbounded_var_length_generates_recursion():
+    program = _translate(
+        "MATCH (a:Person {id: 1})-[:KNOWS*]->(b:Person) RETURN b.id AS friendId",
+        snb_schema_mapping(),
+    )
+    var_length_rules = program.rules_for("VarLength1")
+    assert len(var_length_rules) == 2
+    recursive = [r for r in var_length_rules if "VarLength1" in r.body_relations()]
+    assert len(recursive) == 1
+
+
+def test_bounded_var_length_unrolled():
+    program = _translate(
+        "MATCH (a:Person {id: 1})-[:KNOWS*1..3]->(b:Person) RETURN b.id AS friendId",
+        snb_schema_mapping(),
+    )
+    rules = program.rules_for("VarLength1")
+    assert len(rules) == 3  # one per hop count 1, 2, 3
+    assert all("VarLength1" not in rule.body_relations() for rule in rules)
+
+
+def test_zero_minimum_adds_reflexive_rule():
+    program = _translate(
+        "MATCH (a:Person {id: 1})-[:KNOWS*0..2]->(b:Person) RETURN b.id AS friendId",
+        snb_schema_mapping(),
+    )
+    rules = program.rules_for("VarLength1")
+    reflexive = [rule for rule in rules if rule.head.terms[0] == rule.head.terms[1]]
+    assert len(reflexive) == 1
+    assert reflexive[0].body_relations() == ["Person"]
+
+
+def test_shortest_path_uses_min_subsumption():
+    program = _translate(
+        "MATCH p = shortestPath((a:Person {id:1})-[:KNOWS*]-(b:Person {id:2})) "
+        "RETURN length(p) AS hops",
+        snb_schema_mapping(),
+    )
+    shortest_rules = program.rules_for("ShortestPath1")
+    assert len(shortest_rules) == 2
+    assert all(rule.subsume_min == 2 for rule in shortest_rules)
+
+
+def test_aggregation_in_with_clause():
+    program = _translate(
+        "MATCH (a:Person)-[:KNOWS]->(b:Person) "
+        "WITH a, count(b) AS friends RETURN a.id AS personId, friends",
+        snb_schema_mapping(),
+    )
+    with_rules = program.rules_for("With1")
+    assert len(with_rules) == 1
+    assert with_rules[0].has_aggregation()
+    assert with_rules[0].group_by_variables() == ["a"]
+
+
+def test_where_disjunction_produces_two_rules(paper_mapping):
+    program = _translate(
+        "MATCH (n:Person)-[:IS_LOCATED_IN]->(p:City) "
+        "WHERE n.id = 1 OR n.id = 2 "
+        "RETURN n.firstName AS firstName",
+        paper_mapping,
+    )
+    assert len(program.rules_for("Where1")) == 2
+
+
+def test_in_list_expanded_to_disjunction(paper_mapping):
+    program = _translate(
+        "MATCH (n:Person)-[:IS_LOCATED_IN]->(p:City) "
+        "WHERE n.id IN [1, 2, 3] "
+        "RETURN n.firstName AS firstName",
+        paper_mapping,
+    )
+    assert len(program.rules_for("Where1")) == 3
+
+
+def test_optional_match_rejected(paper_mapping):
+    with pytest.raises(UnsupportedFeatureError):
+        _translate(
+            "OPTIONAL MATCH (n:Person)-[:IS_LOCATED_IN]->(p:City) RETURN n.id AS id",
+            paper_mapping,
+        )
+
+
+def test_unwind_rejected(paper_mapping):
+    with pytest.raises(UnsupportedFeatureError):
+        _translate("UNWIND [1,2] AS x RETURN x", paper_mapping)
+
+
+def test_edge_id_variable_in_scope(paper_mapping):
+    program = _translate(PAPER_QUERY, paper_mapping)
+    match_rule = program.rules_for("Match1")[0]
+    assert "x1" in match_rule.head_variables()
+
+
+def test_multi_hop_pattern_joins_two_edges():
+    program = _translate(
+        "MATCH (a:Person {id:1})-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) "
+        "RETURN c.id AS fofId",
+        snb_schema_mapping(),
+    )
+    match_rule = program.rules_for("Match1")[0]
+    knows_atoms = [
+        atom for atom in match_rule.body_atoms() if atom.relation == "Person_KNOWS_Person"
+    ]
+    assert len(knows_atoms) == 2
+
+
+def test_chained_match_clauses_reference_previous_view():
+    program = _translate(
+        "MATCH (a:Person {id:1})-[:KNOWS]->(b:Person) "
+        "MATCH (b)-[:IS_LOCATED_IN]->(c:City) "
+        "RETURN c.id AS cityId",
+        snb_schema_mapping(),
+    )
+    match2 = program.rules_for("Match2")[0]
+    # The inline {id:1} condition produced a Where1 view between the two
+    # MATCH clauses, so the second MATCH consumes that view.
+    assert "Where1" in match2.body_relations()
+    assert "Match1" in program.rules_for("Where1")[0].body_relations()

@@ -1,0 +1,228 @@
+"""Tests for the semi-naive Datalog engine."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.dlir.builder import ProgramBuilder
+from repro.dlir.core import Aggregation, ArithExpr, Atom, Const, Rule, Var
+from repro.engines.datalog import DatalogEngine, evaluate_program
+
+
+def _tc_program(nonlinear=False):
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    if nonlinear:
+        builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("tc", ["z", "y"])])
+    else:
+        builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.output("tc")
+    return builder.build()
+
+
+CHAIN = {"edge": [(1, 2), (2, 3), (3, 4), (4, 5)]}
+CYCLE = {"edge": [(1, 2), (2, 3), (3, 1)]}
+
+
+def test_transitive_closure_on_chain():
+    result = evaluate_program(_tc_program(), CHAIN, relation="tc")
+    assert len(result) == 10
+    assert (1, 5) in result.row_set()
+    assert (5, 1) not in result.row_set()
+
+
+def test_transitive_closure_on_cycle_terminates():
+    result = evaluate_program(_tc_program(), CYCLE, relation="tc")
+    assert len(result) == 9  # every ordered pair including self-loops
+    assert (1, 1) in result.row_set()
+
+
+def test_nonlinear_tc_matches_linear_tc():
+    linear = evaluate_program(_tc_program(False), CHAIN, relation="tc")
+    nonlinear = evaluate_program(_tc_program(True), CHAIN, relation="tc")
+    assert linear.same_rows(nonlinear)
+
+
+def test_facts_from_program_and_argument_are_merged():
+    program = _tc_program()
+    program.add_fact("edge", (10, 11))
+    result = evaluate_program(program, {"edge": [(11, 12)]}, relation="tc")
+    assert (10, 12) in result.row_set()
+
+
+def test_query_defaults_to_first_output():
+    engine = DatalogEngine(_tc_program(), CHAIN)
+    assert engine.query().columns == ["a", "b"]
+
+
+def test_engine_run_is_idempotent():
+    engine = DatalogEngine(_tc_program(), CHAIN)
+    first = engine.query("tc")
+    second = engine.query("tc")
+    assert first.same_rows(second)
+    assert engine.fact_count("tc") == 10
+    assert engine.iteration_count("tc") >= 2
+
+
+def test_invalid_program_rejected():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    program = builder.build()
+    program.add_rule(Rule(head=Atom("q", (Var("x"),)), body=(Atom("edge", (Var("x"), Var("y"))),)))
+    with pytest.raises(ExecutionError):
+        DatalogEngine(program)
+
+
+def test_query_without_output_raises():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    engine = DatalogEngine(builder.build(), CHAIN)
+    with pytest.raises(ExecutionError):
+        engine.query()
+
+
+def test_comparisons_filter_and_bind():
+    builder = ProgramBuilder()
+    builder.edb("person", [("id", "number"), ("age", "number")])
+    builder.idb("adult", [("id", "number"), ("label", "number")])
+    builder.rule(
+        "adult", ["x", "lab"],
+        [("person", ["x", "a"])],
+        comparisons=[(">=", "a", 18), ("=", "lab", 1)],
+    )
+    builder.output("adult")
+    facts = {"person": [(1, 20), (2, 15), (3, 18)]}
+    result = evaluate_program(builder.build(), facts, relation="adult")
+    assert result.row_set() == {(1, 1), (3, 1)}
+
+
+def test_negation_with_stratification():
+    builder = ProgramBuilder()
+    builder.edb("node", [("id", "number")])
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("reach", [("b", "number")])
+    builder.idb("unreached", [("id", "number")])
+    builder.rule("reach", ["y"], [("edge", [1, "y"])])
+    builder.rule("reach", ["y"], [("reach", ["x"]), ("edge", ["x", "y"])])
+    builder.rule("unreached", ["n"], [("node", ["n"])], negated=[("reach", ["n"])])
+    builder.output("unreached")
+    facts = {"node": [(1,), (2,), (3,), (4,)], "edge": [(1, 2), (2, 3)]}
+    result = evaluate_program(builder.build(), facts, relation="unreached")
+    assert result.row_set() == {(1,), (4,)}
+
+
+def test_aggregation_count_and_sum():
+    builder = ProgramBuilder()
+    builder.edb("sale", [("shop", "number"), ("amount", "number")])
+    builder.idb("stats", [("shop", "number"), ("n", "number"), ("total", "number")])
+    builder.rule(
+        "stats", ["s", "n", "t"],
+        [("sale", ["s", "a"])],
+        aggregations=[
+            Aggregation("count", Var("n"), Var("a")),
+            Aggregation("sum", Var("t"), Var("a")),
+        ],
+    )
+    builder.output("stats")
+    facts = {"sale": [(1, 10), (1, 20), (2, 5)]}
+    result = evaluate_program(builder.build(), facts, relation="stats")
+    assert result.row_set() == {(1, 2, 30), (2, 1, 5)}
+
+
+def test_aggregation_min_max_avg():
+    builder = ProgramBuilder()
+    builder.edb("sale", [("shop", "number"), ("amount", "number")])
+    builder.idb("extremes", [("shop", "number"), ("lo", "number"), ("hi", "number"), ("mean", "float")])
+    builder.rule(
+        "extremes", ["s", "lo", "hi", "m"],
+        [("sale", ["s", "a"])],
+        aggregations=[
+            Aggregation("min", Var("lo"), Var("a")),
+            Aggregation("max", Var("hi"), Var("a")),
+            Aggregation("avg", Var("m"), Var("a")),
+        ],
+    )
+    builder.output("extremes")
+    facts = {"sale": [(1, 10), (1, 20)]}
+    result = evaluate_program(builder.build(), facts, relation="extremes")
+    assert result.row_set() == {(1, 10, 20, 15.0)}
+
+
+def test_arithmetic_in_head():
+    builder = ProgramBuilder()
+    builder.edb("n", [("v", "number")])
+    builder.idb("double", [("v", "number")])
+    program = builder.build(validate=False)
+    program.add_rule(
+        Rule(
+            head=Atom("double", (ArithExpr("*", Var("x"), Const(2)),)),
+            body=(Atom("n", (Var("x"),)),),
+        )
+    )
+    program.add_output("double")
+    result = evaluate_program(program, {"n": [(1,), (3,)]}, relation="double")
+    assert result.row_set() == {(2,), (6,)}
+
+
+def test_min_subsumption_shortest_paths_on_cyclic_graph():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("dist", [("a", "number"), ("b", "number"), ("d", "number")])
+    program = builder.build(validate=False)
+    program.add_rule(
+        Rule(
+            head=Atom("dist", (Var("a"), Var("b"), Const(1))),
+            body=(Atom("edge", (Var("a"), Var("b"))),),
+            subsume_min=2,
+        )
+    )
+    program.add_rule(
+        Rule(
+            head=Atom("dist", (Var("a"), Var("b"), ArithExpr("+", Var("d"), Const(1)))),
+            body=(
+                Atom("dist", (Var("a"), Var("z"), Var("d"))),
+                Atom("edge", (Var("z"), Var("b"))),
+            ),
+            subsume_min=2,
+        )
+    )
+    program.add_output("dist")
+    facts = {"edge": [(1, 2), (2, 3), (3, 1), (1, 3)]}
+    result = evaluate_program(program, facts, relation="dist")
+    distances = {(row[0], row[1]): row[2] for row in result}
+    assert distances[(1, 3)] == 1  # direct edge wins over the 2-hop path
+    assert distances[(1, 1)] == 2  # 1 -> 3 -> 1, shorter than 1 -> 2 -> 3 -> 1
+    assert distances[(3, 2)] == 2
+    # Exactly one distance per pair (subsumption keeps only the minimum).
+    assert len(result) == len(distances)
+
+
+def test_mutual_recursion_evaluation():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("even", [("a", "number"), ("b", "number")])
+    builder.idb("odd", [("a", "number"), ("b", "number")])
+    builder.rule("odd", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("even", ["x", "y"], [("odd", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.rule("odd", ["x", "y"], [("even", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.output("even")
+    builder.output("odd")
+    facts = {"edge": [(1, 2), (2, 3), (3, 4), (4, 5)]}
+    engine = DatalogEngine(builder.build(), facts)
+    even = engine.query("even")
+    odd = engine.query("odd")
+    assert (1, 3) in even.row_set() and (1, 5) in even.row_set()
+    assert (1, 2) in odd.row_set() and (1, 4) in odd.row_set()
+    assert (1, 3) not in odd.row_set()
+
+
+def test_fact_rule_heads_are_derived():
+    builder = ProgramBuilder()
+    builder.idb("seed", [("x", "number")])
+    builder.rule("seed", [5], [])
+    builder.output("seed")
+    result = evaluate_program(builder.build(), {}, relation="seed")
+    assert result.rows == [(5,)]

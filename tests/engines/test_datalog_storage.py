@@ -1,0 +1,56 @@
+"""Tests for the Datalog engine's fact store."""
+
+from repro.engines.datalog.storage import FactStore
+
+
+def test_add_and_contains():
+    store = FactStore()
+    assert store.add("r", (1, 2))
+    assert not store.add("r", (1, 2))  # duplicate
+    assert store.contains("r", (1, 2))
+    assert store.count("r") == 1
+
+
+def test_add_many_counts_new_rows():
+    store = FactStore()
+    assert store.add_many("r", [(1,), (2,), (1,)]) == 2
+    assert store.add_many("r", [(2,), (3,)]) == 1
+
+
+def test_lookup_uses_position_index():
+    store = FactStore()
+    store.add_many("edge", [(1, 2), (1, 3), (2, 3)])
+    assert sorted(store.lookup("edge", [0], (1,))) == [(1, 2), (1, 3)]
+    assert store.lookup("edge", [0, 1], (2, 3)) == [(2, 3)]
+    assert store.lookup("edge", [1], (9,)) == []
+
+
+def test_lookup_with_no_positions_scans():
+    store = FactStore()
+    store.add_many("edge", [(1, 2), (2, 3)])
+    assert len(store.lookup("edge", [], ())) == 2
+
+
+def test_index_invalidated_after_insert():
+    store = FactStore()
+    store.add("edge", (1, 2))
+    assert store.lookup("edge", [0], (1,)) == [(1, 2)]
+    store.add("edge", (1, 3))
+    assert sorted(store.lookup("edge", [0], (1,))) == [(1, 2), (1, 3)]
+
+
+def test_remove_and_replace():
+    store = FactStore()
+    store.add_many("r", [(1,), (2,)])
+    store.remove("r", (1,))
+    assert not store.contains("r", (1,))
+    store.replace("r", [(9,)])
+    assert store.scan("r") == [(9,)]
+
+
+def test_snapshot_is_a_copy():
+    store = FactStore()
+    store.add("r", (1,))
+    snapshot = store.snapshot()
+    snapshot["r"].add((2,))
+    assert store.count("r") == 1

@@ -1,0 +1,189 @@
+"""Tests for the property-graph store and the PGIR interpreter."""
+
+import pytest
+
+from repro.common.errors import ExecutionError, UnsupportedFeatureError
+from repro.engines.graph import GraphEngine, PropertyGraph, facts_to_property_graph
+from repro.frontend.cypher import parse_cypher
+from repro.pgir import lower_cypher_to_pgir
+
+from tests.conftest import PAPER_QUERY
+
+
+# -- store ---------------------------------------------------------------------
+
+
+def _small_graph():
+    graph = PropertyGraph()
+    for node_id, name in [(1, "a"), (2, "b"), (3, "c")]:
+        graph.add_node("Node", node_id, {"name": name})
+    graph.add_edge("LINKS_TO", "Node", 1, "Node", 2, {"id": 10})
+    graph.add_edge("LINKS_TO", "Node", 2, "Node", 3, {"id": 11})
+    return graph
+
+
+def test_store_counts_and_lookups():
+    graph = _small_graph()
+    assert graph.node_count() == 3
+    assert graph.edge_count() == 2
+    assert graph.node("Node", 1).properties["name"] == "a"
+    assert graph.node("Node", 9) is None
+    assert graph.node_labels() == ["Node"]
+    assert graph.has_edge_label("LINKS_TO")
+    assert graph.edge_endpoint_labels("LINKS_TO") == ("Node", "Node")
+
+
+def test_store_adjacency_indexes():
+    graph = _small_graph()
+    assert [edge.target for edge in graph.out_edges("LINKS_TO", "Node", 1)] == [2]
+    assert [edge.source for edge in graph.in_edges("LINKS_TO", "Node", 3)] == [2]
+    assert len(graph.all_edges("LINKS_TO")) == 2
+    assert graph.all_edges("OTHER") == []
+
+
+def test_store_rejects_duplicates_and_dangling_edges():
+    graph = _small_graph()
+    with pytest.raises(ExecutionError):
+        graph.add_node("Node", 1)
+    with pytest.raises(ExecutionError):
+        graph.add_edge("LINKS_TO", "Node", 1, "Node", 99)
+    with pytest.raises(ExecutionError):
+        graph.edge_endpoint_labels("MISSING")
+
+
+def test_node_property_id_is_intrinsic():
+    graph = _small_graph()
+    assert graph.node_property("Node", 2, "id") == 2
+    assert graph.node_property("Node", 2, "name") == "b"
+    with pytest.raises(ExecutionError):
+        graph.node_property("Node", 99, "name")
+
+
+def test_facts_to_property_graph(paper_mapping, paper_facts):
+    graph = facts_to_property_graph(paper_facts, paper_mapping)
+    assert graph.node_count() == 5
+    assert graph.edge_count() == 3
+    assert graph.node("Person", 42).properties["firstName"] == "Ada"
+    assert graph.edge_endpoint_labels("IS_LOCATED_IN") == ("Person", "City")
+
+
+# -- interpreter -----------------------------------------------------------------
+
+
+def _execute(query_text, graph, parameters=None):
+    lowering = lower_cypher_to_pgir(parse_cypher(query_text), parameters)
+    return GraphEngine(graph).execute(lowering)
+
+
+@pytest.fixture(scope="module")
+def paper_graph(paper_mapping, paper_facts):
+    return facts_to_property_graph(paper_facts, paper_mapping)
+
+
+def test_paper_query_on_graph_engine(paper_graph):
+    result = _execute(PAPER_QUERY, paper_graph)
+    assert result.columns == ["firstName", "cityId"]
+    assert result.rows == [("Ada", 1)]
+
+
+def test_node_scan_without_edges(paper_graph):
+    result = _execute("MATCH (n:Person) RETURN n.id AS id", paper_graph)
+    assert result.row_set() == {(42,), (43,), (44,)}
+
+
+def test_where_filters_rows(paper_graph):
+    result = _execute(
+        "MATCH (n:Person) WHERE n.id > 42 RETURN n.firstName AS name", paper_graph
+    )
+    assert result.row_set() == {("Alan",), ("Edgar",)}
+
+
+def test_incoming_direction(paper_graph):
+    result = _execute(
+        "MATCH (c:City)<-[:IS_LOCATED_IN]-(n:Person) WHERE c.id = 1 RETURN n.id AS id",
+        paper_graph,
+    )
+    assert result.row_set() == {(42,), (44,)}
+
+
+def test_aggregation_per_city(paper_graph):
+    result = _execute(
+        "MATCH (n:Person)-[:IS_LOCATED_IN]->(c:City) "
+        "RETURN c.id AS cityId, count(n) AS inhabitants",
+        paper_graph,
+    )
+    assert result.row_set() == {(1, 2), (2, 1)}
+
+
+def test_distinct_projection(paper_graph):
+    result = _execute(
+        "MATCH (n:Person)-[:IS_LOCATED_IN]->(c:City) RETURN DISTINCT c.id AS cityId",
+        paper_graph,
+    )
+    assert result.row_set() == {(1,), (2,)}
+
+
+def _links_graph():
+    graph = PropertyGraph()
+    for node_id in range(1, 7):
+        graph.add_node("Node", node_id, {"name": f"n{node_id}"})
+    for index, (src, dst) in enumerate([(1, 2), (2, 3), (3, 4), (4, 2), (5, 6)]):
+        graph.add_edge("LINKS_TO", "Node", src, "Node", dst, {"id": index})
+    return graph
+
+
+def test_unbounded_variable_length(paper_graph):
+    graph = _links_graph()
+    result = _execute(
+        "MATCH (a:Node)-[:LINKS_TO*]->(b:Node) WHERE a.id = 1 RETURN b.id AS target",
+        graph,
+    )
+    assert result.row_set() == {(2,), (3,), (4,)}
+
+
+def test_bounded_variable_length_levels():
+    graph = _links_graph()
+    result = _execute(
+        "MATCH (a:Node)-[:LINKS_TO*1..2]->(b:Node) WHERE a.id = 1 RETURN b.id AS target",
+        graph,
+    )
+    assert result.row_set() == {(2,), (3,)}
+
+
+def test_zero_length_includes_start():
+    graph = _links_graph()
+    result = _execute(
+        "MATCH (a:Node)-[:LINKS_TO*0..1]->(b:Node) WHERE a.id = 1 RETURN b.id AS target",
+        graph,
+    )
+    assert result.row_set() == {(1,), (2,)}
+
+
+def test_shortest_path_length():
+    graph = _links_graph()
+    result = _execute(
+        "MATCH p = shortestPath((a:Node {id: 1})-[:LINKS_TO*]->(b:Node {id: 4})) "
+        "RETURN length(p) AS hops",
+        graph,
+    )
+    assert result.rows == [(3,)]
+
+
+def test_unwind_rejected(paper_graph):
+    with pytest.raises(UnsupportedFeatureError):
+        _execute("UNWIND [1,2] AS x RETURN x", paper_graph)
+
+
+def test_optional_match_rejected(paper_graph):
+    with pytest.raises(UnsupportedFeatureError):
+        _execute("OPTIONAL MATCH (n:Person) RETURN n.id AS id", paper_graph)
+
+
+def test_graph_engine_matches_datalog_engine_on_snb(snb_raqlet, snb_data):
+    from repro.ldbc import short_query_1
+
+    spec = short_query_1(snb_data.dataset.default_person_id())
+    compiled = snb_raqlet.compile_cypher(spec["query"], spec["parameters"])
+    graph_result = snb_raqlet.run_on_graph_engine(compiled, snb_data.property_graph())
+    datalog_result = snb_raqlet.run_on_datalog_engine(compiled, snb_data.facts)
+    assert graph_result.same_rows(datalog_result)

@@ -1,0 +1,231 @@
+"""Tests for the relational engine (tables, SQIR execution, recursive CTEs)."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.dlir.builder import ProgramBuilder
+from repro.dlir.core import Aggregation, Var
+from repro.engines.relational import Database, RelationalEngine, Table, execute_sqir
+from repro.sqir import translate_dlir_to_sqir
+from repro.sqir.nodes import (
+    ColumnRef,
+    SelectItem,
+    SelectQuery,
+    SQLBinary,
+    SQLLiteral,
+    SQIRQuery,
+    TableRef,
+)
+
+from tests.conftest import PAPER_QUERY
+
+
+# -- Table / Database ---------------------------------------------------------
+
+
+def test_table_insert_and_arity_check():
+    table = Table(columns=["a", "b"])
+    table.insert((1, 2))
+    with pytest.raises(ExecutionError):
+        table.insert((1, 2, 3))
+    assert len(table) == 1
+    assert table.column_index("b") == 1
+    with pytest.raises(ExecutionError):
+        table.column_index("c")
+
+
+def test_table_duplicate_columns_rejected():
+    with pytest.raises(ExecutionError):
+        Table(columns=["a", "a"])
+
+
+def test_table_distinct():
+    table = Table(columns=["a"], rows=[(1,), (1,), (2,)])
+    assert table.distinct().rows == [(1,), (2,)]
+
+
+def test_database_create_and_lookup():
+    database = Database()
+    database.create_table("t", ["a"])
+    database.insert_many("t", [(1,), (2,)])
+    assert database.has_table("t")
+    assert database.table_names() == ["t"]
+    assert len(database.table("t")) == 2
+    with pytest.raises(ExecutionError):
+        database.create_table("t", ["a"])
+    with pytest.raises(ExecutionError):
+        database.table("missing")
+    database.drop_table("t")
+    assert not database.has_table("t")
+
+
+# -- SELECT evaluation ---------------------------------------------------------
+
+
+def _edge_database():
+    database = Database()
+    database.create_table("edge", ["a", "b"])
+    database.insert_many("edge", [(1, 2), (2, 3), (3, 4), (4, 5)])
+    return database
+
+
+def test_single_table_scan_with_filter():
+    database = _edge_database()
+    select = SelectQuery(
+        items=[SelectItem(ColumnRef("E", "b"), "b")],
+        from_tables=[TableRef("edge", "E")],
+        where=[SQLBinary("=", ColumnRef("E", "a"), SQLLiteral(2))],
+    )
+    query = SQIRQuery(ctes=[], final=select)
+    result = execute_sqir(query, database)
+    assert result.rows == [(3,)]
+
+
+def test_hash_join_on_shared_column():
+    database = _edge_database()
+    select = SelectQuery(
+        items=[
+            SelectItem(ColumnRef("E1", "a"), "a"),
+            SelectItem(ColumnRef("E2", "b"), "c"),
+        ],
+        from_tables=[TableRef("edge", "E1"), TableRef("edge", "E2")],
+        where=[SQLBinary("=", ColumnRef("E1", "b"), ColumnRef("E2", "a"))],
+    )
+    result = execute_sqir(SQIRQuery(ctes=[], final=select), database)
+    assert (1, 3) in result.row_set()
+    assert len(result) == 3
+
+
+def test_cross_product_when_no_join_keys():
+    database = Database()
+    database.create_table("l", ["a"])
+    database.create_table("r", ["b"])
+    database.insert_many("l", [(1,), (2,)])
+    database.insert_many("r", [(10,), (20,)])
+    select = SelectQuery(
+        items=[SelectItem(ColumnRef("L", "a"), "a"), SelectItem(ColumnRef("R", "b"), "b")],
+        from_tables=[TableRef("l", "L"), TableRef("r", "R")],
+    )
+    result = execute_sqir(SQIRQuery(ctes=[], final=select), database)
+    assert len(result) == 4
+
+
+def test_distinct_enforced():
+    database = Database()
+    database.create_table("t", ["a", "b"])
+    database.insert_many("t", [(1, 1), (1, 2)])
+    select = SelectQuery(
+        items=[SelectItem(ColumnRef("T", "a"), "a")],
+        from_tables=[TableRef("t", "T")],
+    )
+    result = execute_sqir(SQIRQuery(ctes=[], final=select), database)
+    assert result.rows == [(1,)]
+
+
+# -- DLIR-driven execution -----------------------------------------------------
+
+
+def _run_program(program, database):
+    return execute_sqir(translate_dlir_to_sqir(program), database)
+
+
+def test_paper_query_on_relational_engine(paper_raqlet, paper_facts):
+    database = Database()
+    for relation in paper_raqlet.dl_schema.edb_relations():
+        database.create_table(relation.name, relation.column_names())
+        database.insert_many(relation.name, paper_facts.get(relation.name, []))
+    compiled = paper_raqlet.compile_cypher(PAPER_QUERY, optimize=False)
+    result = RelationalEngine(database).execute(compiled.sqir(optimized=False))
+    assert result.rows == [("Ada", 1)]
+    assert result.columns == ["firstName", "cityId"]
+
+
+def test_recursive_cte_transitive_closure():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.output("tc")
+    result = _run_program(builder.build(), _edge_database())
+    assert len(result) == 10
+    assert (1, 5) in result.row_set()
+
+
+def test_recursive_cte_terminates_on_cycles():
+    database = Database()
+    database.create_table("edge", ["a", "b"])
+    database.insert_many("edge", [(1, 2), (2, 3), (3, 1)])
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.output("tc")
+    result = _run_program(builder.build(), database)
+    assert len(result) == 9
+
+
+def test_not_exists_subquery():
+    builder = ProgramBuilder()
+    builder.edb("node", [("id", "number")])
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("sink", [("id", "number")])
+    builder.rule("sink", ["x"], [("node", ["x"])], negated=[("edge", ["x", "_"])])
+    builder.output("sink")
+    database = Database()
+    database.create_table("node", ["id"])
+    database.create_table("edge", ["a", "b"])
+    database.insert_many("node", [(1,), (2,), (3,)])
+    database.insert_many("edge", [(1, 2), (2, 3)])
+    result = _run_program(builder.build(), database)
+    assert result.row_set() == {(3,)}
+
+
+def test_correlated_not_exists_with_bound_column():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("no_return", [("a", "number"), ("b", "number")])
+    builder.rule(
+        "no_return", ["x", "y"], [("edge", ["x", "y"])], negated=[("edge", ["y", "x"])]
+    )
+    builder.output("no_return")
+    database = Database()
+    database.create_table("edge", ["a", "b"])
+    database.insert_many("edge", [(1, 2), (2, 1), (2, 3)])
+    result = _run_program(builder.build(), database)
+    assert result.row_set() == {(2, 3)}
+
+
+def test_group_by_aggregation():
+    builder = ProgramBuilder()
+    builder.edb("sale", [("shop", "number"), ("amount", "number")])
+    builder.idb("totals", [("shop", "number"), ("n", "number"), ("total", "number")])
+    builder.rule(
+        "totals", ["s", "n", "t"],
+        [("sale", ["s", "a"])],
+        aggregations=[
+            Aggregation("count", Var("n"), Var("a")),
+            Aggregation("sum", Var("t"), Var("a")),
+        ],
+    )
+    builder.output("totals")
+    database = Database()
+    database.create_table("sale", ["shop", "amount"])
+    database.insert_many("sale", [(1, 10), (1, 20), (2, 5)])
+    result = _run_program(builder.build(), database)
+    assert result.row_set() == {(1, 2, 30), (2, 1, 5)}
+
+
+def test_relational_engine_matches_datalog_engine_on_snb(snb_raqlet, snb_data):
+    from repro.ldbc import complex_query_2
+
+    spec = complex_query_2(
+        snb_data.dataset.default_person_id(), snb_data.dataset.median_message_date()
+    )
+    compiled = snb_raqlet.compile_cypher(spec["query"], spec["parameters"])
+    datalog_result = snb_raqlet.run_on_datalog_engine(compiled, snb_data.facts)
+    relational_result = snb_raqlet.run_on_relational_engine(
+        compiled, snb_data.relational_database()
+    )
+    assert datalog_result.same_rows(relational_result)

@@ -1,0 +1,37 @@
+"""Tests for the shared QueryResult type."""
+
+from repro.engines.result import QueryResult
+
+
+def test_from_rows_deduplicates():
+    result = QueryResult.from_rows(["a"], [(1,), (2,), (1,)])
+    assert len(result) == 2
+    assert result.row_set() == {(1,), (2,)}
+
+
+def test_same_rows_ignores_order():
+    first = QueryResult.from_rows(["a", "b"], [(1, 2), (3, 4)])
+    second = QueryResult.from_rows(["a", "b"], [(3, 4), (1, 2)])
+    assert first.same_rows(second)
+
+
+def test_same_rows_detects_differences():
+    first = QueryResult.from_rows(["a"], [(1,)])
+    second = QueryResult.from_rows(["a"], [(2,)])
+    assert not first.same_rows(second)
+
+
+def test_sorted_rows_handles_mixed_types():
+    result = QueryResult.from_rows(["a"], [(2,), ("x",), (1,)])
+    assert result.sorted_rows() == [(1,), (2,), ("x",)]
+
+
+def test_to_dicts():
+    result = QueryResult.from_rows(["a", "b"], [(1, "x")])
+    assert result.to_dicts() == [{"a": 1, "b": "x"}]
+
+
+def test_iteration_and_len():
+    result = QueryResult.from_rows(["a"], [(1,), (2,)])
+    assert list(result) == [(1,), (2,)]
+    assert len(result) == 2

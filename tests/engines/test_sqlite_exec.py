@@ -1,0 +1,61 @@
+"""Tests for the SQLite executor."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.engines.sqlite_exec import SQLiteExecutor, run_sql_on_sqlite
+
+from tests.conftest import PAPER_QUERY
+
+
+def test_tables_created_from_schema(paper_raqlet, paper_facts):
+    with SQLiteExecutor(paper_raqlet.dl_schema, paper_facts) as executor:
+        assert executor.table_count("Person") == 3
+        assert executor.table_count("City") == 2
+        assert executor.table_count("Person_IS_LOCATED_IN_City") == 3
+
+
+def test_execute_simple_sql(paper_raqlet, paper_facts):
+    with SQLiteExecutor(paper_raqlet.dl_schema, paper_facts) as executor:
+        result = executor.execute_sql("SELECT firstName FROM Person WHERE id = 42")
+        assert result.rows == [("Ada",)]
+        assert result.columns == ["firstName"]
+
+
+def test_create_indexes_is_idempotent(paper_raqlet, paper_facts):
+    with SQLiteExecutor(paper_raqlet.dl_schema, paper_facts) as executor:
+        executor.create_indexes()
+        executor.create_indexes()
+        result = executor.execute_sql("SELECT COUNT(*) FROM Person")
+        assert result.rows == [(3,)]
+
+
+def test_invalid_sql_raises_execution_error(paper_raqlet, paper_facts):
+    with SQLiteExecutor(paper_raqlet.dl_schema, paper_facts) as executor:
+        with pytest.raises(ExecutionError):
+            executor.execute_sql("SELECT * FROM MissingTable")
+
+
+def test_unknown_relations_in_facts_are_ignored(paper_raqlet):
+    facts = {"Person": [(1, "X", "ip")], "NotARelation": [(1,)]}
+    with SQLiteExecutor(paper_raqlet.dl_schema, facts) as executor:
+        assert executor.table_count("Person") == 1
+
+
+def test_run_sql_on_sqlite_one_shot(paper_raqlet, paper_facts):
+    compiled = paper_raqlet.compile_cypher(PAPER_QUERY)
+    sql = compiled.sql_text(dialect="sqlite")
+    result = run_sql_on_sqlite(paper_raqlet.dl_schema, paper_facts, sql)
+    assert result.rows == [("Ada", 1)]
+
+
+def test_sqlite_matches_other_engines_on_snb(snb_raqlet, snb_data):
+    from repro.ldbc import complex_query_2
+
+    spec = complex_query_2(
+        snb_data.dataset.default_person_id(), snb_data.dataset.median_message_date()
+    )
+    compiled = snb_raqlet.compile_cypher(spec["query"], spec["parameters"])
+    sqlite_result = snb_raqlet.run_on_sqlite(compiled, snb_data.sqlite_executor())
+    datalog_result = snb_raqlet.run_on_datalog_engine(compiled, snb_data.facts)
+    assert sqlite_result.same_rows(datalog_result)

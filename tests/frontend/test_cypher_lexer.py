@@ -1,0 +1,85 @@
+"""Tests for the Cypher tokenizer."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.frontend.cypher.lexer import TokenKind, tokenize_cypher
+
+
+def _kinds(text):
+    return [token.kind for token in tokenize_cypher(text)]
+
+
+def _texts(text):
+    return [token.text for token in tokenize_cypher(text)[:-1]]
+
+
+def test_keywords_are_recognised_case_insensitively():
+    tokens = tokenize_cypher("match RETURN Where")
+    assert all(token.kind is TokenKind.KEYWORD for token in tokens[:-1])
+
+
+def test_identifiers_versus_keywords():
+    tokens = tokenize_cypher("person MATCH firstName")
+    assert tokens[0].kind is TokenKind.IDENTIFIER
+    assert tokens[1].kind is TokenKind.KEYWORD
+    assert tokens[2].kind is TokenKind.IDENTIFIER
+
+
+def test_integer_and_float_literals():
+    tokens = tokenize_cypher("42 3.14 1.5e3")
+    assert tokens[0].kind is TokenKind.INTEGER and tokens[0].value == 42
+    assert tokens[1].kind is TokenKind.FLOAT and tokens[1].value == 3.14
+    assert tokens[2].kind is TokenKind.FLOAT and tokens[2].value == 1500.0
+
+
+def test_string_literals_single_and_double_quotes():
+    tokens = tokenize_cypher("'abc' \"def\"")
+    assert tokens[0].value == "abc"
+    assert tokens[1].value == "def"
+
+
+def test_string_escapes():
+    tokens = tokenize_cypher(r"'it\'s'")
+    assert tokens[0].value == "it's"
+
+
+def test_backtick_identifiers():
+    tokens = tokenize_cypher("`first name`")
+    assert tokens[0].kind is TokenKind.IDENTIFIER
+    assert tokens[0].value == "first name"
+
+
+def test_arrows_and_comparison_operators():
+    assert _texts("-> <- <= >= <> != ..") == ["->", "<-", "<=", ">=", "<>", "!=", ".."]
+
+
+def test_comments_are_skipped():
+    tokens = tokenize_cypher("MATCH // a comment\nRETURN")
+    assert [token.text for token in tokens[:-1]] == ["MATCH", "RETURN"]
+
+
+def test_locations_track_lines_and_columns():
+    tokens = tokenize_cypher("MATCH\n  (n)")
+    assert tokens[0].location.line == 1
+    assert tokens[1].location.line == 2
+    assert tokens[1].location.column == 3
+
+
+def test_eof_token_is_last():
+    tokens = tokenize_cypher("RETURN 1")
+    assert tokens[-1].kind is TokenKind.EOF
+
+
+def test_unexpected_character_raises_with_location():
+    with pytest.raises(ParseError) as excinfo:
+        tokenize_cypher("RETURN 1 ~")
+    assert excinfo.value.location is not None
+
+
+def test_is_keyword_and_is_punct_helpers():
+    tokens = tokenize_cypher("MATCH (")
+    assert tokens[0].is_keyword("match")
+    assert not tokens[0].is_keyword("return")
+    assert tokens[1].is_punct("(")
+    assert not tokens[1].is_punct(")")

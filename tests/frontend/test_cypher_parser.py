@@ -1,0 +1,217 @@
+"""Tests for the Cypher parser."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.frontend.cypher import (
+    Aggregate,
+    BinaryOp,
+    Literal,
+    MatchClause,
+    Parameter,
+    PropertyAccess,
+    RelDirection,
+    ReturnClause,
+    UnwindClause,
+    Variable,
+    WhereClause,
+    WithClause,
+    parse_cypher,
+)
+
+from tests.conftest import PAPER_QUERY
+
+
+def test_parses_paper_running_example():
+    query = parse_cypher(PAPER_QUERY)
+    match = query.clauses[0]
+    assert isinstance(match, MatchClause)
+    assert len(match.patterns) == 1
+    pattern = match.patterns[0]
+    assert [node.labels for node in pattern.nodes] == [("Person",), ("City",)]
+    assert pattern.relationships[0].types == ("IS_LOCATED_IN",)
+    assert pattern.relationships[0].direction is RelDirection.OUTGOING
+    returns = query.return_clause()
+    assert returns.distinct
+    assert [item.alias for item in returns.items] == ["firstName", "cityId"]
+
+
+def test_inline_property_map_parsed_as_expressions():
+    query = parse_cypher("MATCH (n:Person {id: 42, name: 'Ada'}) RETURN n")
+    node = query.clauses[0].patterns[0].nodes[0]
+    assert node.properties[0][0] == "id"
+    assert node.properties[0][1] == Literal(42)
+    assert node.properties[1][1] == Literal("Ada")
+
+
+def test_anonymous_nodes_and_relationships():
+    query = parse_cypher("MATCH (:Person)-[]->() RETURN 1 AS one")
+    pattern = query.clauses[0].patterns[0]
+    assert pattern.nodes[0].variable is None
+    assert pattern.nodes[1].variable is None
+    assert pattern.nodes[1].labels == ()
+    assert pattern.relationships[0].types == ()
+
+
+def test_relationship_directions():
+    incoming = parse_cypher("MATCH (a)<-[:R]-(b) RETURN a").clauses[0]
+    undirected = parse_cypher("MATCH (a)-[:R]-(b) RETURN a").clauses[0]
+    assert incoming.patterns[0].relationships[0].direction is RelDirection.INCOMING
+    assert undirected.patterns[0].relationships[0].direction is RelDirection.UNDIRECTED
+
+
+def test_variable_length_bounds():
+    star = parse_cypher("MATCH (a)-[:R*]->(b) RETURN a").clauses[0].patterns[0].relationships[0]
+    exact = parse_cypher("MATCH (a)-[:R*3]->(b) RETURN a").clauses[0].patterns[0].relationships[0]
+    ranged = parse_cypher("MATCH (a)-[:R*1..4]->(b) RETURN a").clauses[0].patterns[0].relationships[0]
+    open_end = parse_cypher("MATCH (a)-[:R*2..]->(b) RETURN a").clauses[0].patterns[0].relationships[0]
+    assert star.var_length and star.min_hops is None and star.max_hops is None
+    assert exact.min_hops == exact.max_hops == 3
+    assert (ranged.min_hops, ranged.max_hops) == (1, 4)
+    assert (open_end.min_hops, open_end.max_hops) == (2, None)
+
+
+def test_shortest_path_pattern():
+    query = parse_cypher(
+        "MATCH p = shortestPath((a:Person)-[:KNOWS*]-(b:Person)) RETURN length(p) AS l"
+    )
+    pattern = query.clauses[0].patterns[0]
+    assert pattern.shortest
+    assert pattern.path_variable == "p"
+
+
+def test_multiple_patterns_in_one_match():
+    query = parse_cypher("MATCH (a)-[:R]->(b), (b)-[:S]->(c) RETURN a")
+    assert len(query.clauses[0].patterns) == 2
+
+
+def test_match_with_inline_where():
+    query = parse_cypher("MATCH (a:Person) WHERE a.id = 3 RETURN a")
+    match = query.clauses[0]
+    assert isinstance(match.where, BinaryOp)
+    assert match.where.op == "="
+
+
+def test_where_attaches_to_preceding_with():
+    query = parse_cypher("MATCH (a:Person)\nWITH a.id AS x\nWHERE x > 2\nRETURN x")
+    kinds = [type(clause) for clause in query.clauses]
+    assert kinds == [MatchClause, WithClause, ReturnClause]
+    with_clause = query.clauses[1]
+    assert with_clause.where is not None and with_clause.where.op == ">"
+
+
+def test_boolean_precedence_and_parentheses():
+    query = parse_cypher("MATCH (a) WHERE a.x = 1 OR a.y = 2 AND a.z = 3 RETURN a")
+    condition = query.clauses[0].where
+    assert condition.op == "OR"
+    assert condition.right.op == "AND"
+
+
+def test_not_and_comparison_operators():
+    query = parse_cypher("MATCH (a) WHERE NOT a.x <> 5 RETURN a")
+    condition = query.clauses[0].where
+    assert condition.op == "NOT"
+    assert condition.operand.op == "<>"
+
+
+def test_in_list_expression():
+    query = parse_cypher("MATCH (a) WHERE a.x IN [1, 2, 3] RETURN a")
+    condition = query.clauses[0].where
+    assert condition.op == "IN"
+    assert len(condition.right.items) == 3
+
+
+def test_parameters():
+    query = parse_cypher("MATCH (n:Person {id: $personId}) RETURN n.id AS id")
+    node = query.clauses[0].patterns[0].nodes[0]
+    assert node.properties[0][1] == Parameter("personId")
+
+
+def test_arithmetic_precedence():
+    query = parse_cypher("RETURN 1 + 2 * 3 AS x")
+    expression = query.return_clause().items[0].expression
+    assert expression.op == "+"
+    assert expression.right.op == "*"
+
+
+def test_aggregates_count_star_and_distinct():
+    query = parse_cypher("MATCH (a)-[:R]->(b) RETURN a, count(*) AS c, count(DISTINCT b) AS d")
+    items = query.return_clause().items
+    assert isinstance(items[1].expression, Aggregate)
+    assert items[1].expression.argument is None
+    assert items[2].expression.distinct
+
+
+def test_return_item_aliases_and_defaults():
+    query = parse_cypher("MATCH (a:Person) RETURN a.name, a.age AS years")
+    items = query.return_clause().items
+    assert items[0].alias is None
+    assert items[0].output_name() == "name"
+    assert items[1].output_name() == "years"
+
+
+def test_order_by_skip_limit_parsed():
+    query = parse_cypher(
+        "MATCH (a:Person) RETURN a.name AS n ORDER BY n DESC, a.age SKIP 5 LIMIT 10"
+    )
+    returns = query.return_clause()
+    assert returns.limit == 10
+    assert returns.skip == 5
+    assert returns.order_by[0].ascending is False
+    assert returns.order_by[1].ascending is True
+
+
+def test_with_clause_distinct_and_where():
+    query = parse_cypher(
+        "MATCH (a:Person) WITH DISTINCT a.city AS city WHERE city <> 'X' RETURN city"
+    )
+    with_clause = query.clauses[1]
+    assert isinstance(with_clause, WithClause)
+    assert with_clause.distinct
+    assert with_clause.where is not None
+
+
+def test_unwind_clause():
+    query = parse_cypher("UNWIND [1,2,3] AS x RETURN x")
+    assert isinstance(query.clauses[0], UnwindClause)
+    assert query.clauses[0].variable == "x"
+
+
+def test_optional_match_flag():
+    query = parse_cypher("OPTIONAL MATCH (a:Person) RETURN a")
+    assert query.clauses[0].optional
+
+
+def test_query_without_return_raises():
+    with pytest.raises(ValueError):
+        parse_cypher("MATCH (a:Person)")
+
+
+def test_empty_query_raises():
+    with pytest.raises(ParseError):
+        parse_cypher("   ")
+
+
+def test_syntax_error_reports_position():
+    with pytest.raises(ParseError) as excinfo:
+        parse_cypher("MATCH (a:Person RETURN a")
+    assert excinfo.value.location is not None
+
+
+def test_string_predicates_parse():
+    query = parse_cypher("MATCH (a) WHERE a.name STARTS WITH 'A' RETURN a")
+    assert query.clauses[0].where.op == "STARTS WITH"
+
+
+def test_is_null_and_is_not_null():
+    query = parse_cypher("MATCH (a) WHERE a.x IS NULL AND a.y IS NOT NULL RETURN a")
+    condition = query.clauses[0].where
+    assert condition.left.op == "IS NULL"
+    assert condition.right.op == "IS NOT NULL"
+
+
+def test_ast_str_round_trips_key_fragments():
+    query = parse_cypher(PAPER_QUERY)
+    text = str(query)
+    assert "MATCH" in text and "RETURN DISTINCT" in text
+    assert "IS_LOCATED_IN" in text

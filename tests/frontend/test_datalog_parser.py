@@ -1,0 +1,145 @@
+"""Tests for the Soufflé-dialect Datalog frontend."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.dlir.core import Comparison, NegatedAtom, Wildcard
+from repro.frontend.datalog import parse_datalog
+from repro.schema.dl_schema import DLType
+
+TC_PROGRAM = """
+.decl edge(src:number, dst:number)
+.decl tc(src:number, dst:number)
+.input edge
+tc(x, y) :- edge(x, y).
+tc(x, y) :- tc(x, z), edge(z, y).
+.output tc
+"""
+
+
+def test_parse_transitive_closure():
+    program = parse_datalog(TC_PROGRAM)
+    assert set(program.schema.relations) == {"edge", "tc"}
+    assert len(program.rules) == 2
+    assert program.outputs == ["tc"]
+    assert program.inputs == ["edge"]
+
+
+def test_declarations_capture_types():
+    program = parse_datalog(".decl r(a:number, b:symbol, c:float)\n.output r\nr(1, \"x\", 2.5).")
+    relation = program.schema.get("r")
+    assert relation.column_types() == [DLType.NUMBER, DLType.SYMBOL, DLType.FLOAT]
+
+
+def test_unsigned_is_treated_as_number():
+    program = parse_datalog(".decl r(a:unsigned)\nr(1).")
+    assert program.schema.get("r").column_types() == [DLType.NUMBER]
+
+
+def test_idb_flag_set_for_rule_heads():
+    program = parse_datalog(TC_PROGRAM)
+    assert program.schema.get("edge").is_edb
+    assert not program.schema.get("tc").is_edb
+
+
+def test_ground_facts_are_collected():
+    program = parse_datalog(
+        '.decl edge(a:number, b:number)\nedge(1, 2).\nedge(2, 3).\n'
+    )
+    assert program.facts["edge"] == [(1, 2), (2, 3)]
+
+
+def test_string_facts():
+    program = parse_datalog('.decl name(id:number, n:symbol)\nname(1, "Ada").')
+    assert program.facts["name"] == [(1, "Ada")]
+
+
+def test_wildcards_and_comparisons():
+    program = parse_datalog(
+        """
+        .decl person(id:number, age:number)
+        .decl adult(id:number)
+        adult(x) :- person(x, _), person(x, a), a >= 18.
+        .output adult
+        """
+    )
+    rule = program.rules[0]
+    assert any(isinstance(term, Wildcard) for term in rule.body_atoms()[0].terms)
+    comparisons = rule.comparisons()
+    assert comparisons[0].op == ">="
+
+
+def test_negation():
+    program = parse_datalog(
+        """
+        .decl node(id:number)
+        .decl edge(a:number, b:number)
+        .decl isolated(id:number)
+        isolated(x) :- node(x), !edge(x, _), !edge(_, x).
+        .output isolated
+        """
+    )
+    rule = program.rules[0]
+    assert len(rule.negated_atoms()) == 2
+    assert isinstance(rule.body[1], NegatedAtom)
+
+
+def test_not_equal_normalised():
+    program = parse_datalog(
+        ".decl r(a:number)\n.decl q(a:number)\nq(x) :- r(x), x != 3.\n.output q"
+    )
+    comparison = program.rules[0].comparisons()[0]
+    assert isinstance(comparison, Comparison)
+    assert comparison.op == "<>"
+
+
+def test_arithmetic_in_head_and_body():
+    program = parse_datalog(
+        """
+        .decl d(a:number, n:number)
+        .decl e(a:number, b:number)
+        d(y, n + 1) :- d(x, n), e(x, y).
+        d(x, 0) :- e(x, _).
+        .output d
+        """
+    )
+    heads = [str(rule.head) for rule in program.rules]
+    assert any("(n + 1)" in head for head in heads)
+
+
+def test_comments_are_ignored():
+    program = parse_datalog(
+        "// reachability\n.decl e(a:number, b:number)\n# another comment\ne(1,2)."
+    )
+    assert program.facts["e"] == [(1, 2)]
+
+
+def test_undeclared_relation_fails_validation():
+    with pytest.raises(ParseError):
+        parse_datalog(".decl r(a:number)\nq(x) :- r(x).\n.output q")
+
+
+def test_arity_mismatch_fails_validation():
+    with pytest.raises(ParseError):
+        parse_datalog(".decl r(a:number, b:number)\n.decl q(a:number)\nq(x) :- r(x).\n.output q")
+
+
+def test_unknown_directive_raises():
+    with pytest.raises(ParseError):
+        parse_datalog(".pragma something")
+
+
+def test_unknown_type_raises():
+    with pytest.raises(ParseError):
+        parse_datalog(".decl r(a:widget)")
+
+
+def test_parsed_program_runs_on_engine():
+    from repro.engines.datalog import evaluate_program
+
+    program = parse_datalog(
+        TC_PROGRAM + "\nedge(1, 2).\nedge(2, 3).\nedge(3, 4).\n"
+    )
+    result = evaluate_program(program, relation="tc")
+    assert (1, 4) in result.row_set()
+    assert len(result) == 6

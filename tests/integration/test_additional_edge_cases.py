@@ -1,0 +1,178 @@
+"""Additional edge-case coverage across the pipeline and the engines."""
+
+import pytest
+
+from repro import Raqlet
+from repro.cli import main
+from repro.common.errors import ExecutionError, TranslationError
+
+from tests.conftest import GRAPH_SCHEMA_TEXT, PAPER_FACTS, PAPER_SCHEMA_TEXT
+
+
+# -- compilation edge cases -------------------------------------------------------
+
+
+def test_query_on_unknown_label_fails_cleanly(paper_raqlet):
+    with pytest.raises(Exception) as excinfo:
+        paper_raqlet.compile_cypher("MATCH (f:Forum) RETURN f.id AS id")
+    assert "Forum" in str(excinfo.value)
+
+
+def test_query_on_unknown_edge_label_fails_cleanly(paper_raqlet):
+    with pytest.raises(Exception) as excinfo:
+        paper_raqlet.compile_cypher(
+            "MATCH (a:Person)-[:WORKS_AT]->(b:City) RETURN a.id AS id"
+        )
+    assert "WORKS_AT" in str(excinfo.value)
+
+
+def test_unknown_property_fails_at_translation(paper_raqlet):
+    with pytest.raises(Exception):
+        paper_raqlet.compile_cypher("MATCH (a:Person) RETURN a.salary AS salary")
+
+
+def test_query_without_labels_uses_edge_type_inference(paper_raqlet, paper_facts):
+    compiled = paper_raqlet.compile_cypher(
+        "MATCH (a)-[:IS_LOCATED_IN]->(b) RETURN a.id AS personId, b.id AS cityId"
+    )
+    result = paper_raqlet.run_on_datalog_engine(compiled, paper_facts)
+    assert result.row_set() == {(42, 1), (43, 2), (44, 1)}
+
+
+def test_self_join_query_two_people_in_same_city(paper_raqlet, paper_facts):
+    compiled = paper_raqlet.compile_cypher(
+        """
+        MATCH (a:Person)-[:IS_LOCATED_IN]->(c:City)<-[:IS_LOCATED_IN]-(b:Person)
+        WHERE a.id < b.id
+        RETURN a.id AS first, b.id AS second
+        """
+    )
+    result = paper_raqlet.run_on_datalog_engine(compiled, paper_facts)
+    assert result.row_set() == {(42, 44)}
+
+
+def test_empty_result_is_consistent_across_engines(paper_raqlet, paper_facts):
+    from repro.engines.graph import facts_to_property_graph
+    from repro.engines.relational import Database
+
+    compiled = paper_raqlet.compile_cypher(
+        "MATCH (n:Person {id: 999})-[:IS_LOCATED_IN]->(p:City) RETURN p.id AS cityId"
+    )
+    database = Database()
+    for relation in paper_raqlet.dl_schema.edb_relations():
+        database.create_table(relation.name, relation.column_names())
+        database.insert_many(relation.name, paper_facts.get(relation.name, []))
+    graph = facts_to_property_graph(paper_facts, paper_raqlet.mapping)
+    datalog_result = paper_raqlet.run_on_datalog_engine(compiled, paper_facts)
+    relational_result = paper_raqlet.run_on_relational_engine(compiled, database)
+    graph_result = paper_raqlet.run_on_graph_engine(compiled, graph)
+    assert len(datalog_result) == 0
+    assert datalog_result.same_rows(relational_result)
+    assert datalog_result.same_rows(graph_result)
+
+
+def test_running_on_empty_dataset(paper_raqlet):
+    compiled = paper_raqlet.compile_cypher(
+        "MATCH (n:Person)-[:IS_LOCATED_IN]->(p:City) RETURN p.id AS cityId"
+    )
+    result = paper_raqlet.run_on_datalog_engine(compiled, {})
+    assert len(result) == 0
+
+
+def test_string_comparison_filters(paper_raqlet, paper_facts):
+    compiled = paper_raqlet.compile_cypher(
+        "MATCH (n:Person) WHERE n.firstName = 'Alan' RETURN n.id AS id"
+    )
+    result = paper_raqlet.run_on_datalog_engine(compiled, paper_facts)
+    assert result.row_set() == {(43,)}
+
+
+def test_with_chaining_filters_aggregates(snb_raqlet, snb_data):
+    compiled = snb_raqlet.compile_cypher(
+        """
+        MATCH (p:Person)-[:IS_LOCATED_IN]->(c:City)
+        WITH c, count(p) AS population
+        WHERE population > 1
+        RETURN c.id AS cityId, population
+        """
+    )
+    datalog_result = snb_raqlet.run_on_datalog_engine(compiled, snb_data.facts)
+    sqlite_result = snb_raqlet.run_on_sqlite(compiled, snb_data.sqlite_executor())
+    assert datalog_result.same_rows(sqlite_result)
+    assert all(row[1] > 1 for row in datalog_result)
+    assert len(datalog_result) > 0
+
+
+def test_distinct_count_aggregate_across_engines(snb_raqlet, snb_data):
+    compiled = snb_raqlet.compile_cypher(
+        """
+        MATCH (p:Person {id: $personId})-[:KNOWS]-(f:Person)<-[:HAS_CREATOR]-(m:Message)
+        RETURN count(DISTINCT f) AS friendCount
+        """,
+        {"personId": snb_data.dataset.default_person_id()},
+    )
+    datalog_result = snb_raqlet.run_on_datalog_engine(compiled, snb_data.facts)
+    graph_result = snb_raqlet.run_on_graph_engine(compiled, snb_data.property_graph())
+    assert datalog_result.same_rows(graph_result)
+
+
+# -- engine robustness --------------------------------------------------------------
+
+
+def test_relational_engine_missing_table_raises(paper_raqlet):
+    from repro.engines.relational import Database, RelationalEngine
+
+    compiled = paper_raqlet.compile_cypher(
+        "MATCH (n:Person) RETURN n.id AS id"
+    )
+    with pytest.raises(ExecutionError):
+        RelationalEngine(Database()).execute(compiled.sqir())
+
+
+def test_datalog_engine_rejects_unsafe_rule_at_runtime():
+    from repro.dlir.builder import ProgramBuilder
+    from repro.dlir.core import Comparison, Var
+    from repro.engines.datalog import DatalogEngine
+
+    builder = ProgramBuilder()
+    builder.edb("r", [("a", "number")])
+    builder.idb("q", [("a", "number")])
+    builder.rule("q", ["x"], [("r", ["x"])], comparisons=[("<", "y", 3)])
+    builder.output("q")
+    engine = DatalogEngine(builder.build(), {"r": [(1,)]})
+    with pytest.raises(ExecutionError):
+        engine.run()
+
+
+# -- dataset / multiple schema instances --------------------------------------------
+
+
+def test_two_raqlet_instances_do_not_share_state():
+    first = Raqlet(PAPER_SCHEMA_TEXT)
+    second = Raqlet(GRAPH_SCHEMA_TEXT)
+    assert "Person" in first.dl_schema
+    assert "Person" not in second.dl_schema
+    assert "Node" in second.dl_schema
+
+
+def test_cli_compile_sql_input(tmp_path, capsys):
+    schema_path = tmp_path / "schema.pgs"
+    schema_path.write_text(PAPER_SCHEMA_TEXT, encoding="utf-8")
+    sql_path = tmp_path / "query.sql"
+    sql_path.write_text(
+        "SELECT p.firstName AS firstName FROM Person AS p WHERE p.id = 42",
+        encoding="utf-8",
+    )
+    exit_code = main(
+        ["compile", "--schema", str(schema_path), "--sql", str(sql_path), "--emit", "datalog"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert ".decl Result" in captured.out
+
+
+def test_cli_ldbc_reach_query(capsys):
+    exit_code = main(["ldbc", "--query", "reach", "--scale", "30"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "engines agree: True" in captured.out

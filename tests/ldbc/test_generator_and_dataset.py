@@ -1,0 +1,101 @@
+"""Tests for the SNB schema, synthetic generator and per-engine loaders."""
+
+from repro.ldbc import generate_snb_dataset, load_dataset, snb_pg_schema, snb_schema_mapping
+from repro.ldbc.generator import SNBDataset
+
+
+def test_snb_schema_node_and_edge_counts():
+    schema = snb_pg_schema()
+    assert set(schema.node_labels()) == {
+        "Person", "City", "Country", "Tag", "Forum", "Message",
+    }
+    assert len(schema.edge_types) == 11
+
+
+def test_generator_is_deterministic():
+    first = generate_snb_dataset(scale_persons=50, seed=3)
+    second = generate_snb_dataset(scale_persons=50, seed=3)
+    assert first.facts == second.facts
+
+
+def test_generator_seed_changes_output():
+    first = generate_snb_dataset(scale_persons=50, seed=3)
+    second = generate_snb_dataset(scale_persons=50, seed=4)
+    assert first.facts != second.facts
+
+
+def test_generator_scales_with_person_count():
+    small = generate_snb_dataset(scale_persons=40, seed=1)
+    large = generate_snb_dataset(scale_persons=160, seed=1)
+    assert large.fact_count() > small.fact_count()
+    assert len(large.relation("Person")) == 160
+
+
+def test_fact_arities_match_schema():
+    dataset = generate_snb_dataset(scale_persons=40, seed=1)
+    mapping = snb_schema_mapping()
+    for relation_name, rows in dataset.facts.items():
+        declaration = mapping.dl_schema.get(relation_name)
+        for row in rows[:5]:
+            assert len(row) == declaration.arity, relation_name
+
+
+def test_knows_edges_reference_existing_persons():
+    dataset = generate_snb_dataset(scale_persons=60, seed=2)
+    person_ids = set(dataset.person_ids)
+    for src, dst, _edge_id, _date in dataset.relation("Person_KNOWS_Person"):
+        assert src in person_ids and dst in person_ids
+        assert src != dst
+
+
+def test_every_person_has_a_city():
+    dataset = generate_snb_dataset(scale_persons=60, seed=2)
+    located = {row[0] for row in dataset.relation("Person_IS_LOCATED_IN_City")}
+    assert located == set(dataset.person_ids)
+
+
+def test_messages_have_creators_and_dates_in_range():
+    dataset = generate_snb_dataset(scale_persons=60, seed=2)
+    message_ids = {row[0] for row in dataset.relation("Message")}
+    creators = {row[0] for row in dataset.relation("Message_HAS_CREATOR_Person")}
+    assert creators == message_ids
+    low, high = dataset.message_date_range
+    assert low <= dataset.median_message_date() <= high
+
+
+def test_default_person_id_is_valid():
+    dataset = generate_snb_dataset(scale_persons=30, seed=5)
+    assert dataset.default_person_id() in dataset.person_ids
+    assert SNBDataset(scale_persons=0, seed=0).default_person_id() == 0
+
+
+def test_load_dataset_materialises_every_engine(snb_data):
+    assert len(snb_data.facts["Person"]) == 80
+    database = snb_data.relational_database()
+    assert database.table("Person").arity == 8
+    graph = snb_data.property_graph()
+    assert graph.node_count() > 80  # persons + cities + messages + ...
+    sqlite_executor = snb_data.sqlite_executor()
+    assert sqlite_executor.table_count("Person") == 80
+
+
+def test_loaders_are_cached(snb_data):
+    assert snb_data.relational_database() is snb_data.relational_database()
+    assert snb_data.property_graph() is snb_data.property_graph()
+    assert snb_data.sqlite_executor() is snb_data.sqlite_executor()
+
+
+def test_queries_have_parameter_helpers():
+    from repro.ldbc.queries import (
+        complex_query_2,
+        friend_reachability,
+        friends_of_friends,
+        short_query_1,
+        shortest_path_query,
+    )
+
+    assert short_query_1(7)["parameters"] == {"personId": 7}
+    assert complex_query_2(7, 99)["parameters"] == {"personId": 7, "maxDate": 99}
+    assert friend_reachability(7)["parameters"] == {"personId": 7}
+    assert friends_of_friends(7)["parameters"] == {"personId": 7}
+    assert shortest_path_query(1, 2)["parameters"] == {"person1Id": 1, "person2Id": 2}

@@ -1,0 +1,126 @@
+"""Tests for duplicate-atom removal, constant propagation and semantic join elimination."""
+
+from repro.dlir.builder import ProgramBuilder, atom
+from repro.dlir.core import Comparison, Const, Rule, Var, Wildcard
+from repro.optimize.constant_propagation import ConstantPropagation
+from repro.optimize.duplicates import RemoveDuplicateAtoms
+from repro.optimize.semantic import SemanticJoinElimination
+
+from tests.conftest import PAPER_QUERY
+
+
+def test_exact_duplicate_literals_removed():
+    builder = ProgramBuilder()
+    builder.edb("r", [("a", "number"), ("b", "number")])
+    builder.idb("q", [("a", "number")])
+    builder.rule("q", ["x"], [("r", ["x", "y"]), ("r", ["x", "y"])])
+    builder.output("q")
+    program = RemoveDuplicateAtoms().run(builder.build())
+    assert len(program.rules_for("q")[0].body_atoms()) == 1
+
+
+def test_key_self_join_merged():
+    builder = ProgramBuilder()
+    builder.edb("person", [("id", "number"), ("first", "symbol"), ("last", "symbol")])
+    program = builder.build(validate=False)
+    rule = Rule(
+        head=atom("q", ["x", "f", "l"]),
+        body=(
+            atom("person", ["x", "f", "_"]),
+            atom("person", ["x", "_", "l"]),
+        ),
+    )
+    program.add_rule(rule)
+    program.add_output("q")
+    cleaned = RemoveDuplicateAtoms().run(program)
+    atoms = cleaned.rules[0].body_atoms()
+    assert len(atoms) == 1
+    assert atoms[0].terms == (Var("x"), Var("f"), Var("l"))
+
+
+def test_key_self_join_with_conflicting_vars_adds_equality():
+    builder = ProgramBuilder()
+    builder.edb("person", [("id", "number"), ("first", "symbol")])
+    program = builder.build(validate=False)
+    rule = Rule(
+        head=atom("q", ["x", "f"]),
+        body=(atom("person", ["x", "f"]), atom("person", ["x", "g"])),
+    )
+    program.add_rule(rule)
+    program.add_output("q")
+    cleaned = RemoveDuplicateAtoms().run(program)
+    assert len(cleaned.rules[0].body_atoms()) == 1
+    assert Comparison("=", Var("f"), Var("g")) in cleaned.rules[0].comparisons()
+
+
+def test_idb_atoms_not_merged():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.idb("q", [("a", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("q", ["x"], [("tc", ["x", "y"]), ("tc", ["x", "z"])])
+    builder.output("q")
+    program = RemoveDuplicateAtoms().run(builder.build())
+    assert len(program.rules_for("q")[0].body_atoms()) == 2
+
+
+def test_constant_propagation_pushes_constants_into_atoms():
+    builder = ProgramBuilder()
+    builder.edb("person", [("id", "number"), ("name", "symbol")])
+    builder.idb("q", [("name", "symbol")])
+    builder.rule(
+        "q", ["n"], [("person", ["x", "n"])], comparisons=[("=", "x", 42)]
+    )
+    builder.output("q")
+    program = ConstantPropagation().run(builder.build())
+    rule = program.rules_for("q")[0]
+    assert rule.body_atoms()[0].terms[0] == Const(42)
+    assert rule.comparisons() == []
+
+
+def test_constant_propagation_keeps_inequalities():
+    builder = ProgramBuilder()
+    builder.edb("person", [("id", "number"), ("age", "number")])
+    builder.idb("q", [("id", "number")])
+    builder.rule("q", ["x"], [("person", ["x", "a"])], comparisons=[(">", "a", 18)])
+    builder.output("q")
+    program = ConstantPropagation().run(builder.build())
+    assert len(program.rules_for("q")[0].comparisons()) == 1
+
+
+def test_constant_propagation_noop_returns_same_program():
+    builder = ProgramBuilder()
+    builder.edb("r", [("a", "number")])
+    builder.idb("q", [("a", "number")])
+    builder.rule("q", ["x"], [("r", ["x"])])
+    builder.output("q")
+    program = builder.build()
+    assert ConstantPropagation().run(program) is program
+
+
+def test_semantic_join_elimination_drops_redundant_node_atom(paper_raqlet, paper_mapping):
+    compiled = paper_raqlet.compile_cypher(PAPER_QUERY, optimize=False)
+    program = compiled.program(optimized=False)
+    match_rule_before = program.rules_for("Match1")[0]
+    assert "City" in match_rule_before.body_relations()
+    cleaned = SemanticJoinElimination(paper_mapping).run(program)
+    match_rule_after = cleaned.rules_for("Match1")[0]
+    # City(p, _, _) is implied by the id2 foreign key of the edge relation.
+    assert "City" not in match_rule_after.body_relations()
+    assert "Person_IS_LOCATED_IN_City" in match_rule_after.body_relations()
+
+
+def test_semantic_join_elimination_keeps_atoms_that_read_properties(paper_raqlet, paper_mapping):
+    compiled = paper_raqlet.compile_cypher(PAPER_QUERY, optimize=False)
+    program = compiled.program(optimized=False)
+    cleaned = SemanticJoinElimination(paper_mapping).run(program)
+    return_rule = cleaned.rules_for("Return")[0]
+    # Person provides firstName in the Return rule, so it must stay.
+    assert "Person" in return_rule.body_relations()
+
+
+def test_semantic_join_elimination_without_mapping_is_noop(paper_raqlet):
+    compiled = paper_raqlet.compile_cypher(PAPER_QUERY, optimize=False)
+    program = compiled.program(optimized=False)
+    assert SemanticJoinElimination(None).run(program) is program

@@ -1,0 +1,131 @@
+"""Tests for inlining and dead-rule elimination (paper Figure 4)."""
+
+from repro.dlir.builder import ProgramBuilder
+from repro.dlir.core import Aggregation, Var
+from repro.optimize.dead_rules import DeadRuleElimination, reachable_relations
+from repro.optimize.inline import InlineRules
+
+from tests.conftest import PAPER_QUERY
+
+
+def _simple_chain():
+    builder = ProgramBuilder()
+    builder.edb("person", [("id", "number"), ("name", "symbol")])
+    builder.idb("v1", [("id", "number")])
+    builder.idb("v2", [("id", "number")])
+    builder.rule("v1", ["x"], [("person", ["x", "_"])])
+    builder.rule("v2", ["x"], [("v1", ["x"]), ("person", ["x", "_"])])
+    builder.output("v2")
+    return builder.build()
+
+
+def test_inline_replaces_single_rule_views():
+    program = InlineRules().run(_simple_chain())
+    v2_rule = program.rules_for("v2")[0]
+    assert "v1" not in v2_rule.body_relations()
+    assert v2_rule.body_relations() == ["person"]
+
+
+def test_inline_removes_duplicate_atoms_created_by_expansion():
+    program = InlineRules().run(_simple_chain())
+    v2_rule = program.rules_for("v2")[0]
+    # person(x, _) appeared both in v1's body and v2's own body.
+    assert len(v2_rule.body_atoms()) == 1
+
+
+def test_inline_skips_multi_rule_definitions():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("either", [("a", "number"), ("b", "number")])
+    builder.idb("out", [("a", "number"), ("b", "number")])
+    builder.rule("either", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("either", ["x", "y"], [("edge", ["y", "x"])])
+    builder.rule("out", ["x", "y"], [("either", ["x", "y"])])
+    builder.output("out")
+    program = InlineRules().run(builder.build())
+    assert "either" in program.rules_for("out")[0].body_relations()
+
+
+def test_inline_skips_recursive_definitions():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.idb("out", [("a", "number"), ("b", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.rule("out", ["x", "y"], [("tc", ["x", "y"])])
+    builder.output("out")
+    program = InlineRules().run(builder.build())
+    assert "tc" in program.rules_for("out")[0].body_relations()
+    assert len(program.rules_for("tc")) == 2
+
+
+def test_inline_skips_aggregating_definitions():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("deg", [("a", "number"), ("c", "number")])
+    builder.idb("out", [("a", "number"), ("c", "number")])
+    builder.rule(
+        "deg", ["x", "c"], [("edge", ["x", "y"])],
+        aggregations=[Aggregation("count", Var("c"), Var("y"))],
+    )
+    builder.rule("out", ["x", "c"], [("deg", ["x", "c"])])
+    builder.output("out")
+    program = InlineRules().run(builder.build())
+    assert "deg" in program.rules_for("out")[0].body_relations()
+
+
+def test_inline_unifies_constants_at_call_site():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("from_one", [("b", "number")])
+    builder.idb("out", [("b", "number")])
+    builder.rule("from_one", ["y"], [("edge", [1, "y"])])
+    builder.rule("out", ["y"], [("from_one", ["y"])])
+    builder.output("out")
+    program = InlineRules().run(builder.build())
+    out_rule = program.rules_for("out")[0]
+    assert out_rule.body_relations() == ["edge"]
+    assert str(out_rule.body_atoms()[0].terms[0]) == "1"
+
+
+def test_reachable_relations_from_outputs(paper_raqlet):
+    compiled = paper_raqlet.compile_cypher(PAPER_QUERY, optimize=False)
+    program = compiled.program(optimized=False)
+    reachable = reachable_relations(program)
+    assert {"Return", "Where1", "Match1", "Person", "City"} <= reachable
+
+
+def test_dead_rule_elimination_after_inlining(paper_raqlet):
+    compiled = paper_raqlet.compile_cypher(PAPER_QUERY, optimize=False)
+    program = compiled.program(optimized=False)
+    inlined = InlineRules().run(program)
+    cleaned = DeadRuleElimination().run(inlined)
+    # Figure 4b: only the Return rule remains.
+    assert [rule.head.relation for rule in cleaned.rules] == ["Return"]
+    # Unused IDB declarations are dropped, EDBs are kept.
+    assert "Match1" not in cleaned.schema
+    assert "Person" in cleaned.schema
+
+
+def test_dead_rule_elimination_keeps_recursive_dependencies():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.idb("unused", [("a", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.rule("unused", ["x"], [("edge", ["x", "_"])])
+    builder.output("tc")
+    program = DeadRuleElimination().run(builder.build())
+    assert len(program.rules_for("tc")) == 2
+    assert program.rules_for("unused") == []
+
+
+def test_dead_rule_elimination_without_outputs_is_noop():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("v", [("a", "number")])
+    builder.rule("v", ["x"], [("edge", ["x", "_"])])
+    program = builder.build()
+    assert DeadRuleElimination().run(program) is program

@@ -1,0 +1,70 @@
+"""Tests for the PGIR expression language."""
+
+from repro.pgir.expr import (
+    PGAggregate,
+    PGBinary,
+    PGConst,
+    PGFunction,
+    PGNot,
+    PGProperty,
+    PGVariable,
+    conjoin,
+    contains_aggregate,
+    expression_variables,
+    split_conjunction,
+)
+
+
+def test_walk_visits_every_node():
+    expression = PGBinary("AND", PGBinary("=", PGProperty("n", "id"), PGConst(1)), PGNot(PGVariable("x")))
+    kinds = [type(node).__name__ for node in expression.walk()]
+    assert kinds.count("PGBinary") == 2
+    assert "PGNot" in kinds and "PGVariable" in kinds
+
+
+def test_expression_variables_deduplicates_in_order():
+    expression = PGBinary(
+        "AND",
+        PGBinary("=", PGProperty("n", "id"), PGVariable("m")),
+        PGBinary("<", PGVariable("n"), PGVariable("m")),
+    )
+    assert expression_variables(expression) == ("n", "m")
+
+
+def test_contains_aggregate():
+    plain = PGBinary("=", PGVariable("a"), PGConst(1))
+    aggregated = PGAggregate("count", PGVariable("m"))
+    assert not contains_aggregate(plain)
+    assert contains_aggregate(PGBinary("=", PGVariable("x"), aggregated))
+
+
+def test_split_conjunction_flattens_nested_ands():
+    a = PGBinary("=", PGVariable("x"), PGConst(1))
+    b = PGBinary("=", PGVariable("y"), PGConst(2))
+    c = PGBinary("=", PGVariable("z"), PGConst(3))
+    expression = PGBinary("AND", PGBinary("AND", a, b), c)
+    assert split_conjunction(expression) == (a, b, c)
+
+
+def test_split_conjunction_keeps_or_whole():
+    expression = PGBinary("OR", PGConst(True), PGConst(False))
+    assert split_conjunction(expression) == (expression,)
+
+
+def test_conjoin_inverse_of_split():
+    a = PGBinary("=", PGVariable("x"), PGConst(1))
+    b = PGBinary("<", PGVariable("y"), PGConst(2))
+    combined = conjoin((a, b))
+    assert split_conjunction(combined) == (a, b)
+    assert conjoin(()) is None
+    assert conjoin((a,)) is a
+
+
+def test_str_representations():
+    assert str(PGConst("x")) == "'x'"
+    assert str(PGConst(None)) == "null"
+    assert str(PGConst(True)) == "true"
+    assert str(PGProperty("n", "id")) == "n.id"
+    assert str(PGFunction("id", (PGVariable("n"),))) == "id(n)"
+    assert str(PGAggregate("count", None)) == "count(*)"
+    assert str(PGAggregate("count", PGVariable("m"), distinct=True)) == "count(DISTINCT m)"

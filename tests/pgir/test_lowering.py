@@ -1,0 +1,162 @@
+"""Tests for the Cypher-to-PGIR lowering."""
+
+import pytest
+
+from repro.common.errors import TranslationError, UnsupportedFeatureError
+from repro.frontend.cypher import parse_cypher
+from repro.pgir import lower_cypher_to_pgir
+from repro.pgir.expr import PGBinary, PGConst, PGProperty
+from repro.pgir.nodes import PGDirection, PGMatch, PGReturn, PGWhere, PGWith
+
+from tests.conftest import PAPER_QUERY
+
+
+def _lower(text, parameters=None):
+    return lower_cypher_to_pgir(parse_cypher(text), parameters)
+
+
+def test_running_example_clause_sequence():
+    lowering = _lower(PAPER_QUERY)
+    kinds = [type(clause) for clause in lowering.query.clauses]
+    assert kinds == [PGMatch, PGWhere, PGReturn]
+
+
+def test_anonymous_edge_gets_identifier_x1():
+    lowering = _lower(PAPER_QUERY)
+    match = lowering.query.clauses[0]
+    assert match.edge_patterns[0].identifier == "x1"
+    assert match.edge_patterns[0].label == "IS_LOCATED_IN"
+
+
+def test_inline_property_becomes_where_condition():
+    lowering = _lower(PAPER_QUERY)
+    where = lowering.query.clauses[1]
+    assert isinstance(where.condition, PGBinary)
+    assert where.condition.op == "="
+    assert where.condition.left == PGProperty("n", "id")
+    assert where.condition.right == PGConst(42)
+
+
+def test_return_items_lowered_with_aliases():
+    lowering = _lower(PAPER_QUERY)
+    returns = lowering.query.return_clause()
+    assert returns.distinct
+    assert [item.alias for item in returns.items] == ["firstName", "cityId"]
+
+
+def test_node_labels_recorded():
+    lowering = _lower(PAPER_QUERY)
+    assert lowering.node_labels["n"] == "Person"
+    assert lowering.node_labels["p"] == "City"
+
+
+def test_anonymous_nodes_get_fresh_identifiers():
+    lowering = _lower("MATCH (:Person)-[:KNOWS]->(:Person) RETURN 1 AS one")
+    match = lowering.query.clauses[0]
+    edge = match.edge_patterns[0]
+    assert edge.source.identifier != edge.target.identifier
+    assert edge.source.identifier.startswith("n")
+
+
+def test_generated_names_do_not_capture_user_variables():
+    lowering = _lower("MATCH (n1:Person)-[:KNOWS]->(:Person) RETURN n1.id AS id")
+    match = lowering.query.clauses[0]
+    identifiers = {edge.target.identifier for edge in match.edge_patterns}
+    assert "n1" not in identifiers
+
+
+def test_incoming_pattern_normalised_to_directed():
+    lowering = _lower("MATCH (a:City)<-[:IS_LOCATED_IN]-(b:Person) RETURN a.id AS id")
+    edge = lowering.query.clauses[0].edge_patterns[0]
+    assert edge.direction is PGDirection.DIRECTED
+    assert edge.source.identifier == "b"
+    assert edge.target.identifier == "a"
+
+
+def test_undirected_pattern_preserved():
+    lowering = _lower("MATCH (a:Person)-[:KNOWS]-(b:Person) RETURN a.id AS id")
+    edge = lowering.query.clauses[0].edge_patterns[0]
+    assert edge.direction is PGDirection.UNDIRECTED
+
+
+def test_isolated_node_pattern():
+    lowering = _lower("MATCH (a:Person) RETURN a.id AS id")
+    match = lowering.query.clauses[0]
+    assert match.edge_patterns == ()
+    assert match.node_patterns[0].identifier == "a"
+
+
+def test_variable_length_bounds_carried():
+    lowering = _lower("MATCH (a:Person)-[:KNOWS*1..3]->(b:Person) RETURN b.id AS id")
+    edge = lowering.query.clauses[0].edge_patterns[0]
+    assert edge.var_length and (edge.min_hops, edge.max_hops) == (1, 3)
+
+
+def test_shortest_path_flag_and_path_variable():
+    lowering = _lower(
+        "MATCH p = shortestPath((a:Person {id:1})-[:KNOWS*]-(b:Person {id:2})) "
+        "RETURN length(p) AS hops"
+    )
+    edge = lowering.query.clauses[0].edge_patterns[0]
+    assert edge.shortest
+    assert edge.path_variable == "p"
+
+
+def test_parameters_substituted():
+    lowering = _lower(
+        "MATCH (n:Person {id: $personId}) RETURN n.id AS id", {"personId": 7}
+    )
+    where = lowering.query.clauses[1]
+    assert where.condition.right == PGConst(7)
+
+
+def test_missing_parameter_raises():
+    with pytest.raises(TranslationError):
+        _lower("MATCH (n:Person {id: $personId}) RETURN n.id AS id")
+
+
+def test_order_by_and_limit_dropped_with_warning():
+    lowering = _lower(
+        "MATCH (n:Person) RETURN n.id AS id ORDER BY id LIMIT 5"
+    )
+    assert lowering.query.warnings
+    assert "ORDER BY" in lowering.query.warnings[0]
+
+
+def test_with_clause_lowered():
+    lowering = _lower(
+        "MATCH (n:Person)-[:KNOWS]->(m:Person) WITH n, count(m) AS friends RETURN n.id AS id, friends"
+    )
+    kinds = [type(clause) for clause in lowering.query.clauses]
+    assert PGWith in kinds
+
+
+def test_relationship_property_becomes_condition():
+    lowering = _lower(
+        "MATCH (a:Person)-[k:KNOWS {creationDate: 5}]->(b:Person) RETURN a.id AS id"
+    )
+    where = lowering.query.clauses[1]
+    assert where.condition.left == PGProperty("k", "creationDate")
+
+
+def test_multiple_labels_rejected():
+    with pytest.raises(UnsupportedFeatureError):
+        _lower("MATCH (a:Person:Admin) RETURN a.id AS id")
+
+
+def test_alternative_relationship_types_rejected():
+    with pytest.raises(UnsupportedFeatureError):
+        _lower("MATCH (a)-[:KNOWS|LIKES]->(b) RETURN a.id AS id")
+
+
+def test_not_condition_lowered():
+    lowering = _lower("MATCH (a:Person) WHERE NOT a.id = 3 RETURN a.id AS id")
+    where = lowering.query.clauses[1]
+    assert type(where.condition).__name__ == "PGNot"
+
+
+def test_in_list_lowered_to_function():
+    lowering = _lower("MATCH (a:Person) WHERE a.id IN [1, 2] RETURN a.id AS id")
+    where = lowering.query.clauses[1]
+    assert where.condition.op == "IN"
+    assert where.condition.right.name == "list"

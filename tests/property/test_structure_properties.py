@@ -1,0 +1,111 @@
+"""Property-based tests for parsers, schema translation and name generation."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.names import NameGenerator
+from repro.frontend.cypher import parse_cypher
+from repro.frontend.cypher.ast import Literal
+from repro.schema.pg_schema import PGSchema, normalize_edge_label
+from repro.schema.translate import pg_to_dl_schema
+
+_SETTINGS = settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+_identifier = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+_label = st.text(alphabet=string.ascii_uppercase, min_size=1, max_size=1).flatmap(
+    lambda first: st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=7).map(
+        lambda rest: first + rest
+    )
+)
+
+
+@given(st.lists(_identifier, min_size=1, max_size=10, unique=True))
+@_SETTINGS
+def test_name_generator_never_collides_with_reserved(reserved):
+    names = NameGenerator(reserved=reserved)
+    generated = [names.fresh(prefix) for prefix in reserved for _ in range(2)]
+    assert len(set(generated)) == len(generated)
+    assert not set(generated) & set(reserved)
+
+
+@given(st.integers(min_value=-10**9, max_value=10**9))
+@_SETTINGS
+def test_cypher_integer_literals_round_trip(value):
+    query = parse_cypher(f"RETURN {value} AS v")
+    expression = query.return_clause().items[0].expression
+    assert isinstance(expression, Literal)
+    assert expression.value == value
+
+
+@given(st.text(alphabet=string.ascii_letters + string.digits + " _-", max_size=20))
+@_SETTINGS
+def test_cypher_string_literals_round_trip(value):
+    query = parse_cypher(f"RETURN '{value}' AS v")
+    expression = query.return_clause().items[0].expression
+    assert expression.value == value
+
+
+@given(st.lists(_label, min_size=1, max_size=6, unique=True))
+@_SETTINGS
+def test_schema_translation_creates_one_relation_per_node_type(labels):
+    schema = PGSchema.build(
+        nodes=[(label, [("id", "INT"), ("name", "STRING")]) for label in labels],
+        edges=[],
+    )
+    mapping = pg_to_dl_schema(schema)
+    assert len(mapping.dl_schema) == len(labels)
+    for label in labels:
+        relation = mapping.node_relation(label)
+        assert relation.column_names()[0] == "id"
+
+
+@given(_label, _label)
+@_SETTINGS
+def test_edge_relation_names_are_deterministic(source, target):
+    schema = PGSchema.build(
+        nodes=[(source, [("id", "INT")])] + ([(target, [("id", "INT")])] if target != source else []),
+        edges=[("rel", source, target, [])],
+    )
+    first = pg_to_dl_schema(schema)
+    second = pg_to_dl_schema(schema)
+    assert list(first.dl_schema.relations) == list(second.dl_schema.relations)
+    assert f"{source}_REL_{target}" in first.dl_schema
+
+
+@given(st.text(alphabet=string.ascii_letters, min_size=1, max_size=15))
+@_SETTINGS
+def test_normalize_edge_label_is_idempotent(label):
+    once = normalize_edge_label(label)
+    twice = normalize_edge_label(once)
+    assert once == twice
+    assert once.upper() == once
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=12))
+@_SETTINGS
+def test_compiled_queries_are_deterministic(edges):
+    """Compiling the same query twice yields byte-identical artifacts."""
+    from repro import Raqlet
+
+    raqlet = Raqlet(
+        """
+        CREATE GRAPH {
+          (nodeType : Node { id INT, name STRING }),
+          (:nodeType)-[linkType : linksTo { id INT }]->(:nodeType)
+        }
+        """
+    )
+    query = "MATCH (a:Node {id: 0})-[:LINKS_TO*]->(b:Node) RETURN b.id AS target"
+    first = raqlet.compile_cypher(query)
+    second = raqlet.compile_cypher(query)
+    assert first.datalog_text() == second.datalog_text()
+    assert first.sql_text() == second.sql_text()
+    facts = {
+        "Node": [(i, f"n{i}") for i in range(6)],
+        "Node_LINKS_TO_Node": [(a, b, index) for index, (a, b) in enumerate(edges) if a != b],
+    }
+    result_first = raqlet.run_on_datalog_engine(first, facts)
+    result_second = raqlet.run_on_datalog_engine(second, facts)
+    assert result_first.same_rows(result_second)

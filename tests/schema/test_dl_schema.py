@@ -1,0 +1,89 @@
+"""Tests for the DL-Schema model."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.schema.dl_schema import DLColumn, DLRelation, DLSchema, DLType
+from repro.schema.pg_schema import PropertyType
+
+
+def _relation():
+    return DLRelation(
+        name="Person",
+        columns=(
+            DLColumn("id", DLType.NUMBER),
+            DLColumn("firstName", DLType.SYMBOL),
+        ),
+    )
+
+
+def test_type_mapping_from_property_types():
+    assert DLType.from_property_type(PropertyType.INT) is DLType.NUMBER
+    assert DLType.from_property_type(PropertyType.STRING) is DLType.SYMBOL
+    assert DLType.from_property_type(PropertyType.FLOAT) is DLType.FLOAT
+    assert DLType.from_property_type(PropertyType.BOOL) is DLType.NUMBER
+    assert DLType.from_property_type(PropertyType.DATE) is DLType.NUMBER
+
+
+def test_python_and_sql_types():
+    assert DLType.NUMBER.python_type() is int
+    assert DLType.SYMBOL.python_type() is str
+    assert DLType.FLOAT.python_type() is float
+    assert DLType.NUMBER.sql_type() == "BIGINT"
+    assert DLType.SYMBOL.sql_type() == "VARCHAR"
+
+
+def test_relation_basics():
+    relation = _relation()
+    assert relation.arity == 2
+    assert relation.column_names() == ["id", "firstName"]
+    assert relation.column_types() == [DLType.NUMBER, DLType.SYMBOL]
+    assert relation.column_index("firstName") == 1
+    assert relation.has_column("id")
+    assert not relation.has_column("lastName")
+    with pytest.raises(SchemaError):
+        relation.column_index("lastName")
+
+
+def test_relation_str():
+    assert str(_relation()) == "Person(id:number, firstName:symbol)"
+
+
+def test_schema_add_and_get():
+    schema = DLSchema()
+    schema.add(_relation())
+    assert "Person" in schema
+    assert schema.get("Person").arity == 2
+    assert schema.maybe_get("City") is None
+    with pytest.raises(SchemaError):
+        schema.get("City")
+
+
+def test_schema_rejects_duplicates():
+    schema = DLSchema()
+    schema.add(_relation())
+    with pytest.raises(SchemaError):
+        schema.add(_relation())
+
+
+def test_edb_and_idb_partition():
+    schema = DLSchema()
+    schema.add(_relation())
+    schema.add(DLRelation("View", (DLColumn("x", DLType.NUMBER),), is_edb=False))
+    assert [r.name for r in schema.edb_relations()] == ["Person"]
+    assert [r.name for r in schema.idb_relations()] == ["View"]
+    assert len(schema) == 2
+
+
+def test_schema_copy_is_independent():
+    schema = DLSchema()
+    schema.add(_relation())
+    copy = schema.copy()
+    copy.add(DLRelation("Extra", (DLColumn("x", DLType.NUMBER),)))
+    assert "Extra" in copy
+    assert "Extra" not in schema
+
+
+def test_build_helper():
+    schema = DLSchema.build([("edge", [("src", "number"), ("dst", "number")])])
+    assert schema.get("edge").column_names() == ["src", "dst"]

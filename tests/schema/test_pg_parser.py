@@ -1,0 +1,90 @@
+"""Tests for the textual PG-Schema parser."""
+
+import pytest
+
+from repro.common.errors import ParseError, SchemaError
+from repro.schema.pg_parser import parse_pg_schema
+from repro.schema.pg_schema import PropertyType
+
+from tests.conftest import PAPER_SCHEMA_TEXT
+
+
+def test_parses_paper_schema():
+    schema = parse_pg_schema(PAPER_SCHEMA_TEXT)
+    assert schema.node_labels() == ["Person", "City"]
+    assert schema.edge_labels() == ["isLocatedIn"]
+
+
+def test_node_properties_preserved_in_order():
+    schema = parse_pg_schema(PAPER_SCHEMA_TEXT)
+    person = schema.node_type("Person")
+    assert person.property_names() == ["id", "firstName", "locationIP"]
+    assert person.property_type("id") is PropertyType.INT
+    assert person.property_type("locationIP") is PropertyType.STRING
+
+
+def test_edge_endpoints_resolved_to_labels():
+    schema = parse_pg_schema(PAPER_SCHEMA_TEXT)
+    edge = schema.edge_types[0]
+    assert schema.resolve_node_label(edge.source) == "Person"
+    assert schema.resolve_node_label(edge.target) == "City"
+
+
+def test_schema_without_properties():
+    schema = parse_pg_schema(
+        "CREATE GRAPH { (aType: A), (bType: B), (:aType)-[rType: rel]->(:bType) }"
+    )
+    assert schema.node_type("A").properties == ()
+    assert schema.edge_types[0].properties == ()
+
+
+def test_optional_graph_name_accepted():
+    schema = parse_pg_schema("CREATE GRAPH social { (aType: A { id INT }) }")
+    assert schema.node_labels() == ["A"]
+
+
+def test_comments_are_ignored():
+    schema = parse_pg_schema(
+        """
+        CREATE GRAPH {
+          // people
+          (aType: A { id INT }),
+          # cities
+          (bType: B { id INT })
+        }
+        """
+    )
+    assert schema.node_labels() == ["A", "B"]
+
+
+def test_trailing_comma_tolerated():
+    schema = parse_pg_schema("CREATE GRAPH { (aType: A { id INT }), }")
+    assert schema.node_labels() == ["A"]
+
+
+def test_missing_create_keyword_raises():
+    with pytest.raises(ParseError):
+        parse_pg_schema("GRAPH { (aType: A) }")
+
+
+def test_unclosed_braces_raise():
+    with pytest.raises(ParseError):
+        parse_pg_schema("CREATE GRAPH { (aType: A { id INT })")
+
+
+def test_unknown_property_type_raises():
+    with pytest.raises(SchemaError):
+        parse_pg_schema("CREATE GRAPH { (aType: A { id GEOMETRY }) }")
+
+
+def test_edge_referencing_unknown_type_raises():
+    with pytest.raises(SchemaError):
+        parse_pg_schema(
+            "CREATE GRAPH { (aType: A), (:aType)-[rType: rel]->(:ghost) }"
+        )
+
+
+def test_unexpected_character_reports_location():
+    with pytest.raises(ParseError) as excinfo:
+        parse_pg_schema("CREATE GRAPH { (aType: A { id INT }) @ }")
+    assert excinfo.value.location is not None

@@ -1,0 +1,141 @@
+"""Tests for the PG-Schema model."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.schema.pg_schema import (
+    EdgeType,
+    NodeType,
+    PGSchema,
+    PropertyDef,
+    PropertyType,
+    normalize_edge_label,
+)
+
+
+def _person():
+    return NodeType(
+        type_name="personType",
+        label="Person",
+        properties=(
+            PropertyDef("id", PropertyType.INT),
+            PropertyDef("firstName", PropertyType.STRING),
+        ),
+    )
+
+
+def _city():
+    return NodeType(
+        type_name="cityType",
+        label="City",
+        properties=(PropertyDef("id", PropertyType.INT), PropertyDef("name", PropertyType.STRING)),
+    )
+
+
+def _located():
+    return EdgeType(
+        type_name="locationType",
+        label="isLocatedIn",
+        source="personType",
+        target="cityType",
+        properties=(PropertyDef("id", PropertyType.INT),),
+    )
+
+
+def test_property_type_aliases():
+    assert PropertyType.from_name("integer") is PropertyType.INT
+    assert PropertyType.from_name("VARCHAR") is PropertyType.STRING
+    assert PropertyType.from_name("double") is PropertyType.FLOAT
+    assert PropertyType.from_name("boolean") is PropertyType.BOOL
+    assert PropertyType.from_name("timestamp") is PropertyType.DATE
+
+
+def test_property_type_unknown_raises():
+    with pytest.raises(SchemaError):
+        PropertyType.from_name("geometry")
+
+
+def test_node_type_property_lookup():
+    person = _person()
+    assert person.property_type("firstName") is PropertyType.STRING
+    assert person.has_property("id")
+    assert not person.has_property("age")
+    with pytest.raises(SchemaError):
+        person.property_type("age")
+
+
+def test_edge_type_property_lookup():
+    edge = _located()
+    assert edge.property_type("id") is PropertyType.INT
+    assert edge.property_names() == ["id"]
+    with pytest.raises(SchemaError):
+        edge.property_type("weight")
+
+
+def test_schema_validates_duplicate_node_labels():
+    with pytest.raises(SchemaError):
+        PGSchema(node_types=[_person(), _person()])
+
+
+def test_schema_validates_unknown_edge_endpoint():
+    bad_edge = EdgeType(
+        type_name="x", label="rel", source="personType", target="ghostType"
+    )
+    with pytest.raises(SchemaError):
+        PGSchema(node_types=[_person()], edge_types=[bad_edge])
+
+
+def test_node_type_lookup_by_label():
+    schema = PGSchema(node_types=[_person(), _city()], edge_types=[_located()])
+    assert schema.node_type("City").label == "City"
+    assert schema.has_node_label("Person")
+    assert not schema.has_node_label("Forum")
+    with pytest.raises(SchemaError):
+        schema.node_type("Forum")
+
+
+def test_resolve_node_label_accepts_type_name_or_label():
+    schema = PGSchema(node_types=[_person(), _city()], edge_types=[_located()])
+    assert schema.resolve_node_label("personType") == "Person"
+    assert schema.resolve_node_label("Person") == "Person"
+    with pytest.raises(SchemaError):
+        schema.resolve_node_label("nope")
+
+
+def test_edge_types_by_label_normalises_case():
+    schema = PGSchema(node_types=[_person(), _city()], edge_types=[_located()])
+    assert len(schema.edge_types_by_label("IS_LOCATED_IN")) == 1
+    assert len(schema.edge_types_by_label("isLocatedIn")) == 1
+    assert schema.edge_types_by_label("KNOWS") == []
+
+
+def test_edge_type_between_filters_on_endpoints():
+    schema = PGSchema(node_types=[_person(), _city()], edge_types=[_located()])
+    edge = schema.edge_type_between("IS_LOCATED_IN", "Person", "City")
+    assert edge.label == "isLocatedIn"
+    with pytest.raises(SchemaError):
+        schema.edge_type_between("IS_LOCATED_IN", "City", "Person")
+
+
+def test_edge_type_between_ambiguous():
+    other = EdgeType(type_name="l2", label="isLocatedIn", source="cityType", target="cityType")
+    schema = PGSchema(node_types=[_person(), _city()], edge_types=[_located(), other])
+    with pytest.raises(SchemaError):
+        schema.edge_type_between("isLocatedIn")
+
+
+def test_build_helper():
+    schema = PGSchema.build(
+        nodes=[("A", [("id", "INT")]), ("B", [("id", "INT"), ("name", "STRING")])],
+        edges=[("rel", "A", "B", [("weight", "INT")])],
+    )
+    assert schema.node_labels() == ["A", "B"]
+    assert schema.edge_labels() == ["rel"]
+    assert schema.edge_types[0].properties[0].type is PropertyType.INT
+
+
+def test_normalize_edge_label():
+    assert normalize_edge_label("isLocatedIn") == "IS_LOCATED_IN"
+    assert normalize_edge_label("KNOWS") == "KNOWS"
+    assert normalize_edge_label("HAS_CREATOR") == "HAS_CREATOR"
+    assert normalize_edge_label("replyOf") == "REPLY_OF"

@@ -1,0 +1,125 @@
+"""Tests for the PG-Schema to DL-Schema translation (paper Figure 2)."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.schema.dl_schema import DLType
+from repro.schema.pg_parser import parse_pg_schema
+from repro.schema.pg_schema import PGSchema
+from repro.schema.translate import edge_label_to_snake, pg_to_dl_schema
+
+from tests.conftest import PAPER_SCHEMA_TEXT
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    return pg_to_dl_schema(parse_pg_schema(PAPER_SCHEMA_TEXT))
+
+
+def test_figure2_node_relations(mapping):
+    person = mapping.dl_schema.get("Person")
+    assert person.column_names() == ["id", "firstName", "locationIP"]
+    assert person.column_types() == [DLType.NUMBER, DLType.SYMBOL, DLType.SYMBOL]
+    city = mapping.dl_schema.get("City")
+    assert city.column_names() == ["id", "name"]
+
+
+def test_figure2_edge_relation(mapping):
+    edge = mapping.dl_schema.get("Person_IS_LOCATED_IN_City")
+    assert edge.column_names() == ["id1", "id2", "id"]
+    assert edge.column_types() == [DLType.NUMBER, DLType.NUMBER, DLType.NUMBER]
+
+
+def test_all_relations_are_edbs(mapping):
+    assert all(relation.is_edb for relation in mapping.dl_schema)
+
+
+def test_node_relation_lookup(mapping):
+    assert mapping.node_relation("Person").name == "Person"
+    with pytest.raises(SchemaError):
+        mapping.node_relation("Forum")
+
+
+def test_node_property_index(mapping):
+    assert mapping.node_property_index("Person", "firstName") == 1
+    assert mapping.node_key_index("Person") == 0
+
+
+def test_edge_relation_lookup_by_query_label(mapping):
+    relation = mapping.edge_relation("IS_LOCATED_IN", "Person", "City")
+    assert relation.name == "Person_IS_LOCATED_IN_City"
+    relation = mapping.edge_relation("isLocatedIn")
+    assert relation.name == "Person_IS_LOCATED_IN_City"
+
+
+def test_edge_endpoints(mapping):
+    assert mapping.edge_endpoints("Person_IS_LOCATED_IN_City") == ("Person", "City")
+    with pytest.raises(SchemaError):
+        mapping.edge_endpoints("Person")
+
+
+def test_relation_kind_predicates(mapping):
+    assert mapping.is_node_relation("Person")
+    assert not mapping.is_node_relation("Person_IS_LOCATED_IN_City")
+    assert mapping.is_edge_relation("Person_IS_LOCATED_IN_City")
+    assert not mapping.is_edge_relation("City")
+
+
+def test_edge_label_to_snake():
+    assert edge_label_to_snake("isLocatedIn") == "IS_LOCATED_IN"
+    assert edge_label_to_snake("knows") == "KNOWS"
+    assert edge_label_to_snake("HAS_TAG") == "HAS_TAG"
+
+
+def test_node_without_id_gets_synthetic_key():
+    schema = PGSchema.build(nodes=[("Tagless", [("name", "STRING")])], edges=[])
+    mapping = pg_to_dl_schema(schema)
+    relation = mapping.dl_schema.get("Tagless")
+    assert relation.column_names()[0] == "id"
+    assert relation.column_types()[0] is DLType.NUMBER
+
+
+def test_id_column_moved_to_front():
+    schema = PGSchema.build(
+        nodes=[("Thing", [("name", "STRING"), ("id", "INT")])], edges=[]
+    )
+    mapping = pg_to_dl_schema(schema)
+    assert mapping.dl_schema.get("Thing").column_names() == ["id", "name"]
+
+
+def test_duplicate_property_rejected():
+    schema = PGSchema.build(
+        nodes=[("Thing", [("id", "INT"), ("name", "STRING"), ("name", "STRING")])],
+        edges=[],
+    )
+    with pytest.raises(SchemaError):
+        pg_to_dl_schema(schema)
+
+
+def test_edge_property_named_id1_rejected():
+    schema = PGSchema.build(
+        nodes=[("A", [("id", "INT")]), ("B", [("id", "INT")])],
+        edges=[("rel", "A", "B", [("id1", "INT")])],
+    )
+    with pytest.raises(SchemaError):
+        pg_to_dl_schema(schema)
+
+
+def test_snb_schema_translates_all_edges():
+    from repro.ldbc.schema import snb_schema_mapping
+
+    mapping = snb_schema_mapping()
+    expected = {
+        "Person_KNOWS_Person",
+        "Person_IS_LOCATED_IN_City",
+        "City_IS_PART_OF_Country",
+        "Person_HAS_INTEREST_Tag",
+        "Message_HAS_CREATOR_Person",
+        "Message_HAS_TAG_Tag",
+        "Person_LIKES_Message",
+        "Forum_HAS_MEMBER_Person",
+        "Forum_HAS_MODERATOR_Person",
+        "Forum_CONTAINER_OF_Message",
+        "Message_REPLY_OF_Message",
+    }
+    assert expected <= set(mapping.dl_schema.relations)

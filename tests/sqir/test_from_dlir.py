@@ -1,0 +1,173 @@
+"""Tests for the DLIR-to-SQIR translation."""
+
+import pytest
+
+from repro.common.errors import TranslationError, UnsupportedFeatureError
+from repro.dlir.builder import ProgramBuilder
+from repro.dlir.core import Aggregation, Var
+from repro.sqir import translate_dlir_to_sqir
+from repro.sqir.nodes import NotExists
+
+from tests.conftest import PAPER_QUERY
+
+
+def _tc_builder(nonlinear=False):
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    if nonlinear:
+        builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("tc", ["z", "y"])])
+    else:
+        builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.output("tc")
+    return builder
+
+
+def test_paper_query_produces_three_ctes(paper_raqlet):
+    compiled = paper_raqlet.compile_cypher(PAPER_QUERY, optimize=False)
+    sqir = compiled.sqir(optimized=False)
+    assert [cte.name for cte in sqir.ctes] == ["Match1", "Where1", "Return"]
+    assert not sqir.is_recursive
+
+
+def test_cte_columns_follow_declarations(paper_raqlet):
+    compiled = paper_raqlet.compile_cypher(PAPER_QUERY, optimize=False)
+    sqir = compiled.sqir(optimized=False)
+    assert sqir.cte("Return").columns == ["firstName", "cityId"]
+    assert sqir.cte("Match1").columns == ["n", "p", "x1"]
+
+
+def test_shared_variables_become_join_conditions(paper_raqlet):
+    compiled = paper_raqlet.compile_cypher(PAPER_QUERY, optimize=False)
+    sqir = compiled.sqir(optimized=False)
+    match_member = sqir.cte("Match1").base_members[0]
+    condition_text = " AND ".join(str(cond) for cond in match_member.where)
+    assert "=" in condition_text
+    assert len(match_member.from_tables) == 3
+
+
+def test_constants_become_equality_filters(paper_raqlet):
+    compiled = paper_raqlet.compile_cypher(PAPER_QUERY, optimize=False)
+    sqir = compiled.sqir(optimized=False)
+    where_member = sqir.cte("Where1").base_members[0]
+    assert any("42" in str(cond) for cond in where_member.where)
+
+
+def test_recursive_relation_splits_base_and_recursive_members():
+    sqir = translate_dlir_to_sqir(_tc_builder().build())
+    cte = sqir.cte("tc")
+    assert cte.is_recursive
+    assert len(cte.base_members) == 1
+    assert len(cte.recursive_members) == 1
+    assert sqir.is_recursive
+
+
+def test_final_select_reads_output_relation():
+    sqir = translate_dlir_to_sqir(_tc_builder().build())
+    assert sqir.final.from_tables[0].name == "tc"
+    assert [item.alias for item in sqir.final.items] == ["a", "b"]
+
+
+def test_multiple_rules_become_union_members():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("sym", [("a", "number"), ("b", "number")])
+    builder.rule("sym", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("sym", ["x", "y"], [("edge", ["y", "x"])])
+    builder.output("sym")
+    sqir = translate_dlir_to_sqir(builder.build())
+    assert len(sqir.cte("sym").base_members) == 2
+
+
+def test_fact_rules_become_constant_selects():
+    builder = ProgramBuilder()
+    builder.idb("seed", [("x", "number")])
+    builder.rule("seed", [7], [])
+    builder.output("seed")
+    sqir = translate_dlir_to_sqir(builder.build())
+    member = sqir.cte("seed").base_members[0]
+    assert member.from_tables == []
+    assert str(member.items[0].expression) == "7"
+
+
+def test_negated_atom_becomes_not_exists():
+    builder = ProgramBuilder()
+    builder.edb("node", [("id", "number")])
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("sink", [("id", "number")])
+    builder.rule("sink", ["x"], [("node", ["x"])], negated=[("edge", ["x", "_"])])
+    builder.output("sink")
+    sqir = translate_dlir_to_sqir(builder.build())
+    member = sqir.cte("sink").base_members[0]
+    assert any(isinstance(cond, NotExists) for cond in member.where)
+
+
+def test_aggregation_becomes_group_by():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("deg", [("a", "number"), ("c", "number")])
+    builder.rule(
+        "deg", ["x", "c"], [("edge", ["x", "y"])],
+        aggregations=[Aggregation("count", Var("c"), Var("y"))],
+    )
+    builder.output("deg")
+    sqir = translate_dlir_to_sqir(builder.build())
+    member = sqir.cte("deg").base_members[0]
+    assert member.group_by
+    assert "COUNT" in str(member.items[1].expression)
+
+
+def test_mutual_recursion_rejected():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("even", [("a", "number"), ("b", "number")])
+    builder.idb("odd", [("a", "number"), ("b", "number")])
+    builder.rule("odd", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("even", ["x", "y"], [("odd", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.rule("odd", ["x", "y"], [("even", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.output("even")
+    with pytest.raises(UnsupportedFeatureError):
+        translate_dlir_to_sqir(builder.build())
+
+
+def test_nonlinear_recursion_rejected():
+    with pytest.raises(UnsupportedFeatureError):
+        translate_dlir_to_sqir(_tc_builder(nonlinear=True).build())
+
+
+def test_subsumption_rejected(snb_raqlet):
+    compiled = snb_raqlet.compile_cypher(
+        "MATCH p = shortestPath((a:Person {id:1})-[:KNOWS*]-(b:Person {id:2})) "
+        "RETURN length(p) AS hops",
+        optimize=False,
+    )
+    with pytest.raises(UnsupportedFeatureError):
+        translate_dlir_to_sqir(compiled.program(optimized=False))
+
+
+def test_recursion_without_base_case_rejected():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("loop", [("a", "number"), ("b", "number")])
+    builder.rule("loop", ["x", "y"], [("loop", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.output("loop")
+    with pytest.raises(TranslationError):
+        translate_dlir_to_sqir(builder.build())
+
+
+def test_missing_output_rejected():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    program = builder.build()
+    with pytest.raises(TranslationError):
+        translate_dlir_to_sqir(program)
+
+
+def test_explicit_output_selection():
+    builder = _tc_builder()
+    builder.idb("pairs", [("a", "number"), ("b", "number")])
+    builder.rule("pairs", ["x", "y"], [("tc", ["x", "y"])])
+    builder.output("pairs")
+    sqir = translate_dlir_to_sqir(builder.build(), output="tc")
+    assert sqir.final.from_tables[0].name == "tc"
