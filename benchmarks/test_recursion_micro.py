@@ -8,12 +8,16 @@ every engine in the repository:
 
 * transitive closure from a bound source (chain and random graph),
 * same-generation (the classic non-linear Datalog example, linearized for SQL),
-* shortest path (Datalog engine with subsumption vs. graph-engine BFS).
+* shortest path (Datalog engine with subsumption vs. graph-engine BFS),
+* the transitive-closure fixpoint with a cycle audit, comparing the Datalog
+  engine's compiled plans + incrementally maintained indexes against the
+  seed strategy (per-call planning, indexes invalidated on every insert).
 """
 
 from __future__ import annotations
 
 import random
+import time
 
 import pytest
 
@@ -103,6 +107,98 @@ def test_shortest_path_length(benchmark, graph_raqlet, graph_facts, graph_engine
     result = benchmark(run)
     assert result.same_rows(reference)
     assert len(result) == 1
+
+
+def _tc_cycle_program():
+    """Transitive closure plus a cycle audit probing the growing relation.
+
+    The ``cyclic`` rule joins ``tc`` against itself with a fully bound key,
+    so every fixpoint iteration probes the full (growing) ``tc`` relation.
+    With incrementally maintained indexes each probe is O(1); with the seed
+    strategy the ``tc`` index is invalidated by every insert and rebuilt
+    from scratch once per iteration.
+    """
+    from repro.dlir.builder import ProgramBuilder
+
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.idb("cyclic", [("a", "number"), ("b", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.rule("cyclic", ["x", "y"], [("tc", ["x", "y"]), ("tc", ["y", "x"])])
+    builder.output("tc")
+    builder.output("cyclic")
+    return builder.build()
+
+
+# The largest micro case: a deep chain (many fixpoint iterations, quadratic
+# closure) with one back edge so the cycle audit has matches.
+TC_FIXPOINT_NODES = 120
+
+
+def _tc_fixpoint_facts(nodes=TC_FIXPOINT_NODES):
+    edges = [(index, index + 1) for index in range(nodes - 1)]
+    edges.append((nodes - 1, nodes - 5))
+    return {"edge": edges}
+
+
+def _run_tc_fixpoint(incremental, repeats=3):
+    """Run the fixpoint ``repeats`` times; return (best seconds, engine)."""
+    from repro.engines.datalog import DatalogEngine
+
+    program = _tc_cycle_program()
+    facts = _tc_fixpoint_facts()
+    best = float("inf")
+    engine = None
+    for _ in range(repeats):
+        engine = DatalogEngine(
+            program,
+            facts,
+            incremental_indexes=incremental,
+            reuse_plans=incremental,
+        )
+        started = time.perf_counter()
+        engine.run()
+        best = min(best, time.perf_counter() - started)
+    return best, engine
+
+
+def test_tc_fixpoint_compiled_plans_beat_seed_strategy():
+    """Compiled plans + incremental indexes are >= 2x the seed strategy.
+
+    The seed evaluator re-planned every rule application and dropped every
+    index of a relation on insert, which in a semi-naive fixpoint means one
+    full index rebuild per iteration.  This asserts the headline win on the
+    largest micro case (in practice the gap is ~10x; 2x keeps CI sturdy).
+    """
+    fast, fast_engine = _run_tc_fixpoint(incremental=True)
+    slow, slow_engine = _run_tc_fixpoint(incremental=False)
+    assert fast_engine.query("tc").same_rows(slow_engine.query("tc"))
+    assert fast_engine.query("cyclic").same_rows(slow_engine.query("cyclic"))
+    assert fast_engine.fact_count("cyclic") > 0  # the audit is not vacuous
+    assert fast * 2 <= slow, (
+        f"expected >=2x speedup, got {slow / fast:.2f}x "
+        f"(fast={fast * 1000:.1f}ms, slow={slow * 1000:.1f}ms)"
+    )
+
+
+def test_tc_fixpoint_builds_each_index_exactly_once():
+    """No index rebuilds inside the fixpoint loop.
+
+    With incremental maintenance every ``(relation, positions)`` index is
+    constructed exactly once, so the store's build counter must equal its
+    index count after the whole fixpoint has run.  The seed strategy, by
+    contrast, rebuilds once per iteration.
+    """
+    _, engine = _run_tc_fixpoint(incremental=True, repeats=1)
+    store = engine.store
+    assert store.index_count > 0
+    assert store.index_build_count == store.index_count
+
+    _, legacy_engine = _run_tc_fixpoint(incremental=False, repeats=1)
+    legacy_store = legacy_engine.store
+    assert legacy_store.index_build_count > legacy_store.index_count
 
 
 def test_same_generation_datalog_vs_sqlite(benchmark, graph_raqlet):

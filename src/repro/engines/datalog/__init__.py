@@ -4,9 +4,23 @@ The engine stands in for Soufflé in the paper's evaluation.  It supports the
 full DLIR feature set: stratified negation, stratified aggregation
 (count/sum/min/max/avg/collect), arithmetic, and min/max subsumption for
 shortest-path style recursion.
+
+Evaluation is plan-driven: each rule is compiled once (per semi-naive delta
+position) into a :class:`~repro.engines.datalog.planner.RulePlan`, and the
+:class:`~repro.engines.datalog.storage.FactStore` maintains its hash indexes
+incrementally so fixpoint iterations never rebuild them.
 """
 
 from repro.engines.datalog.engine import DatalogEngine, evaluate_program
-from repro.engines.datalog.storage import FactStore
+from repro.engines.datalog.planner import PlanCache, RulePlan, plan_rule
+from repro.engines.datalog.storage import DeltaView, FactStore
 
-__all__ = ["DatalogEngine", "evaluate_program", "FactStore"]
+__all__ = [
+    "DatalogEngine",
+    "evaluate_program",
+    "FactStore",
+    "DeltaView",
+    "PlanCache",
+    "RulePlan",
+    "plan_rule",
+]

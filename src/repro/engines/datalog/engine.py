@@ -5,6 +5,12 @@ semi-naive loop: an initial full round, then iterations in which each rule is
 re-evaluated once per recursive body atom with that atom restricted to the
 facts newly derived in the previous iteration.
 
+Each ``(rule, delta position)`` pair is compiled once into a
+:class:`~repro.engines.datalog.planner.RulePlan` (join order, index
+positions, guard placement) and the plan is reused across every fixpoint
+iteration; the fact store's hash indexes are maintained incrementally as
+facts are inserted, so no index is ever rebuilt inside the loop.
+
 Min/max subsumption (``Rule.subsume_min`` / ``subsume_max``) is honoured
 during insertion: for a relation with a subsumption spec only the best value
 of the designated column is kept per combination of the remaining columns,
@@ -22,7 +28,8 @@ from repro.analysis.stratification import stratify
 from repro.common.errors import ExecutionError
 from repro.dlir.core import Atom, DLIRProgram, Rule
 from repro.engines.datalog.evaluation import evaluate_rule
-from repro.engines.datalog.storage import FactStore
+from repro.engines.datalog.planner import PlanCache, RulePlan, plan_rule
+from repro.engines.datalog.storage import DeltaView, FactStore
 from repro.engines.result import QueryResult
 
 FactsInput = Mapping[str, Iterable[Tuple]]
@@ -60,12 +67,20 @@ class _SubsumptionSpec:
 class DatalogEngine:
     """Evaluate a DLIR program bottom-up over a set of EDB facts."""
 
-    def __init__(self, program: DLIRProgram, facts: Optional[FactsInput] = None) -> None:
+    def __init__(
+        self,
+        program: DLIRProgram,
+        facts: Optional[FactsInput] = None,
+        *,
+        incremental_indexes: bool = True,
+        reuse_plans: bool = True,
+    ) -> None:
         problems = program.validate()
         if problems:
             raise ExecutionError("invalid DLIR program: " + "; ".join(problems))
         self._program = program
-        self._store = FactStore()
+        self._store = FactStore(maintain_indexes=incremental_indexes)
+        self._plans: Optional[PlanCache] = PlanCache() if reuse_plans else None
         self._evaluated = False
         self._iterations: Dict[str, int] = {}
         for relation, rows in program.facts.items():
@@ -124,6 +139,14 @@ class DatalogEngine:
         return self._iterations.get(relation, 0)
 
     # -- evaluation ----------------------------------------------------------
+
+    def _plan(
+        self, rule: Rule, delta_index: Optional[int] = None, delta_size: int = 0
+    ) -> RulePlan:
+        """Return the (cached) compiled plan for ``(rule, delta_index)``."""
+        if self._plans is None:
+            return plan_rule(rule, self._store, delta_index, delta_size)
+        return self._plans.plan_for(rule, self._store, delta_index, delta_size)
 
     def _collect_subsumption_specs(self) -> Dict[str, _SubsumptionSpec]:
         specs: Dict[str, _SubsumptionSpec] = {}
@@ -186,12 +209,16 @@ class DatalogEngine:
         # Initial full round.
         delta: Dict[str, Set[Tuple]] = defaultdict(set)
         for rule in rules:
-            derived = evaluate_rule(rule, self._store)
+            derived = evaluate_rule(rule, self._store, plan=self._plan(rule))
             fresh = self._insert(rule.head.relation, derived)
             delta[rule.head.relation].update(fresh)
         iterations = 1
-        # Semi-naive loop.
+        # Semi-naive loop.  Delta views are shared per relation per iteration
+        # so their mini-indexes amortise across rules and delta positions.
         while any(delta.values()):
+            delta_views = {
+                relation: DeltaView(rows) for relation, rows in delta.items() if rows
+            }
             new_delta: Dict[str, Set[Tuple]] = defaultdict(set)
             for rule in rules:
                 recursive_positions = [
@@ -206,11 +233,13 @@ class DatalogEngine:
                 for position in recursive_positions:
                     literal = rule.body[position]
                     assert isinstance(literal, Atom)
+                    view = delta_views[literal.relation]
                     derived = evaluate_rule(
                         rule,
                         self._store,
                         delta_index=position,
-                        delta_rows=list(delta[literal.relation]),
+                        delta_rows=view,
+                        plan=self._plan(rule, position, len(view)),
                     )
                     fresh = self._insert(rule.head.relation, derived)
                     new_delta[rule.head.relation].update(fresh)

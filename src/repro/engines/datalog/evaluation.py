@@ -1,33 +1,27 @@
-"""Single-rule evaluation for the Datalog engine.
+"""Plan-driven single-rule evaluation for the Datalog engine.
 
-The evaluator performs an index-nested-loop join over the rule's positive
-atoms in body order, binding variables as it goes.  Comparisons are applied
-as soon as their variables are bound (``=`` against a single unbound variable
-acts as an assignment); negated atoms are checked once all their outer
-variables are bound; aggregations are computed over the full set of body
-solutions at the end.
+Rules are executed from a compiled :class:`~repro.engines.datalog.planner.RulePlan`:
+the planner has already picked the join order, precomputed each atom's index
+positions, and partitioned comparisons/negations onto the earliest join step
+where they can run (``=`` against a single unbound variable becomes an
+assignment).  The executor here just walks the plan: probe the (incrementally
+maintained) hash index for each step, extend the bindings, and apply the
+step's guard.  Aggregations are computed over the full set of body solutions
+at the end, grouped by the non-aggregated head variables.
+
+When no plan is supplied, one is built on the fly — callers that evaluate a
+rule repeatedly (the engine's fixpoint loop) pass cached plans instead.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import ExecutionError
-from repro.dlir.core import (
-    Aggregation,
-    ArithExpr,
-    Atom,
-    Comparison,
-    Const,
-    NegatedAtom,
-    Rule,
-    Term,
-    Var,
-    Wildcard,
-    term_variables,
-)
-from repro.engines.datalog.storage import FactStore
+from repro.dlir.core import ArithExpr, Const, Rule, Term, Var
+from repro.engines.datalog.planner import Guard, RulePlan, plan_rule
+from repro.engines.datalog.storage import DeltaView, FactStore
 
 Bindings = Dict[str, object]
 
@@ -86,179 +80,24 @@ def _compare(op: str, left, right) -> bool:
     raise ExecutionError(f"unknown comparison operator {op!r}")
 
 
-def _term_is_bound(term: Term, bindings: Bindings) -> bool:
-    return all(name in bindings for name in term_variables(term))
-
-
-class _PendingChecks:
-    """Comparisons and negations not yet applied, checked opportunistically."""
-
-    def __init__(self, rule: Rule, store: FactStore) -> None:
-        self._store = store
-        self.comparisons: List[Comparison] = list(rule.comparisons())
-        self.negations: List[NegatedAtom] = list(rule.negated_atoms())
-
-    def apply_ready(
-        self, bindings: Bindings, pending_comparisons: List[Comparison]
-    ) -> Optional[List[Comparison]]:
-        """Apply every comparison whose variables are bound.
-
-        Returns the remaining comparisons, or ``None`` when a check failed.
-        ``=`` with exactly one unbound variable binds that variable in place.
-        """
-        remaining: List[Comparison] = []
-        progress = True
-        current = pending_comparisons
-        while progress:
-            progress = False
-            remaining = []
-            for comparison in current:
-                left_bound = _term_is_bound(comparison.left, bindings)
-                right_bound = _term_is_bound(comparison.right, bindings)
-                if left_bound and right_bound:
-                    if not _compare(
-                        comparison.op,
-                        evaluate_term(comparison.left, bindings),
-                        evaluate_term(comparison.right, bindings),
-                    ):
-                        return None
-                    progress = True
-                elif comparison.op == "=" and left_bound and isinstance(comparison.right, Var):
-                    bindings[comparison.right.name] = evaluate_term(
-                        comparison.left, bindings
-                    )
-                    progress = True
-                elif comparison.op == "=" and right_bound and isinstance(comparison.left, Var):
-                    bindings[comparison.left.name] = evaluate_term(
-                        comparison.right, bindings
-                    )
-                    progress = True
-                else:
-                    remaining.append(comparison)
-            current = remaining
-        return remaining
-
-    def check_negations(self, bindings: Bindings) -> bool:
-        """Return whether every negated atom has no matching fact."""
-        for negated in self.negations:
-            atom = negated.atom
-            positions: List[int] = []
-            key: List[object] = []
-            for index, term in enumerate(atom.terms):
-                if isinstance(term, Wildcard):
-                    continue
-                if isinstance(term, Var) and term.name not in bindings:
-                    # Unbound variables inside a negated atom are existential:
-                    # the check is "no fact matches the bound positions".
-                    continue
-                positions.append(index)
-                key.append(evaluate_term(term, bindings))
-            if self._store.lookup(atom.relation, positions, tuple(key)):
+def _apply_guard(guard: Guard, bindings: Bindings, store: FactStore) -> bool:
+    """Run a guard in place; return ``False`` when a check fails."""
+    for op in guard.ops:
+        if op[0] == "assign":
+            bindings[op[1]] = evaluate_term(op[2], bindings)
+        else:
+            comparison = op[1]
+            if not _compare(
+                comparison.op,
+                evaluate_term(comparison.left, bindings),
+                evaluate_term(comparison.right, bindings),
+            ):
                 return False
-        return True
-
-
-def _atom_rows(
-    atom: Atom,
-    bindings: Bindings,
-    store: FactStore,
-    override_rows: Optional[Sequence[Tuple]],
-) -> Iterable[Tuple]:
-    """Return candidate rows for ``atom`` given the current bindings."""
-    positions: List[int] = []
-    key: List[object] = []
-    for index, term in enumerate(atom.terms):
-        if isinstance(term, Const):
-            positions.append(index)
-            key.append(term.value)
-        elif isinstance(term, Var) and term.name in bindings:
-            positions.append(index)
-            key.append(bindings[term.name])
-    if override_rows is not None:
-        rows = override_rows
-        if not positions:
-            return rows
-        wanted = tuple(key)
-        return [
-            row for row in rows if tuple(row[i] for i in positions) == wanted
-        ]
-    return store.lookup(atom.relation, positions, tuple(key))
-
-
-def _extend_bindings(atom: Atom, row: Tuple, bindings: Bindings) -> Optional[Bindings]:
-    """Extend ``bindings`` with the variables of ``atom`` matched against ``row``."""
-    new_bindings = dict(bindings)
-    for index, term in enumerate(atom.terms):
-        if isinstance(term, Wildcard) or isinstance(term, Const):
-            continue
-        if isinstance(term, Var):
-            value = row[index]
-            existing = new_bindings.get(term.name, _MISSING)
-            if existing is _MISSING:
-                new_bindings[term.name] = value
-            elif existing != value:
-                return None
-        else:
-            raise ExecutionError(f"unexpected term {term!r} in body atom")
-    return new_bindings
-
-
-_MISSING = object()
-
-
-def _order_atoms(
-    atoms_with_index: List[Tuple[int, Atom]],
-    store: FactStore,
-    delta_index: Optional[int],
-    delta_size: int,
-    constant_bound: Set[str],
-) -> List[Tuple[int, Atom]]:
-    """Greedily order body atoms to keep intermediate results small.
-
-    The heuristic mirrors what a Datalog engine's automatic scheduler does:
-    start from the delta atom (semi-naive) or the most selective atom
-    (constants, small relation), then repeatedly pick the atom that shares
-    the most variables with what is already bound, breaking ties by
-    selectivity.  Without this, translation-generated rules that list node
-    atoms before the edge atoms degenerate into cartesian products.
-    """
-    remaining = list(atoms_with_index)
-    ordered: List[Tuple[int, Atom]] = []
-    bound: Set[str] = set(constant_bound)
-
-    def selectivity(entry: Tuple[int, Atom]) -> Tuple:
-        index, atom = entry
-        if index == delta_index:
-            size = delta_size
-        else:
-            size = store.count(atom.relation)
-        bound_positions = sum(
-            1
-            for term in atom.terms
-            if isinstance(term, Const)
-            or (isinstance(term, Var) and term.name in bound)
-        )
-        shared = sum(
-            1
-            for term in atom.terms
-            if isinstance(term, Var) and term.name in bound
-        )
-        # More shared/bound positions first, then smaller relations.
-        return (-shared, -bound_positions, size)
-
-    while remaining:
-        if not ordered and delta_index is not None:
-            chosen = next(
-                (entry for entry in remaining if entry[0] == delta_index), None
-            )
-            if chosen is None:
-                chosen = min(remaining, key=selectivity)
-        else:
-            chosen = min(remaining, key=selectivity)
-        remaining.remove(chosen)
-        ordered.append(chosen)
-        bound.update(chosen[1].variables())
-    return ordered
+    for negation in guard.negations:
+        key = tuple(evaluate_term(term, bindings) for term in negation.terms)
+        if store.lookup(negation.relation, negation.positions, key):
+            return False
+    return True
 
 
 def rule_solutions(
@@ -266,65 +105,77 @@ def rule_solutions(
     store: FactStore,
     delta_index: Optional[int] = None,
     delta_rows: Optional[Sequence[Tuple]] = None,
+    plan: Optional[RulePlan] = None,
 ) -> Iterator[Bindings]:
     """Yield every variable binding satisfying the rule body.
 
     When ``delta_index`` is given, the positive atom at that body position
     draws its rows from ``delta_rows`` instead of the store (semi-naive
-    evaluation).
+    evaluation).  ``plan`` supplies a precompiled strategy; omitted, one is
+    built for this call.
     """
-    atoms_with_index = [
-        (index, literal)
-        for index, literal in enumerate(rule.body)
-        if isinstance(literal, Atom)
-    ]
-    # Variables equated to a constant are bound before any atom is joined;
-    # the ordering heuristic can exploit that (e.g. ``n = 42`` makes the
-    # Person atom on ``n`` highly selective).
-    constant_bound: Set[str] = set()
-    for comparison in rule.comparisons():
-        if comparison.op != "=":
-            continue
-        if isinstance(comparison.left, Var) and isinstance(comparison.right, Const):
-            constant_bound.add(comparison.left.name)
-        if isinstance(comparison.right, Var) and isinstance(comparison.left, Const):
-            constant_bound.add(comparison.right.name)
-    atoms_with_index = _order_atoms(
-        atoms_with_index,
-        store,
-        delta_index,
-        len(delta_rows) if delta_rows is not None else 0,
-        constant_bound,
-    )
-    checks = _PendingChecks(rule, store)
+    if plan is None:
+        delta_size = len(delta_rows) if delta_rows is not None else 0
+        plan = plan_rule(rule, store, delta_index, delta_size)
+    elif delta_rows is not None and plan.delta_index != delta_index:
+        # A delta-variant plan is also a valid full plan (no delta rows), but
+        # applying delta rows at a position the plan was not compiled for
+        # would restrict the wrong atom.
+        raise ExecutionError(
+            f"plan compiled for delta position {plan.delta_index!r} cannot "
+            f"apply delta rows at position {delta_index!r}"
+        )
+    delta_view: Optional[DeltaView] = None
+    if delta_rows is not None:
+        delta_view = (
+            delta_rows
+            if isinstance(delta_rows, DeltaView)
+            else DeltaView(tuple(row) for row in delta_rows)
+        )
+    delta_body_index = plan.delta_index
 
-    def recurse(
-        position: int, bindings: Bindings, pending: List[Comparison]
-    ) -> Iterator[Bindings]:
-        updated = dict(bindings)
-        remaining = checks.apply_ready(updated, pending)
-        if remaining is None:
-            return
-        if position == len(atoms_with_index):
-            if remaining:
+    bindings: Bindings = {}
+    if not _apply_guard(plan.prelude, bindings, store):
+        return
+    steps = plan.steps
+    step_count = len(steps)
+    unresolved = plan.unresolved
+
+    def recurse(position: int, bindings: Bindings) -> Iterator[Bindings]:
+        if position == step_count:
+            if unresolved:
                 # Comparisons left with unbound variables: the rule is unsafe.
-                unresolved = ", ".join(str(comparison) for comparison in remaining)
+                unresolved_text = ", ".join(str(c) for c in unresolved)
                 raise ExecutionError(
-                    f"rule {rule} has comparisons over unbound variables: {unresolved}"
+                    f"rule {rule} has comparisons over unbound variables: "
+                    f"{unresolved_text}"
                 )
-            if not checks.check_negations(updated):
-                return
-            yield updated
+            yield bindings
             return
-        body_index, atom = atoms_with_index[position]
-        override = delta_rows if body_index == delta_index else None
-        for row in _atom_rows(atom, updated, store, override):
-            extended = _extend_bindings(atom, row, updated)
-            if extended is None:
+        step = steps[position]
+        key = tuple(
+            bindings[source] if is_var else source
+            for is_var, source in step.key_sources
+        )
+        if step.body_index == delta_body_index and delta_view is not None:
+            rows = delta_view.lookup(step.key_positions, key)
+        else:
+            rows = store.lookup(step.relation, step.key_positions, key)
+        bind_positions = step.bind_positions
+        eq_positions = step.eq_positions
+        guard = step.guard
+        next_position = position + 1
+        for row in rows:
+            if eq_positions and any(row[a] != row[b] for a, b in eq_positions):
                 continue
-            yield from recurse(position + 1, extended, list(remaining))
+            extended = dict(bindings)
+            for pos, name in bind_positions:
+                extended[name] = row[pos]
+            if not guard.is_empty() and not _apply_guard(guard, extended, store):
+                continue
+            yield from recurse(next_position, extended)
 
-    yield from recurse(0, {}, list(checks.comparisons))
+    yield from recurse(0, bindings)
 
 
 def _aggregate_value(func: str, values: List) -> object:
@@ -348,17 +199,23 @@ def evaluate_rule(
     store: FactStore,
     delta_index: Optional[int] = None,
     delta_rows: Optional[Sequence[Tuple]] = None,
+    plan: Optional[RulePlan] = None,
 ) -> Set[Tuple]:
     """Evaluate ``rule`` and return the derived head tuples."""
     if rule.aggregations:
-        return _evaluate_aggregate_rule(rule, store)
+        # Aggregate rules are always recomputed over the full store: a new
+        # delta row can change the aggregate of groups derived earlier.
+        return _evaluate_aggregate_rule(rule, store, plan)
     derived: Set[Tuple] = set()
-    for bindings in rule_solutions(rule, store, delta_index, delta_rows):
-        derived.add(tuple(evaluate_term(term, bindings) for term in rule.head.terms))
+    head_terms = rule.head.terms
+    for bindings in rule_solutions(rule, store, delta_index, delta_rows, plan):
+        derived.add(tuple(evaluate_term(term, bindings) for term in head_terms))
     return derived
 
 
-def _evaluate_aggregate_rule(rule: Rule, store: FactStore) -> Set[Tuple]:
+def _evaluate_aggregate_rule(
+    rule: Rule, store: FactStore, plan: Optional[RulePlan] = None
+) -> Set[Tuple]:
     group_keys = rule.group_by_variables()
     aggregate_by_result = {agg.result.name: agg for agg in rule.aggregations}
     groups: Dict[Tuple, Dict[str, List]] = defaultdict(
@@ -368,7 +225,7 @@ def _evaluate_aggregate_rule(rule: Rule, store: FactStore) -> Set[Tuple]:
         lambda: {name: set() for name in aggregate_by_result}
     )
     group_bindings: Dict[Tuple, Bindings] = {}
-    for bindings in rule_solutions(rule, store):
+    for bindings in rule_solutions(rule, store, plan=plan):
         key = tuple(bindings[name] for name in group_keys)
         group_bindings.setdefault(key, bindings)
         for name, aggregation in aggregate_by_result.items():

@@ -1,0 +1,393 @@
+"""One-time compilation of DLIR rules into executable join plans.
+
+The seed evaluator re-derived its join strategy on every rule application:
+atom order was recomputed, and comparisons/negations were rediscovered by
+scanning a "pending" list at every level of the join.  This module performs
+that work once per ``(rule, delta_index)`` pair and records the result as a
+:class:`RulePlan`:
+
+* **join order** — body atoms are ordered greedily by bound-variable
+  coverage (shared variables with what is already bound, then bound
+  positions, then estimated relation size).  For semi-naive evaluation the
+  delta atom always comes first, so each delta row is enumerated exactly
+  once per application.
+* **index positions** — for each atom the plan precomputes which argument
+  positions are fixed (constants and already-bound variables) and how to
+  assemble the lookup key from the current bindings, so the executor never
+  inspects terms at run time.
+* **guards** — each comparison is scheduled at the earliest join step where
+  its variables are bound (``=`` against a single unbound variable becomes
+  an *assignment* that binds it); each negated atom is compiled to its index
+  probe and scheduled at the earliest step where every eventually-bound
+  variable it mentions is available.  Unbound variables in a negation are
+  existential, exactly as in the seed evaluator.
+
+Plans are cached by :class:`PlanCache`, which the engine threads through the
+stratum loop so recursive rules reuse their plans across fixpoint
+iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.dlir.core import (
+    Atom,
+    Comparison,
+    Const,
+    NegatedAtom,
+    Rule,
+    Term,
+    Var,
+    Wildcard,
+    term_variables,
+)
+from repro.engines.datalog.storage import FactStore
+
+# Guard operations are tagged tuples kept deliberately small for the hot loop:
+#   ("assign", var_name, term)  -- bind var_name to the evaluated term
+#   ("check", comparison)       -- evaluate both sides and compare
+GuardOp = Tuple
+
+
+@dataclass(frozen=True)
+class CompiledNegation:
+    """A negated atom compiled to an index probe.
+
+    ``positions``/``terms`` are the argument positions whose value will be
+    known when the guard runs (parallel tuples); the remaining positions are
+    existential.  The check fails when any stored fact matches the probe.
+    """
+
+    relation: str
+    positions: Tuple[int, ...]
+    terms: Tuple[Term, ...]
+
+
+@dataclass(frozen=True)
+class Guard:
+    """Assignments, comparison checks and negation probes between two joins."""
+
+    ops: Tuple[GuardOp, ...] = ()
+    negations: Tuple[CompiledNegation, ...] = ()
+
+    def is_empty(self) -> bool:
+        """Return whether the guard does nothing."""
+        return not self.ops and not self.negations
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One atom of the join: probe the relation, extend the bindings.
+
+    ``key_positions`` are the argument positions fixed before this step runs;
+    ``key_sources`` (parallel) say how to build the probe key: ``(True,
+    name)`` reads the binding of variable ``name``, ``(False, value)`` is a
+    constant.  ``bind_positions`` are the positions whose value binds a new
+    variable; ``eq_positions`` are pairs of positions that must be equal
+    (repeated fresh variables within the atom).
+    """
+
+    body_index: int
+    relation: str
+    key_positions: Tuple[int, ...]
+    key_sources: Tuple[Tuple[bool, object], ...]
+    bind_positions: Tuple[Tuple[int, str], ...]
+    eq_positions: Tuple[Tuple[int, int], ...]
+    guard: Guard
+
+
+@dataclass(frozen=True)
+class RulePlan:
+    """The compiled evaluation strategy for one rule.
+
+    ``delta_index`` is the body position (if any) that reads the semi-naive
+    delta instead of the full relation.  ``unresolved`` holds comparisons
+    whose variables are never bound; reaching the end of the join with such
+    comparisons outstanding is an unsafe-rule error, raised at run time to
+    match the seed evaluator (a rule whose joins produce no rows never
+    triggers it).
+    """
+
+    rule: Rule
+    delta_index: Optional[int]
+    prelude: Guard
+    steps: Tuple[JoinStep, ...]
+    unresolved: Tuple[Comparison, ...]
+
+
+class _GuardBuilder:
+    """Accumulates guard operations for one scheduling point."""
+
+    def __init__(self) -> None:
+        self.ops: List[GuardOp] = []
+        self.negations: List[CompiledNegation] = []
+
+    def build(self) -> Guard:
+        return Guard(ops=tuple(self.ops), negations=tuple(self.negations))
+
+
+def _term_vars_bound(term: Term, bound: Set[str]) -> bool:
+    return all(name in bound for name in term_variables(term))
+
+
+def _schedule_comparisons(
+    pending: List[Comparison], bound: Set[str], builder: _GuardBuilder
+) -> List[Comparison]:
+    """Move every ready comparison from ``pending`` into ``builder``.
+
+    Runs to fixpoint: a ``=`` with exactly one unbound variable side becomes
+    an assignment (binding that variable), which can make further
+    comparisons ready.  Returns the comparisons that are still pending.
+    """
+    current = pending
+    progress = True
+    while progress:
+        progress = False
+        remaining: List[Comparison] = []
+        for comparison in current:
+            left_bound = _term_vars_bound(comparison.left, bound)
+            right_bound = _term_vars_bound(comparison.right, bound)
+            if left_bound and right_bound:
+                builder.ops.append(("check", comparison))
+                progress = True
+            elif (
+                comparison.op == "="
+                and left_bound
+                and isinstance(comparison.right, Var)
+            ):
+                builder.ops.append(("assign", comparison.right.name, comparison.left))
+                bound.add(comparison.right.name)
+                progress = True
+            elif (
+                comparison.op == "="
+                and right_bound
+                and isinstance(comparison.left, Var)
+            ):
+                builder.ops.append(("assign", comparison.left.name, comparison.right))
+                bound.add(comparison.left.name)
+                progress = True
+            else:
+                remaining.append(comparison)
+        current = remaining
+    return current
+
+
+def _atom_selectivity(
+    atom: Atom,
+    body_index: int,
+    bound: Set[str],
+    store: FactStore,
+    delta_index: Optional[int],
+    delta_size: int,
+) -> Tuple:
+    """Rank candidate atoms: most shared variables, most bound positions,
+    smallest relation."""
+    size = delta_size if body_index == delta_index else store.count(atom.relation)
+    shared = 0
+    bound_positions = 0
+    for term in atom.terms:
+        if isinstance(term, Const):
+            bound_positions += 1
+        elif isinstance(term, Var) and term.name in bound:
+            shared += 1
+            bound_positions += 1
+    return (-shared, -bound_positions, size)
+
+
+def _compile_step(
+    body_index: int, atom: Atom, bound: Set[str]
+) -> Tuple[JoinStep, Set[str]]:
+    """Compile one atom given the variables bound before it runs."""
+    key_positions: List[int] = []
+    key_sources: List[Tuple[bool, object]] = []
+    bind_positions: List[Tuple[int, str]] = []
+    eq_positions: List[Tuple[int, int]] = []
+    first_occurrence: Dict[str, int] = {}
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Wildcard):
+            continue
+        if isinstance(term, Const):
+            key_positions.append(position)
+            key_sources.append((False, term.value))
+        elif isinstance(term, Var):
+            if term.name in bound:
+                key_positions.append(position)
+                key_sources.append((True, term.name))
+            elif term.name in first_occurrence:
+                eq_positions.append((first_occurrence[term.name], position))
+            else:
+                first_occurrence[term.name] = position
+                bind_positions.append((position, term.name))
+        else:
+            raise ExecutionError(f"unexpected term {term!r} in body atom {atom}")
+    step = JoinStep(
+        body_index=body_index,
+        relation=atom.relation,
+        key_positions=tuple(key_positions),
+        key_sources=tuple(key_sources),
+        bind_positions=tuple(bind_positions),
+        eq_positions=tuple(eq_positions),
+        guard=Guard(),  # replaced after guard scheduling
+    )
+    return step, set(first_occurrence)
+
+
+def _compile_negation(
+    negated: NegatedAtom, final_bound: Set[str]
+) -> Tuple[CompiledNegation, Set[str]]:
+    """Compile a negated atom against the eventually-bound variable set.
+
+    Returns the compiled probe and the variables it needs bound before it
+    can run.  Bare variables that are never bound are existential and
+    dropped from the probe (the seed semantics).
+    """
+    atom = negated.atom
+    positions: List[int] = []
+    terms: List[Term] = []
+    required: Set[str] = set()
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Wildcard):
+            continue
+        if isinstance(term, Var) and term.name not in final_bound:
+            continue
+        positions.append(position)
+        terms.append(term)
+        required.update(term_variables(term))
+    compiled = CompiledNegation(
+        relation=atom.relation, positions=tuple(positions), terms=tuple(terms)
+    )
+    return compiled, required
+
+
+def plan_rule(
+    rule: Rule,
+    store: FactStore,
+    delta_index: Optional[int] = None,
+    delta_size: int = 0,
+) -> RulePlan:
+    """Compile ``rule`` into a :class:`RulePlan`.
+
+    ``store`` provides relation cardinalities for the join-order heuristic;
+    ``delta_index``/``delta_size`` identify the body atom restricted to the
+    semi-naive delta (it is forced to the front of the join order).
+    """
+    remaining_atoms = [
+        (index, literal)
+        for index, literal in enumerate(rule.body)
+        if isinstance(literal, Atom)
+    ]
+    bound: Set[str] = set()
+    pending = list(rule.comparisons())
+
+    prelude_builder = _GuardBuilder()
+    pending = _schedule_comparisons(pending, bound, prelude_builder)
+
+    # Greedy join ordering interleaved with comparison scheduling, so each
+    # step's key positions reflect every variable bound before it runs
+    # (including variables bound by ``=`` assignments).
+    steps: List[JoinStep] = []
+    step_builders: List[_GuardBuilder] = []
+    bound_after: List[Set[str]] = []  # bound set after each step's guard
+    while remaining_atoms:
+        chosen = None
+        if not steps and delta_index is not None:
+            chosen = next(
+                (entry for entry in remaining_atoms if entry[0] == delta_index), None
+            )
+        if chosen is None:
+            chosen = min(
+                remaining_atoms,
+                key=lambda entry: _atom_selectivity(
+                    entry[1], entry[0], bound, store, delta_index, delta_size
+                ),
+            )
+        remaining_atoms.remove(chosen)
+        body_index, atom = chosen
+        step, fresh = _compile_step(body_index, atom, bound)
+        bound.update(fresh)
+        builder = _GuardBuilder()
+        pending = _schedule_comparisons(pending, bound, builder)
+        steps.append(step)
+        step_builders.append(builder)
+        bound_after.append(set(bound))
+
+    # Schedule each negation at the earliest point where every
+    # eventually-bound variable it mentions is available.
+    final_bound = bound
+    prelude_bound = _prelude_bound_vars(prelude_builder)
+    for negated in rule.negated_atoms():
+        compiled, required = _compile_negation(negated, final_bound)
+        target: Optional[_GuardBuilder] = None
+        if required <= prelude_bound:
+            target = prelude_builder
+        else:
+            for index, bound_set in enumerate(bound_after):
+                if required <= bound_set:
+                    target = step_builders[index]
+                    break
+        if target is None:
+            # Variables inside an arithmetic negation term are never bound:
+            # attach to the last guard so evaluate_term raises, matching the
+            # seed's end-of-body behaviour.
+            target = step_builders[-1] if step_builders else prelude_builder
+        target.negations.append(compiled)
+
+    compiled_steps = tuple(
+        JoinStep(
+            body_index=step.body_index,
+            relation=step.relation,
+            key_positions=step.key_positions,
+            key_sources=step.key_sources,
+            bind_positions=step.bind_positions,
+            eq_positions=step.eq_positions,
+            guard=builder.build(),
+        )
+        for step, builder in zip(steps, step_builders)
+    )
+    return RulePlan(
+        rule=rule,
+        delta_index=delta_index,
+        prelude=prelude_builder.build(),
+        steps=compiled_steps,
+        unresolved=tuple(pending),
+    )
+
+
+def _prelude_bound_vars(builder: _GuardBuilder) -> Set[str]:
+    """Variables bound by the prelude's assignments."""
+    return {op[1] for op in builder.ops if op[0] == "assign"}
+
+
+class PlanCache:
+    """Caches :class:`RulePlan` objects per ``(rule, delta_index)``.
+
+    Keys use object identity: the engine owns its program's rule objects for
+    its whole lifetime, and identity keeps hashing O(1) regardless of rule
+    size.  Rule references are retained so ids cannot be recycled.
+    """
+
+    def __init__(self) -> None:
+        self._plans: Dict[Tuple[int, Optional[int]], RulePlan] = {}
+        self._rules: Dict[int, Rule] = {}
+
+    def plan_for(
+        self,
+        rule: Rule,
+        store: FactStore,
+        delta_index: Optional[int] = None,
+        delta_size: int = 0,
+    ) -> RulePlan:
+        """Return the cached plan for ``(rule, delta_index)``, building it once."""
+        key = (id(rule), delta_index)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = plan_rule(rule, store, delta_index, delta_size)
+            self._plans[key] = plan
+            self._rules[id(rule)] = rule
+        return plan
+
+    def __len__(self) -> int:
+        return len(self._plans)

@@ -210,10 +210,19 @@ class Raqlet:
     # -- execution ------------------------------------------------------------
 
     def run_on_datalog_engine(
-        self, compiled: CompiledQuery, facts: FactsInput, optimized: bool = True
+        self,
+        compiled: CompiledQuery,
+        facts: FactsInput,
+        optimized: bool = True,
+        **engine_options,
     ) -> QueryResult:
-        """Execute the compiled query on the in-repo Datalog engine."""
-        engine = DatalogEngine(compiled.program(optimized), facts)
+        """Execute the compiled query on the in-repo Datalog engine.
+
+        ``engine_options`` are forwarded to :class:`DatalogEngine` (e.g.
+        ``incremental_indexes`` / ``reuse_plans`` to benchmark the seed
+        evaluation strategy).
+        """
+        engine = DatalogEngine(compiled.program(optimized), facts, **engine_options)
         return engine.query()
 
     def run_on_relational_engine(

@@ -1,0 +1,489 @@
+"""Tests for compiled rule plans: structure, and equivalence with a naive oracle.
+
+Two layers of checks:
+
+* ``rule_solutions`` driven by compiled plans must produce exactly the same
+  bindings as a brute-force reference evaluator (cartesian product over the
+  body atoms, seed-style comparison fixpoint and existential negation at the
+  end) across a battery of rule shapes;
+* whole programs — the repository's example programs among them — must
+  produce identical results whichever engine mode evaluates them (cached
+  plans + incremental indexes vs. the seed strategy).
+"""
+
+import pytest
+
+from repro import Raqlet
+from repro.common.errors import ExecutionError
+from repro.dlir.builder import ProgramBuilder
+from repro.dlir.core import (
+    ArithExpr,
+    Atom,
+    Comparison,
+    Const,
+    NegatedAtom,
+    Rule,
+    Var,
+    Wildcard,
+)
+from repro.engines.datalog import DatalogEngine, FactStore, PlanCache, plan_rule
+from repro.engines.datalog.evaluation import (
+    _compare,
+    evaluate_rule,
+    evaluate_term,
+    rule_solutions,
+)
+
+# ---------------------------------------------------------------------------
+# Brute-force reference evaluator (the seed semantics, without any indexes)
+# ---------------------------------------------------------------------------
+
+
+def _reference_extend(atom, row, bindings):
+    new_bindings = dict(bindings)
+    for index, term in enumerate(atom.terms):
+        if isinstance(term, Wildcard):
+            continue
+        if isinstance(term, Const):
+            if row[index] != term.value:
+                return None
+        elif isinstance(term, Var):
+            existing = new_bindings.get(term.name, _MISSING)
+            if existing is _MISSING:
+                new_bindings[term.name] = row[index]
+            elif existing != row[index]:
+                return None
+        else:
+            raise ExecutionError(f"unexpected term {term!r}")
+    return new_bindings
+
+
+_MISSING = object()
+
+
+def reference_solutions(rule, store, delta_index=None, delta_rows=None):
+    """Cartesian-product evaluation with end-of-body checks (the oracle)."""
+    atoms = [
+        (index, literal)
+        for index, literal in enumerate(rule.body)
+        if isinstance(literal, Atom)
+    ]
+    solutions = []
+
+    def finish(bindings):
+        bindings = dict(bindings)
+        pending = list(rule.comparisons())
+        progress = True
+        while progress:
+            progress = False
+            remaining = []
+            for comparison in pending:
+                left_bound = all(
+                    name in bindings for name in _term_vars(comparison.left)
+                )
+                right_bound = all(
+                    name in bindings for name in _term_vars(comparison.right)
+                )
+                if left_bound and right_bound:
+                    if not _compare(
+                        comparison.op,
+                        evaluate_term(comparison.left, bindings),
+                        evaluate_term(comparison.right, bindings),
+                    ):
+                        return
+                    progress = True
+                elif (
+                    comparison.op == "="
+                    and left_bound
+                    and isinstance(comparison.right, Var)
+                ):
+                    bindings[comparison.right.name] = evaluate_term(
+                        comparison.left, bindings
+                    )
+                    progress = True
+                elif (
+                    comparison.op == "="
+                    and right_bound
+                    and isinstance(comparison.left, Var)
+                ):
+                    bindings[comparison.left.name] = evaluate_term(
+                        comparison.right, bindings
+                    )
+                    progress = True
+                else:
+                    remaining.append(comparison)
+            pending = remaining
+        if pending:
+            raise ExecutionError(f"rule {rule} has comparisons over unbound variables")
+        for negated in rule.negated_atoms():
+            atom = negated.atom
+            positions, key = [], []
+            for index, term in enumerate(atom.terms):
+                if isinstance(term, Wildcard):
+                    continue
+                if isinstance(term, Var) and term.name not in bindings:
+                    continue
+                positions.append(index)
+                key.append(evaluate_term(term, bindings))
+            matches = [
+                row
+                for row in store.scan(atom.relation)
+                if tuple(row[i] for i in positions) == tuple(key)
+            ]
+            if matches:
+                return
+        solutions.append(bindings)
+
+    def recurse(position, bindings):
+        if position == len(atoms):
+            finish(bindings)
+            return
+        body_index, atom = atoms[position]
+        rows = (
+            list(delta_rows)
+            if body_index == delta_index and delta_rows is not None
+            else store.scan(atom.relation)
+        )
+        for row in rows:
+            extended = _reference_extend(atom, row, bindings)
+            if extended is not None:
+                recurse(position + 1, extended)
+
+    recurse(0, {})
+    return solutions
+
+
+def _term_vars(term):
+    from repro.dlir.core import term_variables
+
+    return list(term_variables(term))
+
+
+def _as_binding_set(solutions):
+    return {frozenset(bindings.items()) for bindings in solutions}
+
+
+def assert_same_solutions(rule, store, delta_index=None, delta_rows=None):
+    planned = _as_binding_set(
+        rule_solutions(rule, store, delta_index=delta_index, delta_rows=delta_rows)
+    )
+    reference = _as_binding_set(
+        reference_solutions(rule, store, delta_index=delta_index, delta_rows=delta_rows)
+    )
+    assert planned == reference
+
+
+# ---------------------------------------------------------------------------
+# Rule-level equivalence battery
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def store():
+    store = FactStore()
+    store.add_many("edge", [(1, 2), (2, 3), (3, 4), (2, 4), (4, 1)])
+    store.add_many("node", [(i,) for i in range(1, 6)])
+    store.add_many("label", [(1, "a"), (2, "b"), (4, "a")])
+    store.add_many("triple", [(1, 1, 5), (1, 2, 6), (2, 2, 7)])
+    return store
+
+
+def _rule(head, body, **kwargs):
+    return Rule(head=head, body=tuple(body), **kwargs)
+
+
+def test_plain_join_matches_reference(store):
+    rule = _rule(
+        Atom("path", (Var("x"), Var("z"))),
+        [Atom("edge", (Var("x"), Var("y"))), Atom("edge", (Var("y"), Var("z")))],
+    )
+    assert_same_solutions(rule, store)
+
+
+def test_constants_repeated_vars_and_wildcards(store):
+    rule = _rule(
+        Atom("q", (Var("x"),)),
+        [
+            Atom("triple", (Var("x"), Var("x"), Wildcard())),
+            Atom("edge", (Const(1), Var("x"))),
+        ],
+    )
+    assert_same_solutions(rule, store)
+
+
+def test_comparison_filters_and_assignment_chain(store):
+    rule = _rule(
+        Atom("q", (Var("x"), Var("lab"), Var("nxt"))),
+        [
+            Atom("edge", (Var("x"), Var("y"))),
+            Comparison("=", Var("lab"), Const(7)),
+            Comparison("=", Var("nxt"), ArithExpr("+", Var("y"), Const(1))),
+            Comparison("<", Var("x"), Const(3)),
+        ],
+    )
+    assert_same_solutions(rule, store)
+
+
+def test_negation_with_existential_variable(store):
+    # "nodes with no outgoing edge": y is existential inside the negation.
+    rule = _rule(
+        Atom("sink", (Var("n"),)),
+        [
+            Atom("node", (Var("n"),)),
+            NegatedAtom(Atom("edge", (Var("n"), Var("y")))),
+        ],
+    )
+    assert_same_solutions(rule, store)
+
+
+def test_negation_over_late_bound_variable(store):
+    rule = _rule(
+        Atom("q", (Var("x"), Var("z"))),
+        [
+            Atom("edge", (Var("x"), Var("y"))),
+            Atom("edge", (Var("y"), Var("z"))),
+            NegatedAtom(Atom("edge", (Var("x"), Var("z")))),
+        ],
+    )
+    assert_same_solutions(rule, store)
+
+
+def test_delta_restricted_evaluation_matches_reference(store):
+    rule = _rule(
+        Atom("path", (Var("x"), Var("z"))),
+        [Atom("path", (Var("x"), Var("y"))), Atom("edge", (Var("y"), Var("z")))],
+    )
+    store.add_many("path", [(1, 2), (2, 3), (1, 3)])
+    delta = [(1, 3), (2, 3)]
+    assert_same_solutions(rule, store, delta_index=0, delta_rows=delta)
+
+
+def test_unsafe_rule_raises_in_both(store):
+    rule = _rule(
+        Atom("q", (Var("x"), Var("w"))),
+        [Atom("node", (Var("x"),)), Comparison("<", Var("w"), Const(3))],
+    )
+    with pytest.raises(ExecutionError):
+        list(rule_solutions(rule, store))
+    with pytest.raises(ExecutionError):
+        reference_solutions(rule, store)
+
+
+def test_evaluate_rule_heads_match_reference(store):
+    rule = _rule(
+        Atom("q", (Var("y"), ArithExpr("*", Var("x"), Const(10)))),
+        [Atom("edge", (Var("x"), Var("y")))],
+    )
+    derived = evaluate_rule(rule, store)
+    expected = {
+        (bindings["y"], bindings["x"] * 10)
+        for bindings in reference_solutions(rule, store)
+    }
+    assert derived == expected
+
+
+# ---------------------------------------------------------------------------
+# Plan structure
+# ---------------------------------------------------------------------------
+
+
+def test_plan_puts_delta_atom_first(store):
+    rule = _rule(
+        Atom("path", (Var("x"), Var("z"))),
+        [Atom("edge", (Var("x"), Var("y"))), Atom("path", (Var("y"), Var("z")))],
+    )
+    plan = plan_rule(rule, store, delta_index=1, delta_size=4)
+    assert plan.steps[0].body_index == 1
+    # The edge atom then has its join column bound by the delta bindings.
+    assert plan.steps[1].key_positions == (1,)
+
+
+def test_plan_schedules_checks_at_earliest_step(store):
+    rule = _rule(
+        Atom("q", (Var("x"), Var("z"))),
+        [
+            Atom("edge", (Var("x"), Var("y"))),
+            Atom("edge", (Var("y"), Var("z"))),
+            Comparison("<", Var("x"), Const(3)),
+        ],
+    )
+    plan = plan_rule(rule, store)
+    first = next(step for step in plan.steps if "x" in dict(step.bind_positions).values())
+    assert any(op[0] == "check" for op in first.guard.ops)
+    assert not plan.unresolved
+
+
+def test_plan_compiles_negation_probe(store):
+    rule = _rule(
+        Atom("sink", (Var("n"),)),
+        [
+            Atom("node", (Var("n"),)),
+            NegatedAtom(Atom("edge", (Var("n"), Var("y")))),
+        ],
+    )
+    plan = plan_rule(rule, store)
+    negations = [
+        negation for step in plan.steps for negation in step.guard.negations
+    ]
+    assert len(negations) == 1
+    # y is existential, so the probe keys only on the first column.
+    assert negations[0].positions == (0,)
+
+
+def test_mismatched_delta_plan_is_rejected(store):
+    rule = _rule(
+        Atom("path", (Var("x"), Var("z"))),
+        [Atom("path", (Var("x"), Var("y"))), Atom("edge", (Var("y"), Var("z")))],
+    )
+    store.add_many("path", [(1, 2)])
+    plan = plan_rule(rule, store, delta_index=0, delta_size=1)
+    with pytest.raises(ExecutionError):
+        list(rule_solutions(rule, store, delta_index=1, delta_rows=[(1, 2)], plan=plan))
+    # ... but a delta-variant plan is a valid full plan when no delta is given.
+    assert _as_binding_set(rule_solutions(rule, store, plan=plan)) == _as_binding_set(
+        reference_solutions(rule, store)
+    )
+
+
+def test_plan_cache_reuses_plans(store):
+    rule = _rule(
+        Atom("q", (Var("x"),)),
+        [Atom("node", (Var("x"),))],
+    )
+    cache = PlanCache()
+    first = cache.plan_for(rule, store)
+    second = cache.plan_for(rule, store)
+    assert first is second
+    delta_variant = cache.plan_for(rule, store, delta_index=0, delta_size=1)
+    assert delta_variant is not first
+    assert len(cache) == 2
+
+
+# ---------------------------------------------------------------------------
+# Whole-program equivalence across engine modes (example programs)
+# ---------------------------------------------------------------------------
+
+QUICKSTART_SCHEMA = """
+CREATE GRAPH {
+  (personType : Person { id INT, firstName STRING, locationIP STRING }),
+  (cityType : City { id INT, name STRING }),
+  (:personType)-[locationType : isLocatedIn { id INT }]->(:cityType)
+}
+"""
+
+QUICKSTART_QUERY = """
+MATCH (n:Person {id: 42})-[:IS_LOCATED_IN]->(p:City)
+RETURN DISTINCT n.firstName AS firstName, p.id AS cityId
+"""
+
+QUICKSTART_FACTS = {
+    "Person": [(42, "Ada", "10.0.0.1"), (43, "Alan", "10.0.0.2")],
+    "City": [(1, "Edinburgh"), (2, "Lausanne")],
+    "Person_IS_LOCATED_IN_City": [(42, 1, 900), (43, 2, 901)],
+}
+
+GRAPH_SCHEMA = """
+CREATE GRAPH {
+  (nodeType : Node { id INT, name STRING }),
+  (:nodeType)-[linkType : linksTo { id INT }]->(:nodeType)
+}
+"""
+
+GRAPH_FACTS = {
+    "Node": [(i, f"n{i}") for i in range(8)],
+    "Node_LINKS_TO_Node": [
+        (0, 1, 100), (1, 2, 101), (2, 3, 102), (3, 4, 103),
+        (4, 0, 104), (2, 5, 105), (5, 6, 106), (6, 7, 107),
+    ],
+}
+
+POINTS_TO_PROGRAM = """
+.decl NewObject(v:number, o:number)
+.decl Assign(src:number, dst:number)
+.decl PointsTo(v:number, o:number)
+
+PointsTo(v, o) :- NewObject(v, o).
+PointsTo(dst, o) :- Assign(src, dst), PointsTo(src, o).
+
+.output PointsTo
+"""
+
+POINTS_TO_FACTS = {
+    "NewObject": [(0, 0), (1, 1), (5, 2)],
+    "Assign": [(0, 2), (2, 3), (3, 0), (1, 3), (5, 4)],
+}
+
+
+def _run_both_modes(program, facts):
+    current = DatalogEngine(program, facts)
+    seedlike = DatalogEngine(
+        program, facts, incremental_indexes=False, reuse_plans=False
+    )
+    return current, seedlike
+
+
+def _assert_modes_agree(program, facts, relations=None):
+    current, seedlike = _run_both_modes(program, facts)
+    current.run()
+    seedlike.run()
+    relations = relations or program.outputs
+    for relation in relations:
+        assert current.query(relation).same_rows(seedlike.query(relation))
+
+
+def test_example_quickstart_agrees_across_modes():
+    raqlet = Raqlet(QUICKSTART_SCHEMA)
+    compiled = raqlet.compile_cypher(QUICKSTART_QUERY)
+    for optimized in (False, True):
+        _assert_modes_agree(compiled.program(optimized), QUICKSTART_FACTS)
+
+
+def test_example_reachability_agrees_across_modes():
+    raqlet = Raqlet(GRAPH_SCHEMA)
+    compiled = raqlet.compile_cypher(
+        "MATCH (a:Node {id: 0})-[:LINKS_TO*]->(b:Node) RETURN b.id AS target"
+    )
+    for optimized in (False, True):
+        _assert_modes_agree(compiled.program(optimized), GRAPH_FACTS)
+
+
+def test_example_shortest_path_agrees_across_modes():
+    raqlet = Raqlet(GRAPH_SCHEMA)
+    compiled = raqlet.compile_cypher(
+        "MATCH p = shortestPath((a:Node {id: 0})-[:LINKS_TO*]->(b:Node {id: 7})) "
+        "RETURN length(p) AS hops"
+    )
+    _assert_modes_agree(compiled.program(True), GRAPH_FACTS)
+
+
+def test_example_points_to_agrees_across_modes():
+    raqlet = Raqlet(QUICKSTART_SCHEMA)
+    compiled = raqlet.compile_datalog(POINTS_TO_PROGRAM)
+    for optimized in (False, True):
+        _assert_modes_agree(compiled.program(optimized), POINTS_TO_FACTS)
+
+
+def test_negation_and_aggregation_agree_across_modes():
+    builder = ProgramBuilder()
+    builder.edb("node", [("id", "number")])
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("reach", [("b", "number")])
+    builder.idb("unreached", [("id", "number")])
+    builder.idb("outdeg", [("a", "number"), ("n", "number")])
+    builder.rule("reach", ["y"], [("edge", [0, "y"])])
+    builder.rule("reach", ["y"], [("reach", ["x"]), ("edge", ["x", "y"])])
+    builder.rule("unreached", ["n"], [("node", ["n"])], negated=[("reach", ["n"])])
+    from repro.dlir.core import Aggregation
+
+    builder.rule(
+        "outdeg", ["a", "n"],
+        [("edge", ["a", "b"])],
+        aggregations=[Aggregation("count", Var("n"), Var("b"))],
+    )
+    builder.output("unreached")
+    builder.output("outdeg")
+    facts = {
+        "node": [(i,) for i in range(6)],
+        "edge": [(0, 1), (1, 2), (2, 0), (4, 5), (0, 3)],
+    }
+    _assert_modes_agree(builder.build(), facts)

@@ -1,6 +1,6 @@
-"""Tests for the Datalog engine's fact store."""
+"""Tests for the Datalog engine's fact store and its incremental indexes."""
 
-from repro.engines.datalog.storage import FactStore
+from repro.engines.datalog.storage import DeltaView, FactStore
 
 
 def test_add_and_contains():
@@ -31,12 +31,82 @@ def test_lookup_with_no_positions_scans():
     assert len(store.lookup("edge", [], ())) == 2
 
 
-def test_index_invalidated_after_insert():
+def test_index_sees_rows_inserted_after_build():
     store = FactStore()
     store.add("edge", (1, 2))
     assert store.lookup("edge", [0], (1,)) == [(1, 2)]
     store.add("edge", (1, 3))
     assert sorted(store.lookup("edge", [0], (1,))) == [(1, 2), (1, 3)]
+
+
+def test_interleaved_inserts_and_lookups_keep_indexes_correct():
+    """The incremental-maintenance path: grow, probe, grow, probe."""
+    store = FactStore()
+    rows = [(i, i % 3, i * 10) for i in range(60)]
+    for step, row in enumerate(rows):
+        store.add("r", row)
+        if step % 5 == 0:
+            # Touch several indexes so later inserts must maintain them all.
+            store.lookup("r", [1], (row[1],))
+            store.lookup("r", [0, 1], (row[0], row[1]))
+    for i, m, v in rows:
+        assert (i, m, v) in store.lookup("r", [1], (m,))
+        assert store.lookup("r", [0, 1], (i, m)) == [(i, m, v)]
+        assert store.lookup("r", [2], (v,)) == [(i, m, v)]
+    # Each distinct (relation, positions) index was built exactly once.
+    assert store.index_build_count == store.index_count == 3
+
+
+def test_add_many_updates_existing_indexes_in_place():
+    store = FactStore()
+    store.add_many("edge", [(1, 2), (2, 3)])
+    assert store.lookup("edge", [0], (2,)) == [(2, 3)]
+    builds = store.index_build_count
+    assert store.add_many("edge", [(2, 4), (2, 3), (5, 6)]) == 2
+    assert sorted(store.lookup("edge", [0], (2,))) == [(2, 3), (2, 4)]
+    assert store.lookup("edge", [0], (5,)) == [(5, 6)]
+    assert store.index_build_count == builds
+
+
+def test_remove_updates_existing_indexes_in_place():
+    store = FactStore()
+    store.add_many("dist", [(1, 2, 5), (1, 2, 3), (1, 4, 7)])
+    assert len(store.lookup("dist", [0, 1], (1, 2))) == 2
+    builds = store.index_build_count
+    store.remove("dist", (1, 2, 5))
+    assert store.lookup("dist", [0, 1], (1, 2)) == [(1, 2, 3)]
+    store.remove("dist", (1, 2, 3))
+    assert store.lookup("dist", [0, 1], (1, 2)) == []
+    assert store.index_build_count == builds
+
+
+def test_replace_drops_indexes_for_rebuild():
+    store = FactStore()
+    store.add_many("r", [(1,), (2,)])
+    assert store.lookup("r", [0], (1,)) == [(1,)]
+    store.replace("r", [(9,)])
+    assert store.lookup("r", [0], (1,)) == []
+    assert store.lookup("r", [0], (9,)) == [(9,)]
+    assert store.index_build_count == 2  # one initial build, one after replace
+
+
+def test_legacy_mode_rebuilds_on_every_growth():
+    store = FactStore(maintain_indexes=False)
+    store.add("edge", (1, 2))
+    assert store.lookup("edge", [0], (1,)) == [(1, 2)]
+    store.add("edge", (1, 3))
+    assert sorted(store.lookup("edge", [0], (1,))) == [(1, 2), (1, 3)]
+    assert store.index_build_count == 2
+
+
+def test_delta_view_scan_and_lookup():
+    view = DeltaView([(1, 2), (1, 3), (2, 3)])
+    assert len(view) == 3
+    assert sorted(view.scan()) == [(1, 2), (1, 3), (2, 3)]
+    assert sorted(view.lookup([0], (1,))) == [(1, 2), (1, 3)]
+    assert list(view.lookup([0, 1], (2, 3))) == [(2, 3)]
+    assert list(view.lookup([1], (9,))) == []
+    assert list(view.lookup([], ())) == list(view.scan())
 
 
 def test_remove_and_replace():
