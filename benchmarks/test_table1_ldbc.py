@@ -112,11 +112,14 @@ def test_table1_datalog_plan_cache_not_slower_than_seed_strategy(
         best = float("inf")
         engine = None
         for _ in range(repeats):
+            # Pinned to the memory backend: this compares the memory store's
+            # index strategies (REPRO_STORE must not redirect it).
             engine = DatalogEngine(
                 program,
                 bench_data.facts,
                 incremental_indexes=incremental,
                 reuse_plans=incremental,
+                store="memory",
             )
             started = time.perf_counter()
             engine.run()

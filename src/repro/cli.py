@@ -6,9 +6,10 @@ Compile a Cypher query against a PG-Schema file and print every artifact::
 
     raqlet compile --schema schema.pgs --cypher query.cyp --emit all
 
-Run one of the bundled LDBC queries on every engine over a synthetic dataset::
+Run one of the bundled LDBC queries on every engine over a synthetic dataset
+(``--store sqlite`` runs the Datalog engine on the SQLite-backed fact store)::
 
-    raqlet ldbc --query sq1 --scale 200
+    raqlet ldbc --query sq1 --scale 200 --store sqlite
 
 Print the static analysis report of a Datalog program::
 
@@ -131,6 +132,7 @@ def _cmd_ldbc(args: argparse.Namespace) -> int:
         data.property_graph(),
         data.sqlite_executor(),
         optimized=not args.no_optimize,
+        datalog_store=args.store,
     )
     print(f"query {args.query} on {args.scale} persons (person id {person_id}):")
     for engine, result in results.items():
@@ -180,6 +182,13 @@ def build_parser() -> argparse.ArgumentParser:
     ldbc_parser.add_argument("--person", type=int, default=None, help="person id parameter")
     ldbc_parser.add_argument("--show-rows", type=int, default=0)
     ldbc_parser.add_argument("--no-optimize", action="store_true")
+    ldbc_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="memory|sqlite[:PATH]",
+        help="fact-store backend for the Datalog engine "
+        "(default: $REPRO_STORE or memory)",
+    )
     ldbc_parser.set_defaults(func=_cmd_ldbc)
     return parser
 

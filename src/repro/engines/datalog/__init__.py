@@ -9,16 +9,33 @@ Evaluation is plan-driven: each rule is compiled once (per semi-naive delta
 position) into a :class:`~repro.engines.datalog.planner.RulePlan`, and the
 :class:`~repro.engines.datalog.storage.FactStore` maintains its hash indexes
 incrementally so fixpoint iterations never rebuild them.
+
+Storage is pluggable behind the
+:class:`~repro.engines.datalog.storage.StoreBackend` protocol: the in-memory
+:class:`FactStore` is the default, and
+:class:`~repro.engines.datalog.storage_sqlite.SQLiteFactStore` stores
+relations in SQLite (in-memory or on disk).  Select a backend with
+``DatalogEngine(..., store="sqlite")`` or the ``REPRO_STORE`` environment
+variable; compiled plans run unchanged on either store.
 """
 
 from repro.engines.datalog.engine import DatalogEngine, evaluate_program
 from repro.engines.datalog.planner import PlanCache, RulePlan, plan_rule
-from repro.engines.datalog.storage import DeltaView, FactStore
+from repro.engines.datalog.storage import (
+    DeltaView,
+    FactStore,
+    StoreBackend,
+    create_store,
+)
+from repro.engines.datalog.storage_sqlite import SQLiteFactStore
 
 __all__ = [
     "DatalogEngine",
     "evaluate_program",
+    "StoreBackend",
     "FactStore",
+    "SQLiteFactStore",
+    "create_store",
     "DeltaView",
     "PlanCache",
     "RulePlan",

@@ -29,7 +29,12 @@ from repro.common.errors import ExecutionError
 from repro.dlir.core import Atom, DLIRProgram, Rule
 from repro.engines.datalog.evaluation import evaluate_rule
 from repro.engines.datalog.planner import PlanCache, RulePlan, plan_rule
-from repro.engines.datalog.storage import DeltaView, FactStore
+from repro.engines.datalog.storage import (
+    DeltaView,
+    StoreBackend,
+    StoreSpec,
+    create_store,
+)
 from repro.engines.result import QueryResult
 
 FactsInput = Mapping[str, Iterable[Tuple]]
@@ -74,30 +79,35 @@ class DatalogEngine:
         *,
         incremental_indexes: bool = True,
         reuse_plans: bool = True,
+        store: StoreSpec = None,
     ) -> None:
         problems = program.validate()
         if problems:
             raise ExecutionError("invalid DLIR program: " + "; ".join(problems))
         self._program = program
-        self._store = FactStore(maintain_indexes=incremental_indexes)
+        # ``store`` selects the backend: ``"memory"`` (default), ``"sqlite"``
+        # / ``"sqlite:PATH"``, a StoreBackend instance, or None to honour the
+        # REPRO_STORE environment variable.
+        self._store = create_store(store, maintain_indexes=incremental_indexes)
         self._plans: Optional[PlanCache] = PlanCache() if reuse_plans else None
         self._evaluated = False
         self._iterations: Dict[str, int] = {}
-        for relation, rows in program.facts.items():
-            self._store.add_many(relation, (tuple(row) for row in rows))
-        if facts:
-            for relation, rows in facts.items():
+        with self._store.batch():
+            for relation, rows in program.facts.items():
                 self._store.add_many(relation, (tuple(row) for row in rows))
+            if facts:
+                for relation, rows in facts.items():
+                    self._store.add_many(relation, (tuple(row) for row in rows))
         self._subsumption = self._collect_subsumption_specs()
 
     # -- public API --------------------------------------------------------
 
     @property
-    def store(self) -> FactStore:
+    def store(self) -> StoreBackend:
         """Return the underlying fact store (facts are available after :meth:`run`)."""
         return self._store
 
-    def run(self) -> FactStore:
+    def run(self) -> StoreBackend:
         """Evaluate the whole program; idempotent."""
         if self._evaluated:
             return self._store
@@ -206,12 +216,14 @@ class DatalogEngine:
         }
         del graph  # the dependency graph is only needed for stratification
         recursive_relations = defined_here
-        # Initial full round.
+        # Initial full round.  Each round's inserts run as one store batch
+        # (one transaction on transactional backends).
         delta: Dict[str, Set[Tuple]] = defaultdict(set)
-        for rule in rules:
-            derived = evaluate_rule(rule, self._store, plan=self._plan(rule))
-            fresh = self._insert(rule.head.relation, derived)
-            delta[rule.head.relation].update(fresh)
+        with self._store.batch():
+            for rule in rules:
+                derived = evaluate_rule(rule, self._store, plan=self._plan(rule))
+                fresh = self._insert(rule.head.relation, derived)
+                delta[rule.head.relation].update(fresh)
         iterations = 1
         # Semi-naive loop.  Delta views are shared per relation per iteration
         # so their mini-indexes amortise across rules and delta positions.
@@ -220,29 +232,30 @@ class DatalogEngine:
                 relation: DeltaView(rows) for relation, rows in delta.items() if rows
             }
             new_delta: Dict[str, Set[Tuple]] = defaultdict(set)
-            for rule in rules:
-                recursive_positions = [
-                    index
-                    for index, literal in enumerate(rule.body)
-                    if isinstance(literal, Atom)
-                    and literal.relation in recursive_relations
-                    and delta.get(literal.relation)
-                ]
-                if not recursive_positions:
-                    continue
-                for position in recursive_positions:
-                    literal = rule.body[position]
-                    assert isinstance(literal, Atom)
-                    view = delta_views[literal.relation]
-                    derived = evaluate_rule(
-                        rule,
-                        self._store,
-                        delta_index=position,
-                        delta_rows=view,
-                        plan=self._plan(rule, position, len(view)),
-                    )
-                    fresh = self._insert(rule.head.relation, derived)
-                    new_delta[rule.head.relation].update(fresh)
+            with self._store.batch():
+                for rule in rules:
+                    recursive_positions = [
+                        index
+                        for index, literal in enumerate(rule.body)
+                        if isinstance(literal, Atom)
+                        and literal.relation in recursive_relations
+                        and delta.get(literal.relation)
+                    ]
+                    if not recursive_positions:
+                        continue
+                    for position in recursive_positions:
+                        literal = rule.body[position]
+                        assert isinstance(literal, Atom)
+                        view = delta_views[literal.relation]
+                        derived = evaluate_rule(
+                            rule,
+                            self._store,
+                            delta_index=position,
+                            delta_rows=view,
+                            plan=self._plan(rule, position, len(view)),
+                        )
+                        fresh = self._insert(rule.head.relation, derived)
+                        new_delta[rule.head.relation].update(fresh)
             delta = new_delta
             iterations += 1
             if iterations > 1_000_000:  # pragma: no cover - safety net
@@ -255,7 +268,8 @@ def evaluate_program(
     program: DLIRProgram,
     facts: Optional[FactsInput] = None,
     relation: Optional[str] = None,
+    store: StoreSpec = None,
 ) -> QueryResult:
     """Convenience wrapper: evaluate ``program`` and return one relation's rows."""
-    engine = DatalogEngine(program, facts)
+    engine = DatalogEngine(program, facts, store=store)
     return engine.query(relation)

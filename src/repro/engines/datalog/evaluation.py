@@ -21,7 +21,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 from repro.common.errors import ExecutionError
 from repro.dlir.core import ArithExpr, Const, Rule, Term, Var
 from repro.engines.datalog.planner import Guard, RulePlan, plan_rule
-from repro.engines.datalog.storage import DeltaView, FactStore
+from repro.engines.datalog.storage import DeltaView, StoreBackend
 
 Bindings = Dict[str, object]
 
@@ -80,7 +80,7 @@ def _compare(op: str, left, right) -> bool:
     raise ExecutionError(f"unknown comparison operator {op!r}")
 
 
-def _apply_guard(guard: Guard, bindings: Bindings, store: FactStore) -> bool:
+def _apply_guard(guard: Guard, bindings: Bindings, store: StoreBackend) -> bool:
     """Run a guard in place; return ``False`` when a check fails."""
     for op in guard.ops:
         if op[0] == "assign":
@@ -102,7 +102,7 @@ def _apply_guard(guard: Guard, bindings: Bindings, store: FactStore) -> bool:
 
 def rule_solutions(
     rule: Rule,
-    store: FactStore,
+    store: StoreBackend,
     delta_index: Optional[int] = None,
     delta_rows: Optional[Sequence[Tuple]] = None,
     plan: Optional[RulePlan] = None,
@@ -196,7 +196,7 @@ def _aggregate_value(func: str, values: List) -> object:
 
 def evaluate_rule(
     rule: Rule,
-    store: FactStore,
+    store: StoreBackend,
     delta_index: Optional[int] = None,
     delta_rows: Optional[Sequence[Tuple]] = None,
     plan: Optional[RulePlan] = None,
@@ -214,7 +214,7 @@ def evaluate_rule(
 
 
 def _evaluate_aggregate_rule(
-    rule: Rule, store: FactStore, plan: Optional[RulePlan] = None
+    rule: Rule, store: StoreBackend, plan: Optional[RulePlan] = None
 ) -> Set[Tuple]:
     group_keys = rule.group_by_variables()
     aggregate_by_result = {agg.result.name: agg for agg in rule.aggregations}

@@ -44,7 +44,7 @@ from repro.dlir.core import (
     Wildcard,
     term_variables,
 )
-from repro.engines.datalog.storage import FactStore
+from repro.engines.datalog.storage import StoreBackend
 
 # Guard operations are tagged tuples kept deliberately small for the hot loop:
 #   ("assign", var_name, term)  -- bind var_name to the evaluated term
@@ -179,7 +179,7 @@ def _atom_selectivity(
     atom: Atom,
     body_index: int,
     bound: Set[str],
-    store: FactStore,
+    store: StoreBackend,
     delta_index: Optional[int],
     delta_size: int,
 ) -> Tuple:
@@ -264,7 +264,7 @@ def _compile_negation(
 
 def plan_rule(
     rule: Rule,
-    store: FactStore,
+    store: StoreBackend,
     delta_index: Optional[int] = None,
     delta_size: int = 0,
 ) -> RulePlan:
@@ -376,7 +376,7 @@ class PlanCache:
     def plan_for(
         self,
         rule: Rule,
-        store: FactStore,
+        store: StoreBackend,
         delta_index: Optional[int] = None,
         delta_size: int = 0,
     ) -> RulePlan:

@@ -1,6 +1,22 @@
 """Fact storage for the Datalog engine.
 
-Relations are sets of tuples.  Joins go through hash indexes: an index for
+Storage is **pluggable**: the plan executor only ever touches a store through
+the narrow :class:`StoreBackend` protocol (insert / remove / scan / lookup /
+len plus batching and index-statistics hooks), so compiled
+:class:`~repro.engines.datalog.planner.RulePlan`\\ s run unchanged on any
+backend.  Two backends ship with the repository:
+
+* :class:`FactStore` (this module) — the in-memory backend: relations are
+  sets of tuples with incrementally maintained hash indexes;
+* :class:`~repro.engines.datalog.storage_sqlite.SQLiteFactStore` — a
+  SQLite-backed store (in-memory or on disk) that lifts the memory ceiling
+  for large EDBs.
+
+:func:`create_store` resolves a backend specification string
+(``"memory"``, ``"sqlite"``, ``"sqlite:/path/to.db"``; default from the
+``REPRO_STORE`` environment variable) into a backend instance.
+
+For the in-memory store, joins go through hash indexes: an index for
 relation ``R`` on positions ``(0, 2)`` maps each ``(value0, value2)`` key to
 the list of tuples carrying those values.  Indexes are built lazily on first
 lookup and are then maintained **incrementally**: insertions and removals
@@ -18,17 +34,170 @@ benchmarks can measure the cost of that strategy.
 :class:`DeltaView` wraps the per-iteration delta of a relation for semi-naive
 evaluation.  It offers the same ``lookup``/``scan`` interface as a stored
 relation (with its own lazily built mini-indexes), so the evaluator can treat
-"read the delta" and "read the full relation" uniformly.
+"read the delta" and "read the full relation" uniformly.  Deltas always stay
+in memory regardless of the backend storing the full relations.
 """
 
 from __future__ import annotations
 
+import abc
+import os
 from collections import defaultdict
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple, Union
 
 Row = Tuple
 Key = Tuple
 Positions = Tuple[int, ...]
+
+
+class StoreBackend(abc.ABC):
+    """The storage contract the Datalog engine evaluates against.
+
+    The plan executor needs only :meth:`lookup` and :meth:`scan`; the engine
+    additionally inserts (:meth:`add` / :meth:`add_many`), removes
+    (subsumption), and counts.  Everything else — how tuples are laid out,
+    where indexes live — is backend private.
+
+    **Index statistics are part of the contract.**  Every backend must keep
+    :attr:`index_build_count` (number of from-scratch index constructions)
+    and :attr:`index_count` (number of distinct ``(relation, positions)``
+    indexes currently materialised) truthful, so benchmarks asserting
+    "no index is ever rebuilt inside the fixpoint" fail loudly instead of
+    silently passing on a backend that never reports builds.
+
+    **Batching hooks.**  The engine brackets every fixpoint insert batch
+    (and the initial EDB load) with :meth:`begin_batch` / :meth:`end_batch`.
+    The in-memory store ignores them; transactional backends use them to
+    batch writes (one transaction per fixpoint iteration for SQLite).
+    """
+
+    #: number of from-scratch index constructions (monotone counter).
+    #: Required of every backend — benchmarks assert on it.
+    index_build_count: int = 0
+
+    # -- base operations ---------------------------------------------------
+
+    @abc.abstractmethod
+    def relation_names(self) -> List[str]:
+        """Return the names of all stored relations."""
+
+    @abc.abstractmethod
+    def count(self, name: str) -> int:
+        """Return the number of tuples in ``name``."""
+
+    @abc.abstractmethod
+    def contains(self, name: str, row: Row) -> bool:
+        """Return whether ``row`` is present in relation ``name``."""
+
+    @abc.abstractmethod
+    def add(self, name: str, row: Row) -> bool:
+        """Insert ``row``; return ``True`` when it was new."""
+
+    @abc.abstractmethod
+    def add_many(self, name: str, rows: Iterable[Row]) -> int:
+        """Insert many rows; return how many were new."""
+
+    @abc.abstractmethod
+    def remove(self, name: str, row: Row) -> None:
+        """Remove ``row`` if present (used by subsumption)."""
+
+    @abc.abstractmethod
+    def replace(self, name: str, rows: Iterable[Row]) -> None:
+        """Replace the whole relation with ``rows``."""
+
+    # -- indexed access ----------------------------------------------------
+
+    @abc.abstractmethod
+    def lookup(self, name: str, positions: Sequence[int], key: Key) -> Sequence[Row]:
+        """Return the tuples of ``name`` whose ``positions`` equal ``key``.
+
+        An empty ``positions`` means "every tuple".  Backends index the
+        requested position set lazily and keep the index current afterwards.
+        """
+
+    @abc.abstractmethod
+    def scan(self, name: str) -> List[Row]:
+        """Return every tuple of ``name`` as a list."""
+
+    @property
+    @abc.abstractmethod
+    def index_count(self) -> int:
+        """Return how many distinct ``(relation, positions)`` indexes exist."""
+
+    # -- hooks (default no-ops) --------------------------------------------
+
+    def begin_batch(self) -> None:
+        """Called before a batch of inserts (one fixpoint iteration)."""
+
+    def end_batch(self) -> None:
+        """Called after a batch of inserts completes."""
+
+    @contextmanager
+    def batch(self) -> Iterator[None]:
+        """Bracket a batch of inserts with :meth:`begin_batch`/:meth:`end_batch`."""
+        self.begin_batch()
+        try:
+            yield
+        finally:
+            self.end_batch()
+
+    def close(self) -> None:
+        """Release backend resources (files, connections)."""
+
+    # -- conveniences ------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Return the total number of stored facts across all relations."""
+        return sum(self.count(name) for name in self.relation_names())
+
+    def snapshot(self) -> Dict[str, Set[Row]]:
+        """Return a copy of all relations as sets (for debugging/tests)."""
+        return {name: set(self.scan(name)) for name in self.relation_names()}
+
+
+#: What :func:`create_store` and the engine accept as a backend selection.
+StoreSpec = Union[str, StoreBackend, None]
+
+
+def create_store(
+    spec: StoreSpec = None, *, maintain_indexes: bool = True
+) -> StoreBackend:
+    """Resolve a backend specification into a :class:`StoreBackend`.
+
+    ``spec`` may be an existing backend instance (returned as-is), one of the
+    strings ``"memory"``, ``"sqlite"`` (private in-memory SQLite database) or
+    ``"sqlite:PATH"`` (file-backed), or ``None`` — which reads the
+    ``REPRO_STORE`` environment variable and defaults to ``"memory"``.  The
+    environment hook is what lets CI run the whole test suite against the
+    SQLite backend without touching any call site.
+
+    ``maintain_indexes`` only applies when this factory *constructs* an
+    in-memory store (the seed invalidate-on-growth strategy exists there
+    purely for benchmarking).  It is ignored for SQLite (SQLite always
+    maintains its own indexes) and for an already-constructed backend
+    instance, which is returned exactly as configured by its creator —
+    callers combining ``DatalogEngine(..., incremental_indexes=False)``
+    with an explicit instance must build that instance with
+    ``FactStore(maintain_indexes=False)`` themselves.
+    """
+    if isinstance(spec, StoreBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get("REPRO_STORE") or "memory"
+    if not isinstance(spec, str):
+        raise ValueError(f"unsupported fact-store specification {spec!r}")
+    if spec == "memory":
+        return FactStore(maintain_indexes=maintain_indexes)
+    if spec == "sqlite" or spec.startswith("sqlite:"):
+        from repro.engines.datalog.storage_sqlite import SQLiteFactStore
+
+        path = spec[len("sqlite:"):] if spec.startswith("sqlite:") else ""
+        return SQLiteFactStore(path or ":memory:")
+    raise ValueError(
+        f"unknown fact-store backend {spec!r} "
+        "(expected 'memory', 'sqlite' or 'sqlite:PATH')"
+    )
 
 
 class DeltaView:
@@ -38,12 +207,15 @@ class DeltaView:
     these rows.  The view carries its own mini hash indexes (built lazily per
     position set) so a delta atom that ends up with bound columns can still
     be probed instead of scanned.
+
+    A delta is a *set* of facts: duplicate input rows collapse (first
+    occurrence kept, insertion order otherwise preserved).
     """
 
     __slots__ = ("rows", "_indexes")
 
     def __init__(self, rows: Iterable[Row]) -> None:
-        self.rows: Tuple[Row, ...] = tuple(rows)
+        self.rows: Tuple[Row, ...] = tuple(dict.fromkeys(rows))
         self._indexes: Dict[Positions, Dict[Key, List[Row]]] = {}
 
     def __len__(self) -> int:
@@ -67,8 +239,9 @@ class DeltaView:
         return index.get(tuple(key), ())
 
 
-class FactStore:
-    """Tuple storage with incrementally maintained hash indexes."""
+class FactStore(StoreBackend):
+    """The in-memory backend: tuple sets with incrementally maintained hash
+    indexes."""
 
     def __init__(self, maintain_indexes: bool = True) -> None:
         self._relations: Dict[str, Set[Row]] = defaultdict(set)

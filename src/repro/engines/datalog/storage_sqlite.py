@@ -1,0 +1,320 @@
+"""A SQLite-backed :class:`~repro.engines.datalog.storage.StoreBackend`.
+
+Each relation becomes one SQLite table (``rel_0``, ``rel_1``, ... — names are
+assigned internally so arbitrary relation names, including the generated
+magic-set predicates, never need quoting) with untyped columns ``c0..cN`` and
+a UNIQUE index over all columns for set semantics.  The hash indexes of the
+in-memory store map to ordinary SQLite indexes, created **lazily per
+requested position set** exactly like the in-memory backend builds its hash
+indexes on first probe; SQLite then maintains them incrementally on every
+insert/delete, so ``index_build_count`` equals ``index_count`` after any
+fixpoint run — the same invariant the benchmarks assert for the in-memory
+store.
+
+Writes are **batched per fixpoint iteration**: the engine brackets each
+insert batch with ``begin_batch``/``end_batch`` and the store maps those to
+one SQLite transaction (the connection otherwise runs in autocommit mode).
+Reads on the same connection see uncommitted writes, so the semi-naive loop
+can probe mid-iteration without flushing.
+
+Value model: ``int``, ``float``, ``str``, ``bool`` and ``None`` round-trip
+through SQLite's native storage classes with Python-compatible equality
+(``1 == 1.0`` both sides, numbers never equal strings).  Two deliberate
+deviations from Python set semantics are handled explicitly: ``bool`` is
+stored as its integer value (``True == 1`` in Python too), and rows
+containing ``None`` take a pre-insert containment check because SQL UNIQUE
+treats NULLs as distinct.  Anything else (lists, objects) raises — the
+engine only ever derives scalars.
+
+Semi-naive deltas (:class:`~repro.engines.datalog.storage.DeltaView`) always
+stay in memory; only the full relations live in SQLite.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.engines.datalog.storage import Key, Positions, Row, StoreBackend
+
+_SUPPORTED_TYPES = (bool, int, float, str, bytes)
+
+
+class SQLiteFactStore(StoreBackend):
+    """Tuple storage over a SQLite database (in-memory or on disk).
+
+    Parameters
+    ----------
+    path:
+        SQLite database path; the default ``":memory:"`` keeps the database
+        private to this store.  A filesystem path lifts the memory ceiling
+        for large EDBs (and persists nothing the engine relies on — every
+        run starts from the facts it is given).
+    maintain_indexes:
+        Accepted for signature compatibility with :class:`FactStore` and
+        ignored: SQLite always maintains its indexes incrementally.
+    """
+
+    def __init__(self, path: str = ":memory:", maintain_indexes: bool = True) -> None:
+        del maintain_indexes  # SQLite has no invalidate-on-growth mode
+        self._conn = sqlite3.connect(path)
+        self._conn.isolation_level = None  # autocommit; batches use BEGIN/COMMIT
+        cursor = self._conn.cursor()
+        cursor.execute("PRAGMA journal_mode=MEMORY")
+        cursor.execute("PRAGMA synchronous=OFF")
+        cursor.execute("PRAGMA temp_store=MEMORY")
+        self.path = path
+        #: relation name -> (table name, arity)
+        self._tables: Dict[str, Tuple[str, int]] = {}
+        #: monotone table-name counter (never reused, even after replace)
+        self._table_seq = 0
+        #: relation name -> position sets with a materialised SQLite index
+        self._indexed: Dict[str, Set[Positions]] = {}
+        self.index_build_count = 0
+        self._batch_depth = 0
+        self._closed = False
+
+    # -- table management --------------------------------------------------
+
+    def _table(self, name: str, arity: int) -> str:
+        """Return the table for relation ``name``, creating it on first use."""
+        entry = self._tables.get(name)
+        if entry is not None:
+            table, known_arity = entry
+            if known_arity != arity:
+                raise ExecutionError(
+                    f"relation {name!r} holds rows of arity {known_arity}, "
+                    f"got arity {arity}"
+                )
+            return table
+        if arity == 0:
+            raise ExecutionError(
+                f"SQLite store cannot hold the zero-arity relation {name!r}"
+            )
+        table = f"rel_{self._table_seq}"
+        self._table_seq += 1
+        columns = ", ".join(f"c{i}" for i in range(arity))
+        self._conn.execute(f"CREATE TABLE {table} ({columns})")
+        self._conn.execute(
+            f"CREATE UNIQUE INDEX {table}_uq ON {table} ({columns})"
+        )
+        self._tables[name] = (table, arity)
+        self._indexed[name] = set()
+        return table
+
+    def _prepare_row(self, name: str, row: Row) -> Row:
+        row = tuple(row)
+        for value in row:
+            if value is not None and not isinstance(value, _SUPPORTED_TYPES):
+                raise ExecutionError(
+                    f"SQLite store cannot hold value {value!r} "
+                    f"(type {type(value).__name__}) in relation {name!r}"
+                )
+            if (
+                isinstance(value, int)
+                and not isinstance(value, bool)
+                and not -(2**63) <= value < 2**63
+            ):
+                raise ExecutionError(
+                    f"SQLite store cannot hold integer {value!r} "
+                    f"(outside 64-bit range) in relation {name!r}"
+                )
+            if isinstance(value, float) and value != value:
+                # SQLite silently converts NaN to NULL, corrupting the row.
+                raise ExecutionError(
+                    f"SQLite store cannot hold NaN in relation {name!r}"
+                )
+        return row
+
+    # -- base operations ---------------------------------------------------
+
+    def relation_names(self) -> List[str]:
+        """Return the names of all stored relations."""
+        return list(self._tables)
+
+    def count(self, name: str) -> int:
+        """Return the number of tuples in ``name``."""
+        entry = self._tables.get(name)
+        if entry is None:
+            return 0
+        return self._conn.execute(f"SELECT COUNT(*) FROM {entry[0]}").fetchone()[0]
+
+    def contains(self, name: str, row: Row) -> bool:
+        """Return whether ``row`` is present in relation ``name``."""
+        entry = self._tables.get(name)
+        if entry is None:
+            return False
+        row = self._prepare_row(name, row)
+        table, arity = entry
+        if len(row) != arity:
+            return False
+        # ``IS`` instead of ``=`` so None (NULL) components still match.
+        where = " AND ".join(f"c{i} IS ?" for i in range(arity))
+        found = self._conn.execute(
+            f"SELECT 1 FROM {table} WHERE {where} LIMIT 1", row
+        ).fetchone()
+        return found is not None
+
+    def add(self, name: str, row: Row) -> bool:
+        """Insert ``row``; return ``True`` when it was new."""
+        row = self._prepare_row(name, row)
+        table = self._table(name, len(row))
+        if any(value is None for value in row) and self.contains(name, row):
+            return False  # UNIQUE treats NULLs as distinct; enforce set semantics
+        placeholders = ", ".join("?" for _ in row)
+        cursor = self._conn.execute(
+            f"INSERT OR IGNORE INTO {table} VALUES ({placeholders})", row
+        )
+        return cursor.rowcount > 0
+
+    def add_many(self, name: str, rows: Iterable[Row]) -> int:
+        """Insert many rows inside one transaction; return how many were new."""
+        prepared = [self._prepare_row(name, row) for row in rows]
+        if not prepared:
+            return 0
+        table = self._table(name, len(prepared[0]))
+        arity = self._tables[name][1]
+        for row in prepared:
+            if len(row) != arity:
+                raise ExecutionError(
+                    f"relation {name!r} holds rows of arity {arity}, "
+                    f"got arity {len(row)}"
+                )
+        plain = [row for row in prepared if not any(v is None for v in row)]
+        with_null = [row for row in prepared if any(v is None for v in row)]
+        own_batch = self._batch_depth == 0
+        if own_batch:
+            self.begin_batch()
+        try:
+            added = 0
+            if plain:
+                placeholders = ", ".join("?" for _ in range(len(plain[0])))
+                before = self._conn.total_changes
+                self._conn.executemany(
+                    f"INSERT OR IGNORE INTO {table} VALUES ({placeholders})", plain
+                )
+                added += self._conn.total_changes - before
+            for row in with_null:
+                if self.add(name, row):
+                    added += 1
+            return added
+        finally:
+            if own_batch:
+                self.end_batch()
+
+    def remove(self, name: str, row: Row) -> None:
+        """Remove ``row`` if present (used by subsumption)."""
+        entry = self._tables.get(name)
+        if entry is None:
+            return
+        row = self._prepare_row(name, row)
+        table, arity = entry
+        if len(row) != arity:
+            return
+        where = " AND ".join(f"c{i} IS ?" for i in range(arity))
+        self._conn.execute(f"DELETE FROM {table} WHERE {where}", row)
+
+    def replace(self, name: str, rows: Iterable[Row]) -> None:
+        """Replace the whole relation with ``rows``.
+
+        Mirrors the in-memory store: wholesale replacement drops the
+        relation's position indexes; they are rebuilt lazily, so
+        ``index_build_count`` rises again on the next lookup.  An existing
+        relation replaced with no rows stays visible (empty), like the
+        in-memory store; replacing a relation that never existed with no
+        rows is a no-op (the row arity is unknown, so no table can exist).
+        """
+        entry = self._tables.pop(name, None)
+        if entry is not None:
+            self._conn.execute(f"DROP TABLE {entry[0]}")
+            self._indexed.pop(name, None)
+        materialised = [tuple(row) for row in rows]
+        if materialised:
+            self.add_many(name, materialised)
+        elif entry is not None:
+            self._table(name, entry[1])  # recreate the (empty) relation
+
+    # -- indexed access ----------------------------------------------------
+
+    def lookup(self, name: str, positions: Sequence[int], key: Key) -> Sequence[Row]:
+        """Return the tuples of ``name`` whose ``positions`` equal ``key``.
+
+        A SQLite index over the position set is created on first use (and
+        counted in ``index_build_count``); SQLite keeps it current on every
+        subsequent write, so each ``(relation, positions)`` index is built
+        exactly once — the same invariant as the in-memory store.
+        """
+        entry = self._tables.get(name)
+        if entry is None:
+            return []
+        table, arity = entry
+        positions_key = tuple(positions)
+        if not positions_key:
+            return self.scan(name)
+        if any(p >= arity for p in positions_key):
+            raise ExecutionError(
+                f"lookup positions {positions_key} exceed arity {arity} "
+                f"of relation {name!r}"
+            )
+        if positions_key not in self._indexed[name]:
+            columns = ", ".join(f"c{p}" for p in positions_key)
+            suffix = "_".join(str(p) for p in positions_key)
+            self._conn.execute(
+                f"CREATE INDEX IF NOT EXISTS {table}_p{suffix} ON {table} ({columns})"
+            )
+            self._indexed[name].add(positions_key)
+            self.index_build_count += 1
+        where = " AND ".join(f"c{p} IS ?" for p in positions_key)
+        cursor = self._conn.execute(
+            f"SELECT * FROM {table} WHERE {where}", tuple(key)
+        )
+        return cursor.fetchall()
+
+    def scan(self, name: str) -> List[Row]:
+        """Return every tuple of ``name`` as a list."""
+        entry = self._tables.get(name)
+        if entry is None:
+            return []
+        return self._conn.execute(f"SELECT * FROM {entry[0]}").fetchall()
+
+    @property
+    def index_count(self) -> int:
+        """Return how many distinct ``(relation, positions)`` indexes exist."""
+        return sum(len(position_sets) for position_sets in self._indexed.values())
+
+    # -- hooks -------------------------------------------------------------
+
+    def begin_batch(self) -> None:
+        """Open one transaction for a batch of inserts.
+
+        Batches nest: only the outermost ``begin_batch`` opens a
+        transaction, and only the matching outermost ``end_batch`` commits
+        — so handing a store with an open batch to the engine keeps the
+        caller's transaction intact.
+        """
+        if self._batch_depth == 0:
+            self._conn.execute("BEGIN")
+        self._batch_depth += 1
+
+    def end_batch(self) -> None:
+        """Commit the batch transaction once the outermost batch ends."""
+        if self._batch_depth == 0:
+            return
+        self._batch_depth -= 1
+        if self._batch_depth == 0:
+            self._conn.execute("COMMIT")
+
+    def close(self) -> None:
+        """Commit pending work and close the connection."""
+        if self._closed:
+            return
+        self.end_batch()
+        self._conn.close()
+        self._closed = True
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

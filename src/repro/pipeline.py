@@ -218,9 +218,10 @@ class Raqlet:
     ) -> QueryResult:
         """Execute the compiled query on the in-repo Datalog engine.
 
-        ``engine_options`` are forwarded to :class:`DatalogEngine` (e.g.
-        ``incremental_indexes`` / ``reuse_plans`` to benchmark the seed
-        evaluation strategy).
+        ``engine_options`` are forwarded to :class:`DatalogEngine` — e.g.
+        ``store="sqlite"`` / ``store="sqlite:PATH"`` to select the
+        SQLite-backed fact store, or ``incremental_indexes`` /
+        ``reuse_plans`` to benchmark the seed evaluation strategy.
         """
         engine = DatalogEngine(compiled.program(optimized), facts, **engine_options)
         return engine.query()
@@ -259,13 +260,19 @@ class Raqlet:
         graph: Optional[PropertyGraph] = None,
         sqlite_executor: Optional[SQLiteExecutor] = None,
         optimized: bool = True,
+        datalog_store: Optional[str] = None,
     ) -> Dict[str, QueryResult]:
         """Run the query on every engine it supports and collect the results.
 
         Engines whose capability check rejects the query are skipped.
+        ``datalog_store`` selects the Datalog engine's fact-store backend
+        (``"memory"``, ``"sqlite"``, ``"sqlite:PATH"``; defaults to the
+        ``REPRO_STORE`` environment variable, then ``"memory"``).
         """
         results: Dict[str, QueryResult] = {}
-        results["datalog"] = self.run_on_datalog_engine(compiled, facts, optimized)
+        results["datalog"] = self.run_on_datalog_engine(
+            compiled, facts, optimized, store=datalog_store
+        )
         if database is not None and not compiled.backend_problems("relational-engine"):
             results["relational"] = self.run_on_relational_engine(
                 compiled, database, optimized

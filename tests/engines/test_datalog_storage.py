@@ -1,6 +1,14 @@
 """Tests for the Datalog engine's fact store and its incremental indexes."""
 
-from repro.engines.datalog.storage import DeltaView, FactStore
+import pytest
+
+from repro.engines.datalog.storage import (
+    DeltaView,
+    FactStore,
+    StoreBackend,
+    create_store,
+)
+from repro.engines.datalog.storage_sqlite import SQLiteFactStore
 
 
 def test_add_and_contains():
@@ -107,6 +115,58 @@ def test_delta_view_scan_and_lookup():
     assert list(view.lookup([0, 1], (2, 3))) == [(2, 3)]
     assert list(view.lookup([1], (9,))) == []
     assert list(view.lookup([], ())) == list(view.scan())
+
+
+def test_delta_view_empty_delta():
+    view = DeltaView([])
+    assert len(view) == 0
+    assert list(view.scan()) == []
+    assert list(view.lookup([0], (1,))) == []
+    assert list(view.lookup([], ())) == []
+
+
+def test_delta_view_collapses_duplicate_rows():
+    """A delta is a set of facts: duplicates collapse, order is preserved."""
+    view = DeltaView([(1, 2), (1, 2), (2, 3), (1, 2)])
+    assert len(view) == 2
+    assert view.scan() == ((1, 2), (2, 3))
+    assert view.lookup([0], (1,)) == [(1, 2)]
+
+
+def test_delta_view_lookup_on_all_positions():
+    view = DeltaView([(1, 2, 3), (1, 2, 4)])
+    assert view.lookup([0, 1, 2], (1, 2, 3)) == [(1, 2, 3)]
+    assert list(view.lookup([0, 1, 2], (9, 9, 9))) == []
+    assert sorted(view.lookup([0, 1], (1, 2))) == [(1, 2, 3), (1, 2, 4)]
+
+
+def test_create_store_resolves_specs(tmp_path):
+    assert isinstance(create_store("memory"), FactStore)
+    assert isinstance(create_store("sqlite"), SQLiteFactStore)
+    db_path = tmp_path / "facts.db"
+    file_store = create_store(f"sqlite:{db_path}")
+    assert isinstance(file_store, SQLiteFactStore)
+    file_store.add("r", (1, 2))
+    assert db_path.exists()
+    file_store.close()
+    existing = FactStore()
+    assert create_store(existing) is existing
+    with pytest.raises(ValueError):
+        create_store("redis")
+
+
+def test_create_store_honours_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    assert isinstance(create_store(), FactStore)
+    monkeypatch.setenv("REPRO_STORE", "sqlite")
+    assert isinstance(create_store(), SQLiteFactStore)
+    monkeypatch.setenv("REPRO_STORE", "memory")
+    assert isinstance(create_store(), FactStore)
+
+
+def test_both_backends_implement_the_protocol():
+    assert isinstance(FactStore(), StoreBackend)
+    assert isinstance(SQLiteFactStore(), StoreBackend)
 
 
 def test_remove_and_replace():

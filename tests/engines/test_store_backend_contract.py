@@ -1,0 +1,191 @@
+"""Property-based tests for the :class:`StoreBackend` contract.
+
+Any backend must behave exactly like a Python ``set`` of tuples under
+arbitrary interleavings of ``add`` / ``add_many`` / ``remove`` / ``lookup``
+— including lookups through indexes built *before* later inserts and
+removals (the incremental-maintenance path), lookups over the empty
+position set, and truthful new-row accounting.  The same generated
+interleavings run against every shipped backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engines.datalog.storage import FactStore
+from repro.engines.datalog.storage_sqlite import SQLiteFactStore
+
+BACKENDS = [
+    pytest.param(lambda: FactStore(), id="memory"),
+    pytest.param(lambda: FactStore(maintain_indexes=False), id="memory-legacy"),
+    pytest.param(lambda: SQLiteFactStore(), id="sqlite"),
+]
+
+_values = st.one_of(st.integers(min_value=-3, max_value=3), st.sampled_from(["a", "b"]))
+_rows = st.tuples(_values, _values)
+_positions = st.sampled_from([(), (0,), (1,), (0, 1), (1, 0)])
+
+_operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), _rows),
+        st.tuples(st.just("add_many"), st.lists(_rows, max_size=4)),
+        st.tuples(st.just("remove"), _rows),
+        st.tuples(st.just("lookup"), _positions, _rows),
+    ),
+    max_size=40,
+)
+
+
+@pytest.mark.parametrize("make_store", BACKENDS)
+@given(operations=_operations)
+@settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_random_interleavings_match_model_set(make_store, operations):
+    store = make_store()
+    try:
+        model = set()
+        for operation in operations:
+            if operation[0] == "add":
+                row = operation[1]
+                assert store.add("r", row) == (row not in model)
+                model.add(row)
+            elif operation[0] == "add_many":
+                batch = operation[1]
+                expected_new = len(set(batch) - model)
+                assert store.add_many("r", batch) == expected_new
+                model.update(batch)
+            elif operation[0] == "remove":
+                store.remove("r", operation[1])
+                model.discard(operation[1])
+            else:
+                positions, probe = operation[1], operation[2]
+                key = tuple(probe[p] for p in positions)
+                expected = {
+                    row for row in model if tuple(row[p] for p in positions) == key
+                }
+                assert set(store.lookup("r", list(positions), key)) == expected
+        assert set(store.scan("r")) == model
+        assert store.count("r") == len(model)
+        assert len(store) == len(model)
+        for row in model:
+            assert store.contains("r", row)
+    finally:
+        store.close()
+
+
+@pytest.mark.parametrize("make_store", BACKENDS)
+def test_index_survives_remove_of_last_bucket_row(make_store):
+    """Index-after-remove: emptying a bucket must not corrupt the index."""
+    store = make_store()
+    store.add_many("r", [(1, 2), (1, 3), (2, 2)])
+    assert sorted(store.lookup("r", [0], (1,))) == [(1, 2), (1, 3)]
+    store.remove("r", (1, 2))
+    store.remove("r", (1, 3))
+    assert store.lookup("r", [0], (1,)) == []
+    store.add("r", (1, 9))
+    assert store.lookup("r", [0], (1,)) == [(1, 9)]
+    assert store.lookup("r", [0], (2,)) == [(2, 2)]
+    store.close()
+
+
+@pytest.mark.parametrize("make_store", BACKENDS)
+def test_empty_positions_lookup_is_a_scan(make_store):
+    store = make_store()
+    assert store.lookup("r", [], ()) == []
+    store.add_many("r", [(1, 2), (2, 3)])
+    assert sorted(store.lookup("r", [], ())) == [(1, 2), (2, 3)]
+    store.close()
+
+
+@pytest.mark.parametrize(
+    "make_store", [pytest.param(FactStore, id="memory"), pytest.param(SQLiteFactStore, id="sqlite")]
+)
+def test_index_statistics_are_part_of_the_contract(make_store):
+    """``index_build_count`` must be truthful on every backend.
+
+    Benchmarks assert "each index is built exactly once"; a backend that
+    never incremented the counter would let them pass vacuously.  Both
+    shipped backends must report the build on first probe and *not* report
+    rebuilds when later inserts merely maintain the index.
+    """
+    store = make_store()
+    assert store.index_build_count == 0 and store.index_count == 0
+    store.add_many("r", [(1, 2), (2, 3)])
+    store.lookup("r", [0], (1,))
+    assert store.index_build_count == 1 and store.index_count == 1
+    store.add("r", (4, 5))
+    assert store.lookup("r", [0], (4,)) == [(4, 5)]
+    store.lookup("r", [1], (3,))
+    assert store.index_build_count == 2 and store.index_count == 2
+    store.close()
+
+
+def test_replace_resets_sqlite_indexes_like_memory():
+    """``replace`` drops indexes on both backends; they rebuild lazily."""
+    for store in (FactStore(), SQLiteFactStore()):
+        store.add_many("r", [(1,), (2,)])
+        assert store.lookup("r", [0], (1,)) == [(1,)]
+        store.replace("r", [(9,)])
+        assert store.lookup("r", [0], (1,)) == []
+        assert store.lookup("r", [0], (9,)) == [(9,)]
+        assert store.index_build_count == 2  # initial build + post-replace build
+        store.close()
+
+
+def test_sqlite_replace_among_multiple_relations():
+    """Replacing a non-latest relation must not collide table names."""
+    store = SQLiteFactStore()
+    store.add("a", (1, 2))
+    store.add("b", (3, 4))
+    store.replace("a", [(5, 6)])
+    assert store.scan("a") == [(5, 6)]
+    assert store.scan("b") == [(3, 4)]
+    store.replace("b", [(7, 8), (9, 10)])
+    assert sorted(store.scan("b")) == [(7, 8), (9, 10)]
+    store.close()
+
+
+@pytest.mark.parametrize("make_store", BACKENDS)
+def test_replace_with_no_rows_keeps_the_relation(make_store):
+    store = make_store()
+    store.add("r", (1, 2))
+    store.replace("r", [])
+    assert "r" in store.relation_names()
+    assert store.count("r") == 0
+    assert store.scan("r") == []
+    store.add("r", (3, 4))  # arity is remembered
+    assert store.scan("r") == [(3, 4)]
+    store.close()
+
+
+def test_sqlite_rejects_unstorable_values_loudly():
+    """Unsupported values raise ExecutionError, never a raw driver error."""
+    from repro.common.errors import ExecutionError
+
+    store = SQLiteFactStore()
+    with pytest.raises(ExecutionError):
+        store.add("r", (2**70, 1))  # outside SQLite's 64-bit integer range
+    with pytest.raises(ExecutionError):
+        store.add("r", ([1, 2], 1))  # non-scalar
+    with pytest.raises(ExecutionError):
+        store.add("r", (float("nan"), 1))  # SQLite would corrupt NaN to NULL
+    with pytest.raises(ExecutionError):
+        store.add_many("r", [(1, 2), (1, 2, 3)])  # mixed arity in one batch
+    store.close()
+
+
+def test_sqlite_batches_nest_without_committing_the_outer_transaction():
+    """An engine-run batch inside a caller's batch must not commit it."""
+    store = SQLiteFactStore()
+    store.begin_batch()
+    with store.batch():
+        store.add("r", (1, 2))
+    assert store._batch_depth == 1  # the outer batch is still open
+    store.add("r", (3, 4))
+    store.end_batch()
+    assert store._batch_depth == 0
+    assert sorted(store.scan("r")) == [(1, 2), (3, 4)]
+    store.close()
