@@ -1,0 +1,41 @@
+"""The shared TC + cycle-audit micro workload.
+
+One definition used by every benchmark that runs this fixpoint
+(`test_recursion_micro.py`, `test_store_backends.py`, `test_executors.py`),
+so index-strategy, store-backend and executor comparisons all measure the
+*same* workload and cannot drift apart.
+
+The ``cyclic`` rule joins ``tc`` against itself with a fully bound key, so
+every fixpoint iteration probes the full (growing) ``tc`` relation — the
+shape that exposes per-probe and per-row costs.  The fact set is a deep
+chain (many fixpoint iterations, quadratic closure) with one back edge so
+the cycle audit has matches.
+"""
+
+from __future__ import annotations
+
+from repro.dlir.builder import ProgramBuilder
+
+#: chain length of the largest micro case
+TC_FIXPOINT_NODES = 120
+
+
+def tc_cycle_program():
+    """Transitive closure plus a cycle audit probing the growing relation."""
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.idb("cyclic", [("a", "number"), ("b", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.rule("cyclic", ["x", "y"], [("tc", ["x", "y"]), ("tc", ["y", "x"])])
+    builder.output("tc")
+    builder.output("cyclic")
+    return builder.build()
+
+
+def tc_fixpoint_facts(nodes: int = TC_FIXPOINT_NODES):
+    """A chain of ``nodes`` with one back edge (the cycle-audit matches)."""
+    edges = [(index, index + 1) for index in range(nodes - 1)]
+    edges.append((nodes - 1, nodes - 5))
+    return {"edge": edges}

@@ -109,57 +109,34 @@ def test_shortest_path_length(benchmark, graph_raqlet, graph_facts, graph_engine
     assert len(result) == 1
 
 
-def _tc_cycle_program():
-    """Transitive closure plus a cycle audit probing the growing relation.
-
-    The ``cyclic`` rule joins ``tc`` against itself with a fully bound key,
-    so every fixpoint iteration probes the full (growing) ``tc`` relation.
-    With incrementally maintained indexes each probe is O(1); with the seed
-    strategy the ``tc`` index is invalidated by every insert and rebuilt
-    from scratch once per iteration.
-    """
-    from repro.dlir.builder import ProgramBuilder
-
-    builder = ProgramBuilder()
-    builder.edb("edge", [("a", "number"), ("b", "number")])
-    builder.idb("tc", [("a", "number"), ("b", "number")])
-    builder.idb("cyclic", [("a", "number"), ("b", "number")])
-    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
-    builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("edge", ["z", "y"])])
-    builder.rule("cyclic", ["x", "y"], [("tc", ["x", "y"]), ("tc", ["y", "x"])])
-    builder.output("tc")
-    builder.output("cyclic")
-    return builder.build()
-
-
-# The largest micro case: a deep chain (many fixpoint iterations, quadratic
-# closure) with one back edge so the cycle audit has matches.
-TC_FIXPOINT_NODES = 120
-
-
-def _tc_fixpoint_facts(nodes=TC_FIXPOINT_NODES):
-    edges = [(index, index + 1) for index in range(nodes - 1)]
-    edges.append((nodes - 1, nodes - 5))
-    return {"edge": edges}
+# The shared TC + cycle-audit workload: the ``cyclic`` rule probes the full
+# (growing) ``tc`` relation with a fully bound key every iteration.  With
+# incrementally maintained indexes each probe is O(1); with the seed
+# strategy the ``tc`` index is invalidated by every insert and rebuilt from
+# scratch once per iteration.
+from tc_workload import tc_cycle_program, tc_fixpoint_facts
 
 
 def _run_tc_fixpoint(incremental, repeats=3):
     """Run the fixpoint ``repeats`` times; return (best seconds, engine)."""
     from repro.engines.datalog import DatalogEngine
 
-    program = _tc_cycle_program()
-    facts = _tc_fixpoint_facts()
+    program = tc_cycle_program()
+    facts = tc_fixpoint_facts()
     best = float("inf")
     engine = None
     for _ in range(repeats):
-        # Pinned to the memory backend: this benchmark compares the memory
-        # store's two index strategies (REPRO_STORE must not redirect it).
+        # Pinned to the memory backend and the interpreted executor: this
+        # benchmark compares the memory store's two index strategies, so
+        # neither REPRO_STORE nor REPRO_EXECUTOR may redirect it (and the
+        # compiled executor would mask the per-probe cost being measured).
         engine = DatalogEngine(
             program,
             facts,
             incremental_indexes=incremental,
             reuse_plans=incremental,
             store="memory",
+            executor="interpreted",
         )
         started = time.perf_counter()
         engine.run()

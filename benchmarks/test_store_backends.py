@@ -16,42 +16,25 @@ from __future__ import annotations
 
 import pytest
 
-from repro.dlir.builder import ProgramBuilder
+from tc_workload import tc_cycle_program, tc_fixpoint_facts
+
 from repro.engines.datalog import DatalogEngine, SQLiteFactStore
 from repro.ldbc import complex_query_2
 
 BACKENDS = ("memory", "sqlite")
 
 
-def _tc_cycle_program():
-    """Transitive closure plus a cycle audit (as in the recursion micro)."""
-    builder = ProgramBuilder()
-    builder.edb("edge", [("a", "number"), ("b", "number")])
-    builder.idb("tc", [("a", "number"), ("b", "number")])
-    builder.idb("cyclic", [("a", "number"), ("b", "number")])
-    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
-    builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("edge", ["z", "y"])])
-    builder.rule("cyclic", ["x", "y"], [("tc", ["x", "y"]), ("tc", ["y", "x"])])
-    builder.output("tc")
-    builder.output("cyclic")
-    return builder.build()
-
-
-def _tc_fixpoint_facts(nodes=120):
-    edges = [(index, index + 1) for index in range(nodes - 1)]
-    edges.append((nodes - 1, nodes - 5))
-    return {"edge": edges}
-
-
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_tc_fixpoint_store_backends(benchmark, backend):
     """The deep-chain TC + cycle-audit micro on each store backend."""
-    program = _tc_cycle_program()
-    facts = _tc_fixpoint_facts()
+    program = tc_cycle_program()
+    facts = tc_fixpoint_facts()
     reference = DatalogEngine(program, facts, store="memory").query("tc")
 
     def run():
-        engine = DatalogEngine(program, facts, store=backend)
+        # Pinned to the compiled executor: this benchmark compares store
+        # backends, so REPRO_EXECUTOR must not redirect it.
+        engine = DatalogEngine(program, facts, store=backend, executor="compiled")
         engine.run()
         return engine
 
@@ -74,7 +57,7 @@ def test_ldbc_cq2_store_backends(benchmark, bench_raqlet, bench_data, backend):
     )
 
     run = lambda: bench_raqlet.run_on_datalog_engine(
-        compiled, bench_data.facts, store=backend
+        compiled, bench_data.facts, store=backend, executor="compiled"
     )
     result = benchmark(run)
     assert result.same_rows(reference)
@@ -85,8 +68,8 @@ def test_ldbc_cq2_store_backends(benchmark, bench_raqlet, bench_data, backend):
 def test_sqlite_store_on_disk_matches_in_memory(tmp_path):
     """A file-backed SQLite store (the memory-ceiling configuration) agrees
     with the private in-memory database and leaves its data on disk."""
-    program = _tc_cycle_program()
-    facts = _tc_fixpoint_facts(nodes=40)
+    program = tc_cycle_program()
+    facts = tc_fixpoint_facts(nodes=40)
     db_path = tmp_path / "facts.db"
     disk_engine = DatalogEngine(program, facts, store=f"sqlite:{db_path}")
     memory_engine = DatalogEngine(program, facts, store="memory")

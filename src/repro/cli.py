@@ -7,9 +7,11 @@ Compile a Cypher query against a PG-Schema file and print every artifact::
     raqlet compile --schema schema.pgs --cypher query.cyp --emit all
 
 Run one of the bundled LDBC queries on every engine over a synthetic dataset
-(``--store sqlite`` runs the Datalog engine on the SQLite-backed fact store)::
+(``--store sqlite`` runs the Datalog engine on the SQLite-backed fact store,
+``--executor interpreted`` selects its plan interpreter instead of the
+default compiled closures)::
 
-    raqlet ldbc --query sq1 --scale 200 --store sqlite
+    raqlet ldbc --query sq1 --scale 200 --store sqlite --executor interpreted
 
 Print the static analysis report of a Datalog program::
 
@@ -133,6 +135,7 @@ def _cmd_ldbc(args: argparse.Namespace) -> int:
         data.sqlite_executor(),
         optimized=not args.no_optimize,
         datalog_store=args.store,
+        datalog_executor=args.executor,
     )
     print(f"query {args.query} on {args.scale} persons (person id {person_id}):")
     for engine, result in results.items():
@@ -188,6 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="memory|sqlite[:PATH]",
         help="fact-store backend for the Datalog engine "
         "(default: $REPRO_STORE or memory)",
+    )
+    ldbc_parser.add_argument(
+        "--executor",
+        choices=["interpreted", "compiled"],
+        default=None,
+        help="plan executor for the Datalog engine "
+        "(default: $REPRO_EXECUTOR or compiled)",
     )
     ldbc_parser.set_defaults(func=_cmd_ldbc)
     return parser

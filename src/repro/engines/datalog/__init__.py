@@ -17,9 +17,24 @@ Storage is pluggable behind the
 relations in SQLite (in-memory or on disk).  Select a backend with
 ``DatalogEngine(..., store="sqlite")`` or the ``REPRO_STORE`` environment
 variable; compiled plans run unchanged on either store.
+
+Plan **execution** is pluggable too: the default
+:class:`~repro.engines.datalog.executor_compiled.CompiledExecutor`
+source-generates one specialised closure per plan (inlined loop nest,
+batched ``lookup_many`` index probes), while
+``DatalogEngine(..., executor="interpreted")`` or the ``REPRO_EXECUTOR``
+environment variable selects the step-by-step plan interpreter.
 """
 
 from repro.engines.datalog.engine import DatalogEngine, evaluate_program
+from repro.engines.datalog.executor_compiled import (
+    CompiledExecutor,
+    InterpretedExecutor,
+    RuleExecutor,
+    compile_plan,
+    create_executor,
+    generate_plan_source,
+)
 from repro.engines.datalog.planner import PlanCache, RulePlan, plan_rule
 from repro.engines.datalog.storage import (
     DeltaView,
@@ -36,6 +51,12 @@ __all__ = [
     "FactStore",
     "SQLiteFactStore",
     "create_store",
+    "RuleExecutor",
+    "CompiledExecutor",
+    "InterpretedExecutor",
+    "create_executor",
+    "compile_plan",
+    "generate_plan_source",
     "DeltaView",
     "PlanCache",
     "RulePlan",

@@ -9,7 +9,13 @@ Each ``(rule, delta position)`` pair is compiled once into a
 :class:`~repro.engines.datalog.planner.RulePlan` (join order, index
 positions, guard placement) and the plan is reused across every fixpoint
 iteration; the fact store's hash indexes are maintained incrementally as
-facts are inserted, so no index is ever rebuilt inside the loop.
+facts are inserted, so no index is ever rebuilt inside the loop.  Plans run
+through a pluggable :class:`~repro.engines.datalog.executor_compiled.RuleExecutor`
+— by default the compiled executor, which source-generates one specialised
+closure per plan and batches each join step's index probes through
+``StoreBackend.lookup_many`` (select with ``executor="interpreted"`` or the
+``REPRO_EXECUTOR`` environment variable to run the plan interpreter
+instead).
 
 Min/max subsumption (``Rule.subsume_min`` / ``subsume_max``) is honoured
 during insertion: for a relation with a subsumption spec only the best value
@@ -27,7 +33,11 @@ from repro.analysis.dependencies import build_dependency_graph
 from repro.analysis.stratification import stratify
 from repro.common.errors import ExecutionError
 from repro.dlir.core import Atom, DLIRProgram, Rule
-from repro.engines.datalog.evaluation import evaluate_rule
+from repro.engines.datalog.executor_compiled import (
+    ExecutorSpec,
+    RuleExecutor,
+    create_executor,
+)
 from repro.engines.datalog.planner import PlanCache, RulePlan, plan_rule
 from repro.engines.datalog.storage import (
     DeltaView,
@@ -80,6 +90,7 @@ class DatalogEngine:
         incremental_indexes: bool = True,
         reuse_plans: bool = True,
         store: StoreSpec = None,
+        executor: ExecutorSpec = None,
     ) -> None:
         problems = program.validate()
         if problems:
@@ -87,8 +98,12 @@ class DatalogEngine:
         self._program = program
         # ``store`` selects the backend: ``"memory"`` (default), ``"sqlite"``
         # / ``"sqlite:PATH"``, a StoreBackend instance, or None to honour the
-        # REPRO_STORE environment variable.
+        # REPRO_STORE environment variable.  ``executor`` selects how plans
+        # run: ``"compiled"`` (default; source-generated closures with
+        # batched index probes) or ``"interpreted"`` (the plan walker), with
+        # None honouring REPRO_EXECUTOR.
         self._store = create_store(store, maintain_indexes=incremental_indexes)
+        self._executor = create_executor(executor)
         self._plans: Optional[PlanCache] = PlanCache() if reuse_plans else None
         self._evaluated = False
         self._iterations: Dict[str, int] = {}
@@ -106,6 +121,11 @@ class DatalogEngine:
     def store(self) -> StoreBackend:
         """Return the underlying fact store (facts are available after :meth:`run`)."""
         return self._store
+
+    @property
+    def executor(self) -> RuleExecutor:
+        """Return the rule executor evaluating this engine's plans."""
+        return self._executor
 
     def run(self) -> StoreBackend:
         """Evaluate the whole program; idempotent."""
@@ -221,7 +241,9 @@ class DatalogEngine:
         delta: Dict[str, Set[Tuple]] = defaultdict(set)
         with self._store.batch():
             for rule in rules:
-                derived = evaluate_rule(rule, self._store, plan=self._plan(rule))
+                derived = self._executor.evaluate_rule(
+                    rule, self._store, plan=self._plan(rule)
+                )
                 fresh = self._insert(rule.head.relation, derived)
                 delta[rule.head.relation].update(fresh)
         iterations = 1
@@ -247,7 +269,7 @@ class DatalogEngine:
                         literal = rule.body[position]
                         assert isinstance(literal, Atom)
                         view = delta_views[literal.relation]
-                        derived = evaluate_rule(
+                        derived = self._executor.evaluate_rule(
                             rule,
                             self._store,
                             delta_index=position,
@@ -269,7 +291,8 @@ def evaluate_program(
     facts: Optional[FactsInput] = None,
     relation: Optional[str] = None,
     store: StoreSpec = None,
+    executor: ExecutorSpec = None,
 ) -> QueryResult:
     """Convenience wrapper: evaluate ``program`` and return one relation's rows."""
-    engine = DatalogEngine(program, facts, store=store)
+    engine = DatalogEngine(program, facts, store=store, executor=executor)
     return engine.query(relation)

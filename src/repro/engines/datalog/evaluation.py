@@ -1,4 +1,4 @@
-"""Plan-driven single-rule evaluation for the Datalog engine.
+"""The **interpreted** plan executor for the Datalog engine.
 
 Rules are executed from a compiled :class:`~repro.engines.datalog.planner.RulePlan`:
 the planner has already picked the join order, precomputed each atom's index
@@ -7,7 +7,14 @@ where they can run (``=`` against a single unbound variable becomes an
 assignment).  The executor here just walks the plan: probe the (incrementally
 maintained) hash index for each step, extend the bindings, and apply the
 step's guard.  Aggregations are computed over the full set of body solutions
-at the end, grouped by the non-aggregated head variables.
+at the end, grouped by the non-aggregated head variables
+(:func:`aggregate_solutions` — shared with the compiled executor).
+
+This module is the engine's *reference* execution semantics and its
+fallback path; the default executor
+(:mod:`~repro.engines.datalog.executor_compiled`) instead source-generates
+one specialised closure per plan and batches index probes, and is held
+equivalent to this interpreter by the differential suite.
 
 When no plan is supplied, one is built on the fly — callers that evaluate a
 rule repeatedly (the engine's fixpoint loop) pass cached plans instead.
@@ -16,7 +23,7 @@ rule repeatedly (the engine's fixpoint loop) pass cached plans instead.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import ExecutionError
 from repro.dlir.core import ArithExpr, Const, Rule, Term, Var
@@ -59,6 +66,10 @@ def _apply_arith(op: str, left, right):
     raise ExecutionError(f"unknown arithmetic operator {op!r}")
 
 
+#: the error format both executors raise for mixed-type ordering comparisons
+COMPARISON_TYPE_ERROR_FMT = "cannot compare %r and %r with %r"
+
+
 def _compare(op: str, left, right) -> bool:
     if op == "=":
         return left == right
@@ -75,7 +86,7 @@ def _compare(op: str, left, right) -> bool:
             return left >= right
     except TypeError as exc:
         raise ExecutionError(
-            f"cannot compare {left!r} and {right!r} with {op!r}"
+            COMPARISON_TYPE_ERROR_FMT % (left, right, op)
         ) from exc
     raise ExecutionError(f"unknown comparison operator {op!r}")
 
@@ -100,6 +111,32 @@ def _apply_guard(guard: Guard, bindings: Bindings, store: StoreBackend) -> bool:
     return True
 
 
+def resolve_delta_view(
+    plan: RulePlan,
+    delta_index: Optional[int],
+    delta_rows: Optional[Sequence[Tuple]],
+) -> Optional[DeltaView]:
+    """Validate and wrap the delta rows for one rule application.
+
+    Shared by both executors so their entry-point semantics cannot drift: a
+    delta-variant plan is also a valid full plan (no delta rows), but
+    applying delta rows at a position the plan was not compiled for would
+    restrict the wrong atom, so that mismatch is rejected here.
+    """
+    if delta_rows is None:
+        return None
+    if plan.delta_index != delta_index:
+        raise ExecutionError(
+            f"plan compiled for delta position {plan.delta_index!r} cannot "
+            f"apply delta rows at position {delta_index!r}"
+        )
+    return (
+        delta_rows
+        if isinstance(delta_rows, DeltaView)
+        else DeltaView(tuple(row) for row in delta_rows)
+    )
+
+
 def rule_solutions(
     rule: Rule,
     store: StoreBackend,
@@ -117,21 +154,7 @@ def rule_solutions(
     if plan is None:
         delta_size = len(delta_rows) if delta_rows is not None else 0
         plan = plan_rule(rule, store, delta_index, delta_size)
-    elif delta_rows is not None and plan.delta_index != delta_index:
-        # A delta-variant plan is also a valid full plan (no delta rows), but
-        # applying delta rows at a position the plan was not compiled for
-        # would restrict the wrong atom.
-        raise ExecutionError(
-            f"plan compiled for delta position {plan.delta_index!r} cannot "
-            f"apply delta rows at position {delta_index!r}"
-        )
-    delta_view: Optional[DeltaView] = None
-    if delta_rows is not None:
-        delta_view = (
-            delta_rows
-            if isinstance(delta_rows, DeltaView)
-            else DeltaView(tuple(row) for row in delta_rows)
-        )
+    delta_view = resolve_delta_view(plan, delta_index, delta_rows)
     delta_body_index = plan.delta_index
 
     bindings: Bindings = {}
@@ -216,6 +239,16 @@ def evaluate_rule(
 def _evaluate_aggregate_rule(
     rule: Rule, store: StoreBackend, plan: Optional[RulePlan] = None
 ) -> Set[Tuple]:
+    return aggregate_solutions(rule, rule_solutions(rule, store, plan=plan))
+
+
+def aggregate_solutions(rule: Rule, solutions: Iterable[Bindings]) -> Set[Tuple]:
+    """Group ``solutions`` and derive the aggregate rule's head tuples.
+
+    Shared by the interpreted and compiled executors: the executor produces
+    the body solutions (with whatever strategy), this computes the grouping,
+    distinct handling and aggregate functions on top.
+    """
     group_keys = rule.group_by_variables()
     aggregate_by_result = {agg.result.name: agg for agg in rule.aggregations}
     groups: Dict[Tuple, Dict[str, List]] = defaultdict(
@@ -225,7 +258,7 @@ def _evaluate_aggregate_rule(
         lambda: {name: set() for name in aggregate_by_result}
     )
     group_bindings: Dict[Tuple, Bindings] = {}
-    for bindings in rule_solutions(rule, store, plan=plan):
+    for bindings in solutions:
         key = tuple(bindings[name] for name in group_keys)
         group_bindings.setdefault(key, bindings)
         for name, aggregation in aggregate_by_result.items():

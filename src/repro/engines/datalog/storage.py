@@ -2,7 +2,7 @@
 
 Storage is **pluggable**: the plan executor only ever touches a store through
 the narrow :class:`StoreBackend` protocol (insert / remove / scan / lookup /
-len plus batching and index-statistics hooks), so compiled
+lookup_many / len plus batching and index-statistics hooks), so compiled
 :class:`~repro.engines.datalog.planner.RulePlan`\\ s run unchanged on any
 backend.  Two backends ship with the repository:
 
@@ -115,6 +115,26 @@ class StoreBackend(abc.ABC):
         An empty ``positions`` means "every tuple".  Backends index the
         requested position set lazily and keep the index current afterwards.
         """
+
+    def lookup_many(
+        self, name: str, positions: Sequence[int], keys: Sequence[Key]
+    ) -> Dict[Key, Sequence[Row]]:
+        """Batched :meth:`lookup`: resolve many probe keys in one call.
+
+        Returns a dict mapping each *distinct* key in ``keys`` (as a tuple)
+        to the rows matching it — absent keys map to an empty sequence, and
+        duplicate keys collapse to one entry.  Semantically identical to a
+        loop of :meth:`lookup` calls; backends override it to answer the
+        whole batch at once (one index sweep in memory, one SQL query on
+        SQLite).  The compiled plan executor hands each join step's entire
+        probe-key batch to this method.
+        """
+        result: Dict[Key, Sequence[Row]] = {}
+        for key in keys:
+            key = tuple(key)
+            if key not in result:
+                result[key] = self.lookup(name, positions, key)
+        return result
 
     @abc.abstractmethod
     def scan(self, name: str) -> List[Row]:
@@ -357,6 +377,39 @@ class FactStore(StoreBackend):
         positions_key = tuple(positions)
         if not positions_key:
             return list(self._relations[name])
+        index = self._index_for(name, positions_key)
+        return index.get(tuple(key), [])
+
+    def lookup_many(
+        self, name: str, positions: Sequence[int], keys: Sequence[Key]
+    ) -> Dict[Key, Sequence[Row]]:
+        """Answer a whole batch of probe keys with one index sweep.
+
+        The position index is acquired (built at most once) and then every
+        distinct key is resolved with a plain dict probe — no per-key method
+        dispatch.  Returned sequences may alias live index buckets, with the
+        same caveat as :meth:`lookup`.
+        """
+        if not keys:
+            return {}
+        positions_key = tuple(positions)
+        result: Dict[Key, Sequence[Row]] = {}
+        if not positions_key:
+            rows = list(self._relations[name])
+            for key in keys:
+                result[tuple(key)] = rows
+            return result
+        index = self._index_for(name, positions_key)
+        for key in keys:
+            key = tuple(key)
+            if key not in result:
+                result[key] = index.get(key, ())
+        return result
+
+    def _index_for(
+        self, name: str, positions_key: Positions
+    ) -> Dict[Key, List[Row]]:
+        """Return the index for ``positions_key``, building it on first use."""
         indexes = self._indexes.setdefault(name, {})
         index = indexes.get(positions_key)
         if index is None:
@@ -365,7 +418,7 @@ class FactStore(StoreBackend):
                 index[tuple(row[i] for i in positions_key)].append(row)
             indexes[positions_key] = index
             self.index_build_count += 1
-        return index.get(tuple(key), [])
+        return index
 
     def scan(self, name: str) -> List[Row]:
         """Return every tuple of ``name`` as a list."""

@@ -220,8 +220,10 @@ class Raqlet:
 
         ``engine_options`` are forwarded to :class:`DatalogEngine` — e.g.
         ``store="sqlite"`` / ``store="sqlite:PATH"`` to select the
-        SQLite-backed fact store, or ``incremental_indexes`` /
-        ``reuse_plans`` to benchmark the seed evaluation strategy.
+        SQLite-backed fact store, ``executor="interpreted"`` /
+        ``executor="compiled"`` to pick the plan executor, or
+        ``incremental_indexes`` / ``reuse_plans`` to benchmark the seed
+        evaluation strategy.
         """
         engine = DatalogEngine(compiled.program(optimized), facts, **engine_options)
         return engine.query()
@@ -261,17 +263,20 @@ class Raqlet:
         sqlite_executor: Optional[SQLiteExecutor] = None,
         optimized: bool = True,
         datalog_store: Optional[str] = None,
+        datalog_executor: Optional[str] = None,
     ) -> Dict[str, QueryResult]:
         """Run the query on every engine it supports and collect the results.
 
         Engines whose capability check rejects the query are skipped.
         ``datalog_store`` selects the Datalog engine's fact-store backend
         (``"memory"``, ``"sqlite"``, ``"sqlite:PATH"``; defaults to the
-        ``REPRO_STORE`` environment variable, then ``"memory"``).
+        ``REPRO_STORE`` environment variable, then ``"memory"``);
+        ``datalog_executor`` selects its plan executor (``"interpreted"``,
+        ``"compiled"``; defaults to ``REPRO_EXECUTOR``, then ``"compiled"``).
         """
         results: Dict[str, QueryResult] = {}
         results["datalog"] = self.run_on_datalog_engine(
-            compiled, facts, optimized, store=datalog_store
+            compiled, facts, optimized, store=datalog_store, executor=datalog_executor
         )
         if database is not None and not compiled.backend_problems("relational-engine"):
             results["relational"] = self.run_on_relational_engine(

@@ -76,6 +76,107 @@ def test_random_interleavings_match_model_set(make_store, operations):
         store.close()
 
 
+# -- lookup_many: batched probes must equal a loop of lookups ---------------
+
+_key_values = st.one_of(_values, st.none())
+_probe_rows = st.tuples(_key_values, _key_values)
+_stored_rows = st.tuples(
+    st.one_of(_values, st.none()), st.one_of(_values, st.none())
+)
+
+
+@pytest.mark.parametrize("make_store", BACKENDS)
+@given(
+    rows=st.lists(_stored_rows, max_size=12),
+    positions=_positions,
+    probes=st.lists(_probe_rows, max_size=8),
+    later_rows=st.lists(_stored_rows, max_size=6),
+)
+@settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_lookup_many_matches_a_loop_of_lookups(
+    make_store, rows, positions, probes, later_rows
+):
+    """``lookup_many`` ≡ {key: lookup(key)} over its distinct keys.
+
+    Probe keys include absent keys, duplicate keys and ``None`` components;
+    the batch is probed twice with inserts in between, so the batched path
+    also exercises index maintenance (and, on SQLite, probe-keys-table
+    reuse).
+    """
+    store = make_store()
+    try:
+        keys = [tuple(probe[p] for p in positions) for probe in probes]
+        for batch in (rows, later_rows):
+            store.add_many("r", batch)
+            result = store.lookup_many("r", list(positions), keys)
+            assert set(result) == set(keys)
+            for key in set(keys):
+                expected = store.lookup("r", list(positions), key)
+                got = result[key]
+                assert len(got) == len(expected)
+                assert set(map(tuple, got)) == set(map(tuple, expected))
+    finally:
+        store.close()
+
+
+@pytest.mark.parametrize("make_store", BACKENDS)
+def test_lookup_many_corner_cases(make_store):
+    store = make_store()
+    try:
+        # No keys: nothing is probed, nothing is returned.
+        assert store.lookup_many("r", [0], []) == {}
+        # A relation that does not exist yet answers every key with no rows.
+        missing = store.lookup_many("nope", [0], [(1,), (2,)])
+        assert set(missing) == {(1,), (2,)}
+        assert all(len(rows) == 0 for rows in missing.values())
+        store.add_many("r", [(1, 2), (1, 3), (2, 4)])
+        # Duplicate keys collapse to one entry.
+        result = store.lookup_many("r", [0], [(1,), (1,), (9,)])
+        assert set(result) == {(1,), (9,)}
+        assert sorted(result[(1,)]) == [(1, 2), (1, 3)]
+        assert len(result[(9,)]) == 0
+        # The empty position set behaves like a scan for every key.
+        full = store.lookup_many("r", [], [()])
+        assert sorted(full[()]) == [(1, 2), (1, 3), (2, 4)]
+    finally:
+        store.close()
+
+
+@pytest.mark.parametrize("make_store", BACKENDS)
+def test_lookup_many_handles_nan_keys_like_lookup(make_store):
+    """A NaN key component must behave exactly as it does in ``lookup``.
+
+    On SQLite, NaN binds as NULL (so a NaN key matches ``None`` rows — a
+    quirk, but the single-``lookup`` quirk); the batched path must not
+    silently drop those rows on the way back from the key join.
+    """
+    store = make_store()
+    try:
+        store.add_many("r", [(None, 3), (1, 2)])
+        nan = float("nan")
+        keys = [(nan,), (1,), (None,)]
+        result = store.lookup_many("r", [0], keys)
+        for key in keys:
+            expected = store.lookup("r", [0], key)
+            assert sorted(result[key], key=repr) == sorted(expected, key=repr)
+    finally:
+        store.close()
+
+
+def test_sqlite_lookup_many_issues_one_query_per_batch():
+    """However many keys a batch carries, SQLite answers it with one SELECT."""
+    store = SQLiteFactStore()
+    store.add_many("r", [(i, i + 1) for i in range(100)])
+    store.lookup_many("r", [0], [(i,) for i in range(80)])
+    store.lookup_many("r", [0], [(i,) for i in range(40, 120)])
+    store.lookup_many("r", [1], [(5,), (6,)])
+    assert store.batch_probe_count == 3
+    assert store.batch_probe_query_count == 3
+    store.close()
+
+
 @pytest.mark.parametrize("make_store", BACKENDS)
 def test_index_survives_remove_of_last_bucket_row(make_store):
     """Index-after-remove: emptying a bucket must not corrupt the index."""

@@ -1,18 +1,17 @@
-"""Cross-backend differential testing for the Datalog engine's fact stores.
+"""Cross-backend and cross-executor differential testing for the engine.
 
 Fifty seeded random Datalog programs — recursion (linear and nonlinear),
 stratified negation, comparisons, arithmetic assignments, constants,
-wildcards, and aggregates — are each evaluated three ways:
+wildcards, and aggregates — are each evaluated on **every executor × store
+combination** ({interpreted, compiled} × {memory, sqlite}) and against a
+brute-force **naive oracle** written independently of the planner, the plan
+executors and the stores (cartesian-product matching, end-of-body guards,
+naive fixpoint per stratum).
 
-* the engine on the in-memory :class:`FactStore`,
-* the engine on the SQLite-backed :class:`SQLiteFactStore`,
-* a brute-force **naive oracle** written independently of the planner, the
-  plan executor and the stores (cartesian-product matching, end-of-body
-  guards, naive fixpoint per stratum).
-
-All three must agree fact-for-fact on every IDB relation.  This is the
-equivalence bar any future backend (sharded, subsumption-aware, ...) must
-clear before the engine may run on it.
+All combinations must agree fact-for-fact on every IDB relation.  This is
+the equivalence bar any future backend (sharded, subsumption-aware, ...)
+*or* executor (bytecode, vectorised, parallel, ...) must clear before the
+engine may run on it.
 """
 
 from __future__ import annotations
@@ -346,25 +345,30 @@ def _random_case(seed: int):
 
 # -- the differential test -------------------------------------------------
 
+# Every executor × store combination the engine ships.  Each seed's program
+# must agree fact-for-fact with the oracle on all of them.
+COMBINATIONS = [
+    (executor, store)
+    for executor in ("interpreted", "compiled")
+    for store in ("memory", "sqlite")
+]
+
 
 @pytest.mark.parametrize("seed", range(50))
-def test_backends_and_oracle_agree(seed):
+def test_executors_stores_and_oracle_agree(seed):
     program, facts, idbs = _random_case(seed)
     oracle = naive_evaluate(program, facts)
-    memory_engine = DatalogEngine(program, facts, store="memory")
-    sqlite_engine = DatalogEngine(program, facts, store="sqlite")
-    memory_engine.run()
-    sqlite_engine.run()
-    for relation in idbs:
-        expected = oracle.get(relation, set())
-        memory_rows = set(memory_engine.store.scan(relation))
-        sqlite_rows = set(sqlite_engine.store.scan(relation))
-        assert memory_rows == expected, (
-            f"seed {seed}: memory store disagrees with the oracle on {relation!r}"
-        )
-        assert sqlite_rows == expected, (
-            f"seed {seed}: sqlite store disagrees with the oracle on {relation!r}"
-        )
+    for executor, store in COMBINATIONS:
+        engine = DatalogEngine(program, facts, store=store, executor=executor)
+        engine.run()
+        for relation in idbs:
+            expected = oracle.get(relation, set())
+            rows = set(engine.store.scan(relation))
+            assert rows == expected, (
+                f"seed {seed}: {executor} executor on {store} store "
+                f"disagrees with the oracle on {relation!r}"
+            )
+        engine.store.close()
 
 
 def test_generator_covers_every_feature():
