@@ -13,6 +13,11 @@ default compiled closures)::
 
     raqlet ldbc --query sq1 --scale 200 --store sqlite --executor interpreted
 
+Print the Datalog engine's plan report for a recursive query — join orders,
+per-step fan-out estimates, and the adaptive re-planning counters::
+
+    raqlet ldbc --query reach --scale 100 --explain
+
 Print the static analysis report of a Datalog program::
 
     raqlet analyze --schema schema.pgs --datalog program.dl
@@ -127,6 +132,23 @@ def _cmd_ldbc(args: argparse.Namespace) -> int:
     compiled = raqlet.compile_cypher(
         spec["query"], spec["parameters"], optimize=not args.no_optimize
     )
+    if args.explain:
+        # Plan observability mode: run only the Datalog engine and print its
+        # plan report (join orders, cost estimates, re-plan counters).
+        engine = raqlet.datalog_engine(
+            compiled,
+            data.facts,
+            optimized=not args.no_optimize,
+            store=args.store,
+            executor=args.executor,
+        )
+        result = engine.query()
+        print(f"query {args.query} on {args.scale} persons (person id {person_id}):")
+        print(f"  datalog      {len(result)} rows")
+        print(engine.explain())
+        engine.store.close()
+        data.close()
+        return 0
     results = raqlet.run_everywhere(
         compiled,
         data.facts,
@@ -198,6 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="plan executor for the Datalog engine "
         "(default: $REPRO_EXECUTOR or compiled)",
+    )
+    ldbc_parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="run only the Datalog engine and print its plan report "
+        "(join orders, cost estimates, re-plan counters)",
     )
     ldbc_parser.set_defaults(func=_cmd_ldbc)
     return parser

@@ -36,6 +36,13 @@ from repro.engines.datalog.executor_compiled import (
     generate_plan_source,
 )
 from repro.engines.datalog.planner import PlanCache, RulePlan, plan_rule
+from repro.engines.datalog.statistics import (
+    RelationStats,
+    StatsAccumulator,
+    StatsRegistry,
+    drift_ratio,
+    resolve_replan_threshold,
+)
 from repro.engines.datalog.storage import (
     DeltaView,
     FactStore,
@@ -45,6 +52,11 @@ from repro.engines.datalog.storage import (
 from repro.engines.datalog.storage_sqlite import SQLiteFactStore
 
 __all__ = [
+    "RelationStats",
+    "StatsAccumulator",
+    "StatsRegistry",
+    "drift_ratio",
+    "resolve_replan_threshold",
     "DatalogEngine",
     "evaluate_program",
     "StoreBackend",

@@ -39,6 +39,7 @@ from repro.engines.datalog.executor_compiled import (
     create_executor,
 )
 from repro.engines.datalog.planner import PlanCache, RulePlan, plan_rule
+from repro.engines.datalog.statistics import RelationStats, resolve_replan_threshold
 from repro.engines.datalog.storage import (
     DeltaView,
     StoreBackend,
@@ -91,6 +92,7 @@ class DatalogEngine:
         reuse_plans: bool = True,
         store: StoreSpec = None,
         executor: ExecutorSpec = None,
+        replan_threshold: Optional[float] = None,
     ) -> None:
         problems = program.validate()
         if problems:
@@ -101,12 +103,21 @@ class DatalogEngine:
         # REPRO_STORE environment variable.  ``executor`` selects how plans
         # run: ``"compiled"`` (default; source-generated closures with
         # batched index probes) or ``"interpreted"`` (the plan walker), with
-        # None honouring REPRO_EXECUTOR.
+        # None honouring REPRO_EXECUTOR.  ``replan_threshold`` is the
+        # cardinality drift factor that triggers adaptive re-planning
+        # (default 10, env REPRO_REPLAN_THRESHOLD; 1 = re-plan every
+        # iteration, float("inf") = freeze first plans).
         self._store = create_store(store, maintain_indexes=incremental_indexes)
         self._executor = create_executor(executor)
-        self._plans: Optional[PlanCache] = PlanCache() if reuse_plans else None
+        self._replan_threshold = resolve_replan_threshold(replan_threshold)
+        self._plans: Optional[PlanCache] = (
+            PlanCache(replan_threshold=self._replan_threshold)
+            if reuse_plans
+            else None
+        )
         self._evaluated = False
         self._iterations: Dict[str, int] = {}
+        self.stats_snapshot_count = 0
         with self._store.batch():
             for relation, rows in program.facts.items():
                 self._store.add_many(relation, (tuple(row) for row in rows))
@@ -126,6 +137,28 @@ class DatalogEngine:
     def executor(self) -> RuleExecutor:
         """Return the rule executor evaluating this engine's plans."""
         return self._executor
+
+    @property
+    def replan_threshold(self) -> float:
+        """Return the cardinality drift factor that triggers re-planning."""
+        return self._replan_threshold
+
+    @property
+    def replan_count(self) -> int:
+        """Return how many cached plans were rebuilt because their
+        statistics basis drifted (0 with ``reuse_plans=False``)."""
+        return self._plans.replan_count if self._plans is not None else 0
+
+    @property
+    def plan_build_count(self) -> int:
+        """Return how many plans were built from scratch (first builds plus
+        re-plans; 0 with ``reuse_plans=False``)."""
+        return self._plans.plan_build_count if self._plans is not None else 0
+
+    @property
+    def stats_epoch(self) -> int:
+        """Return the plan cache's statistics epoch (bumped per re-plan)."""
+        return self._plans.stats_epoch if self._plans is not None else 0
 
     def run(self) -> StoreBackend:
         """Evaluate the whole program; idempotent."""
@@ -168,15 +201,136 @@ class DatalogEngine:
         self.run()
         return self._iterations.get(relation, 0)
 
+    # -- explain -------------------------------------------------------------
+
+    def plan_report(self) -> List[Dict[str, object]]:
+        """Run the program and return one dict per cached plan.
+
+        Each entry describes a ``(rule, delta position)`` plan as it stood
+        at the end of evaluation: the join order actually executed
+        (``join_order`` — ``(relation, body position)`` pairs), the
+        statistics the cost model consumed (``stats_basis``), the epoch the
+        plan was (re)built in, its per-step fan-out estimates and total cost
+        estimate.  Machine-readable counterpart of :meth:`explain`; empty
+        with ``reuse_plans=False``.
+        """
+        self.run()
+        if self._plans is None:
+            return []
+        report = []
+        for plan in self._plans.plans():
+            report.append(
+                {
+                    "rule": str(plan.rule),
+                    "head": plan.rule.head.relation,
+                    "delta_index": plan.delta_index,
+                    "join_order": [
+                        (step.relation, step.body_index) for step in plan.steps
+                    ],
+                    "stats_epoch": plan.stats_epoch,
+                    "stats_basis": dict(plan.stats_basis or ()),
+                    "step_fanouts": list(plan.step_fanouts or ()),
+                    "cost_estimate": plan.cost_estimate,
+                }
+            )
+        report.sort(
+            key=lambda entry: (
+                entry["head"],
+                entry["rule"],
+                -1 if entry["delta_index"] is None else entry["delta_index"],
+            )
+        )
+        return report
+
+    def explain(self) -> str:
+        """Run the program and render the plan report as text.
+
+        Shows the planner/statistics counters (plans built, re-plans,
+        stats epoch, snapshots, index builds) followed by every cached
+        plan's join order, cost estimate and statistics basis — the
+        observable surface for "which join order ran, and why".
+        """
+        report = self.plan_report()  # runs the program
+        store = self._store
+        lines = ["datalog plan report"]
+        lines.append(
+            f"  executor={self._executor.name} store={type(store).__name__} "
+            f"replan_threshold={self._replan_threshold:g}"
+        )
+        lines.append(
+            f"  plans_built={self.plan_build_count} replans={self.replan_count} "
+            f"stats_epoch={self.stats_epoch} "
+            f"stats_snapshots={self.stats_snapshot_count}"
+        )
+        lines.append(
+            f"  index_builds={store.index_build_count} indexes={store.index_count}"
+        )
+        if not report:
+            lines.append("  (no cached plans: engine ran with reuse_plans=False)")
+        for entry in report:
+            delta = entry["delta_index"]
+            delta_text = "full" if delta is None else f"delta@{delta}"
+            lines.append(f"  rule {entry['rule']}  [{delta_text}]")
+            fanouts = entry["step_fanouts"]
+            for position, (relation, body_index) in enumerate(entry["join_order"]):
+                fanout_text = (
+                    f"  est_fanout={fanouts[position]:g}"
+                    if fanouts and position < len(fanouts)
+                    else ""
+                )
+                lines.append(
+                    f"    step {position}: {relation} (body {body_index})"
+                    f"{fanout_text}"
+                )
+            cost = entry["cost_estimate"]
+            basis = entry["stats_basis"]
+            if cost is not None:
+                basis_text = ", ".join(
+                    f"{name}={cardinality}" for name, cardinality in basis.items()
+                )
+                lines.append(
+                    f"    epoch={entry['stats_epoch']} est_cost={cost:g} "
+                    f"basis[{basis_text}]"
+                )
+        return "\n".join(lines)
+
     # -- evaluation ----------------------------------------------------------
 
     def _plan(
-        self, rule: Rule, delta_index: Optional[int] = None, delta_size: int = 0
+        self,
+        rule: Rule,
+        delta_index: Optional[int] = None,
+        delta_size: int = 0,
+        stats: Optional[Dict[str, RelationStats]] = None,
     ) -> RulePlan:
-        """Return the (cached) compiled plan for ``(rule, delta_index)``."""
+        """Return the (cached) compiled plan for ``(rule, delta_index)``.
+
+        ``stats`` is the iteration's statistics snapshot: it drives the
+        cost-based join order and, through :class:`PlanCache`, the drift
+        check that re-plans a rule whose basis cardinalities moved.  With
+        ``reuse_plans=False`` every application plans afresh against current
+        statistics, so that mode is adaptive by construction.
+        """
         if self._plans is None:
-            return plan_rule(rule, self._store, delta_index, delta_size)
-        return self._plans.plan_for(rule, self._store, delta_index, delta_size)
+            return plan_rule(rule, self._store, delta_index, delta_size, stats=stats)
+        return self._plans.plan_for(
+            rule, self._store, delta_index, delta_size, stats=stats
+        )
+
+    def _stats_snapshot(self, relations: Sequence[str]) -> Dict[str, RelationStats]:
+        """Snapshot cardinality/distinct statistics for ``relations``.
+
+        With ``replan_threshold=inf`` and a plan cache, drift checks never
+        read the snapshot and only first builds consume statistics — and
+        those backfill per-relation stats from the store on demand (see
+        ``_atom_cost``).  Returning an empty snapshot there avoids paying a
+        per-iteration aggregate scan per relation on the SQLite backend for
+        numbers nothing would read.
+        """
+        if self._plans is not None and self._replan_threshold == float("inf"):
+            return {}
+        self.stats_snapshot_count += 1
+        return self._store.stats_snapshot(relations)
 
     def _collect_subsumption_specs(self) -> Dict[str, _SubsumptionSpec]:
         specs: Dict[str, _SubsumptionSpec] = {}
@@ -236,24 +390,39 @@ class DatalogEngine:
         }
         del graph  # the dependency graph is only needed for stratification
         recursive_relations = defined_here
+        # The relations whose statistics matter to this stratum's plans: one
+        # snapshot per iteration covers every positive body atom.
+        body_relations = sorted(
+            {
+                literal.relation
+                for rule in rules
+                for literal in rule.body
+                if isinstance(literal, Atom)
+            }
+        )
         # Initial full round.  Each round's inserts run as one store batch
         # (one transaction on transactional backends).
         delta: Dict[str, Set[Tuple]] = defaultdict(set)
+        stats = self._stats_snapshot(body_relations)
         with self._store.batch():
             for rule in rules:
                 derived = self._executor.evaluate_rule(
-                    rule, self._store, plan=self._plan(rule)
+                    rule, self._store, plan=self._plan(rule, stats=stats)
                 )
                 fresh = self._insert(rule.head.relation, derived)
                 delta[rule.head.relation].update(fresh)
         iterations = 1
         # Semi-naive loop.  Delta views are shared per relation per iteration
         # so their mini-indexes amortise across rules and delta positions.
+        # Statistics are re-snapshotted each iteration; a rule whose plan was
+        # costed on cardinalities that have since drifted past the re-plan
+        # threshold is re-planned before it runs (see PlanCache.drifted).
         while any(delta.values()):
             delta_views = {
                 relation: DeltaView(rows) for relation, rows in delta.items() if rows
             }
             new_delta: Dict[str, Set[Tuple]] = defaultdict(set)
+            stats = self._stats_snapshot(body_relations)
             with self._store.batch():
                 for rule in rules:
                     recursive_positions = [
@@ -274,7 +443,7 @@ class DatalogEngine:
                             self._store,
                             delta_index=position,
                             delta_rows=view,
-                            plan=self._plan(rule, position, len(view)),
+                            plan=self._plan(rule, position, len(view), stats=stats),
                         )
                         fresh = self._insert(rule.head.relation, derived)
                         new_delta[rule.head.relation].update(fresh)

@@ -1,4 +1,4 @@
-"""One-time compilation of DLIR rules into executable join plans.
+"""Compilation of DLIR rules into executable join plans.
 
 The seed evaluator re-derived its join strategy on every rule application:
 atom order was recomputed, and comparisons/negations were rediscovered by
@@ -6,11 +6,16 @@ scanning a "pending" list at every level of the join.  This module performs
 that work once per ``(rule, delta_index)`` pair and records the result as a
 :class:`RulePlan`:
 
-* **join order** — body atoms are ordered greedily by bound-variable
-  coverage (shared variables with what is already bound, then bound
-  positions, then estimated relation size).  For semi-naive evaluation the
-  delta atom always comes first, so each delta row is enumerated exactly
-  once per application.
+* **join order** — when a statistics snapshot is supplied (the engine takes
+  one per fixpoint iteration), body atoms are ordered by an explicit
+  per-join-step **cost function**: the estimated fan-out of probing the
+  atom with its currently-bound positions, ``|relation| / distinct(bound
+  columns)`` (:meth:`RelationStats.fanout`), ties broken towards more
+  shared variables, more bound positions, then the smaller relation.
+  Without statistics the original greedy heuristic (shared variables, bound
+  positions, raw size) remains as the fallback.  For semi-naive evaluation
+  the delta atom always comes first, so each delta row is enumerated
+  exactly once per application.
 * **index positions** — for each atom the plan precomputes which argument
   positions are fixed (constants and already-bound variables) and how to
   assemble the lookup key from the current bindings, so the executor never
@@ -22,14 +27,22 @@ that work once per ``(rule, delta_index)`` pair and records the result as a
   variable it mentions is available.  Unbound variables in a negation are
   existential, exactly as in the seed evaluator.
 
-Plans are cached by :class:`PlanCache`, which the engine threads through the
-stratum loop so recursive rules reuse their plans across fixpoint
-iterations.
+A plan built from statistics records the cardinalities it was costed on
+(``stats_basis``) and the epoch it was built in (``stats_epoch``).
+:class:`PlanCache` — which the engine threads through the stratum loop so
+recursive rules reuse their plans across fixpoint iterations — uses the
+basis for **adaptive re-planning**: when a fresh snapshot shows any basis
+relation drifted by the re-plan threshold (default 10×, see
+:func:`~repro.engines.datalog.statistics.resolve_replan_threshold`), the
+cached plan is rebuilt against current statistics and the cache's stats
+epoch advances.  Plan identity changes but plan *structure* only changes
+when the join order actually moved, so the compiled executor's
+structure-keyed closure cache regenerates code only when it must.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import ExecutionError
@@ -43,6 +56,12 @@ from repro.dlir.core import (
     Var,
     Wildcard,
     term_variables,
+)
+from repro.engines.datalog.statistics import (
+    RelationStats,
+    StatsSnapshot,
+    drift_ratio,
+    resolve_replan_threshold,
 )
 from repro.engines.datalog.storage import StoreBackend
 
@@ -109,6 +128,20 @@ class RulePlan:
     comparisons outstanding is an unsafe-rule error, raised at run time to
     match the seed evaluator (a rule whose joins produce no rows never
     triggers it).
+
+    The trailing fields are **planning provenance**, excluded from
+    equality/hash so the compiled executor's structure-keyed closure cache
+    is untouched by re-planning that lands on the same join order:
+
+    * ``stats_basis`` — the ``(relation, cardinality)`` pairs the cost
+      model consumed (``None`` for greedy-fallback plans); the drift check
+      compares these against fresh snapshots.
+    * ``stats_epoch`` — the :class:`PlanCache` epoch the plan was built in
+      (bumped on every re-plan).
+    * ``step_fanouts`` — the cost model's estimated fan-out per join step,
+      parallel to ``steps`` (for ``explain`` output).
+    * ``cost_estimate`` — estimated total intermediate rows across the
+      join (the sum of the running fan-out products).
     """
 
     rule: Rule
@@ -116,6 +149,12 @@ class RulePlan:
     prelude: Guard
     steps: Tuple[JoinStep, ...]
     unresolved: Tuple[Comparison, ...]
+    stats_basis: Optional[Tuple[Tuple[str, int], ...]] = field(
+        default=None, compare=False
+    )
+    stats_epoch: int = field(default=0, compare=False)
+    step_fanouts: Optional[Tuple[float, ...]] = field(default=None, compare=False)
+    cost_estimate: Optional[float] = field(default=None, compare=False)
 
 
 class _GuardBuilder:
@@ -184,7 +223,7 @@ def _atom_selectivity(
     delta_size: int,
 ) -> Tuple:
     """Rank candidate atoms: most shared variables, most bound positions,
-    smallest relation."""
+    smallest relation.  The greedy fallback when no statistics are given."""
     size = delta_size if body_index == delta_index else store.count(atom.relation)
     shared = 0
     bound_positions = 0
@@ -195,6 +234,47 @@ def _atom_selectivity(
             shared += 1
             bound_positions += 1
     return (-shared, -bound_positions, size)
+
+
+def _bound_positions(atom: Atom, bound: Set[str]) -> Tuple[List[int], int, int]:
+    """Return (positions fixed before the probe, shared-var count, bound count)."""
+    positions: List[int] = []
+    shared = 0
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Const):
+            positions.append(position)
+        elif isinstance(term, Var) and term.name in bound:
+            positions.append(position)
+            shared += 1
+    return positions, shared, len(positions)
+
+
+def _atom_cost(
+    atom: Atom,
+    body_index: int,
+    bound: Set[str],
+    stats: Dict[str, RelationStats],
+    store: StoreBackend,
+) -> Tuple:
+    """Rank candidate atoms by estimated per-probe fan-out.
+
+    The primary key is the cost function of the whole planner: probing the
+    atom with its currently-bound columns is expected to return
+    ``|relation| / distinct(bound columns)`` rows per input row
+    (:meth:`RelationStats.fanout`).  Ties prefer more shared variables,
+    more bound positions, the smaller relation, then body order — all
+    deterministic.
+    """
+    entry = stats.get(atom.relation)
+    if entry is None:
+        # The engine's snapshots cover every body relation, but direct
+        # plan_rule callers may pass partial maps — backfill from the store
+        # so a missing entry never reads as "empty relation".
+        entry = store.relation_stats(atom.relation)
+        stats[atom.relation] = entry
+    positions, shared, bound_count = _bound_positions(atom, bound)
+    fanout = entry.fanout(positions)
+    return (fanout, -shared, -bound_count, entry.cardinality, body_index)
 
 
 def _compile_step(
@@ -267,43 +347,65 @@ def plan_rule(
     store: StoreBackend,
     delta_index: Optional[int] = None,
     delta_size: int = 0,
+    stats: Optional[StatsSnapshot] = None,
+    stats_epoch: int = 0,
 ) -> RulePlan:
     """Compile ``rule`` into a :class:`RulePlan`.
 
-    ``store`` provides relation cardinalities for the join-order heuristic;
-    ``delta_index``/``delta_size`` identify the body atom restricted to the
-    semi-naive delta (it is forced to the front of the join order).
+    ``stats`` (relation name → :class:`RelationStats`) switches join
+    ordering to the cost model and records the plan's ``stats_basis`` for
+    drift detection; without it the greedy size heuristic applies and the
+    plan never triggers re-planning.  ``delta_index``/``delta_size``
+    identify the body atom restricted to the semi-naive delta (it is forced
+    to the front of the join order either way).
     """
     remaining_atoms = [
         (index, literal)
         for index, literal in enumerate(rule.body)
         if isinstance(literal, Atom)
     ]
+    use_cost = stats is not None
+    stats_map: Dict[str, RelationStats] = dict(stats) if stats is not None else {}
     bound: Set[str] = set()
     pending = list(rule.comparisons())
 
     prelude_builder = _GuardBuilder()
     pending = _schedule_comparisons(pending, bound, prelude_builder)
 
-    # Greedy join ordering interleaved with comparison scheduling, so each
-    # step's key positions reflect every variable bound before it runs
-    # (including variables bound by ``=`` assignments).
+    # Join ordering interleaved with comparison scheduling, so each step's
+    # key positions reflect every variable bound before it runs (including
+    # variables bound by ``=`` assignments).
     steps: List[JoinStep] = []
     step_builders: List[_GuardBuilder] = []
     bound_after: List[Set[str]] = []  # bound set after each step's guard
+    step_fanouts: List[float] = []
     while remaining_atoms:
         chosen = None
+        chosen_fanout: Optional[float] = None
         if not steps and delta_index is not None:
             chosen = next(
                 (entry for entry in remaining_atoms if entry[0] == delta_index), None
             )
+            if chosen is not None:
+                chosen_fanout = float(delta_size)
         if chosen is None:
-            chosen = min(
-                remaining_atoms,
-                key=lambda entry: _atom_selectivity(
-                    entry[1], entry[0], bound, store, delta_index, delta_size
-                ),
-            )
+            if use_cost:
+                chosen = min(
+                    remaining_atoms,
+                    key=lambda entry: _atom_cost(
+                        entry[1], entry[0], bound, stats_map, store
+                    ),
+                )
+                chosen_fanout = _atom_cost(
+                    chosen[1], chosen[0], bound, stats_map, store
+                )[0]
+            else:
+                chosen = min(
+                    remaining_atoms,
+                    key=lambda entry: _atom_selectivity(
+                        entry[1], entry[0], bound, store, delta_index, delta_size
+                    ),
+                )
         remaining_atoms.remove(chosen)
         body_index, atom = chosen
         step, fresh = _compile_step(body_index, atom, bound)
@@ -313,6 +415,8 @@ def plan_rule(
         steps.append(step)
         step_builders.append(builder)
         bound_after.append(set(bound))
+        if use_cost:
+            step_fanouts.append(chosen_fanout if chosen_fanout is not None else 0.0)
 
     # Schedule each negation at the earliest point where every
     # eventually-bound variable it mentions is available.
@@ -347,12 +451,34 @@ def plan_rule(
         )
         for step, builder in zip(steps, step_builders)
     )
+    stats_basis: Optional[Tuple[Tuple[str, int], ...]] = None
+    cost_estimate: Optional[float] = None
+    if use_cost:
+        basis_relations = {step.relation for step in compiled_steps}
+        stats_basis = tuple(
+            sorted(
+                (relation, stats_map[relation].cardinality)
+                for relation in basis_relations
+                if relation in stats_map
+            )
+        )
+        # Total estimated intermediate rows: the sum of the running fan-out
+        # products after each step (the quantity the greedy order minimises).
+        running = 1.0
+        cost_estimate = 0.0
+        for fanout in step_fanouts:
+            running *= fanout
+            cost_estimate += running
     return RulePlan(
         rule=rule,
         delta_index=delta_index,
         prelude=prelude_builder.build(),
         steps=compiled_steps,
         unresolved=tuple(pending),
+        stats_basis=stats_basis,
+        stats_epoch=stats_epoch,
+        step_fanouts=tuple(step_fanouts) if use_cost else None,
+        cost_estimate=cost_estimate,
     )
 
 
@@ -362,16 +488,37 @@ def _prelude_bound_vars(builder: _GuardBuilder) -> Set[str]:
 
 
 class PlanCache:
-    """Caches :class:`RulePlan` objects per ``(rule, delta_index)``.
+    """Caches :class:`RulePlan` objects per ``(rule, delta_index)``, with
+    statistics-driven invalidation.
 
     Keys use object identity: the engine owns its program's rule objects for
     its whole lifetime, and identity keeps hashing O(1) regardless of rule
     size.  Rule references are retained so ids cannot be recycled.
+
+    **Adaptive re-planning.**  When :meth:`plan_for` receives a statistics
+    snapshot and the cached plan's ``stats_basis`` shows any relation
+    drifted by ``replan_threshold`` (a factor; default 10×, overridable via
+    ``REPRO_REPLAN_THRESHOLD`` — ``1`` re-plans on every snapshot,
+    ``inf`` never), the entry is rebuilt against the current snapshot and
+    the cache's ``stats_epoch`` advances.  The fresh plan is a *new object*
+    (so the compiled executor's identity memo cannot serve stale code) but
+    equal-by-structure to the old one unless the join order actually moved
+    — which is exactly when the structure-keyed closure cache regenerates.
+    ``replan_count`` / ``plan_build_count`` make the mechanism observable.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, replan_threshold: Optional[float] = None) -> None:
         self._plans: Dict[Tuple[int, Optional[int]], RulePlan] = {}
         self._rules: Dict[int, Rule] = {}
+        #: drift factor that triggers a re-plan (resolved from the
+        #: environment when not given explicitly)
+        self.replan_threshold = resolve_replan_threshold(replan_threshold)
+        #: plans built from scratch (first builds + re-plans)
+        self.plan_build_count = 0
+        #: cache entries rebuilt because their statistics basis drifted
+        self.replan_count = 0
+        #: monotone version, bumped on every re-plan
+        self.stats_epoch = 0
 
     def plan_for(
         self,
@@ -379,15 +526,46 @@ class PlanCache:
         store: StoreBackend,
         delta_index: Optional[int] = None,
         delta_size: int = 0,
+        stats: Optional[StatsSnapshot] = None,
     ) -> RulePlan:
-        """Return the cached plan for ``(rule, delta_index)``, building it once."""
+        """Return the plan for ``(rule, delta_index)``, building it on first
+        use and re-building it when ``stats`` drifted from its basis."""
         key = (id(rule), delta_index)
         plan = self._plans.get(key)
-        if plan is None:
-            plan = plan_rule(rule, store, delta_index, delta_size)
-            self._plans[key] = plan
-            self._rules[id(rule)] = rule
+        if plan is not None:
+            if stats is None or not self.drifted(plan, stats):
+                return plan
+            self.stats_epoch += 1
+            self.replan_count += 1
+        plan = plan_rule(
+            rule,
+            store,
+            delta_index,
+            delta_size,
+            stats=stats,
+            stats_epoch=self.stats_epoch,
+        )
+        self.plan_build_count += 1
+        self._plans[key] = plan
+        self._rules[id(rule)] = rule
         return plan
+
+    def drifted(self, plan: RulePlan, stats: StatsSnapshot) -> bool:
+        """Whether any relation the plan was costed on moved past the
+        threshold (greedy-fallback plans, with no basis, never drift)."""
+        basis = plan.stats_basis
+        if basis is None or self.replan_threshold == float("inf"):
+            return False
+        for relation, planned_cardinality in basis:
+            entry = stats.get(relation)
+            current = entry.cardinality if entry is not None else 0
+            if drift_ratio(current, planned_cardinality) >= self.replan_threshold:
+                return True
+        return False
+
+    def plans(self) -> List[RulePlan]:
+        """Return every cached plan (for the engine's explain surface)."""
+        return list(self._plans.values())
 
     def __len__(self) -> int:
         return len(self._plans)

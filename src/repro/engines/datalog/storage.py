@@ -2,7 +2,8 @@
 
 Storage is **pluggable**: the plan executor only ever touches a store through
 the narrow :class:`StoreBackend` protocol (insert / remove / scan / lookup /
-lookup_many / len plus batching and index-statistics hooks), so compiled
+lookup_many / len plus batching, index-statistics and relation-statistics
+hooks — ``relation_stats`` feeds the planner's cost model), so compiled
 :class:`~repro.engines.datalog.planner.RulePlan`\\ s run unchanged on any
 backend.  Two backends ship with the repository:
 
@@ -45,6 +46,12 @@ import os
 from collections import defaultdict
 from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple, Union
+
+from repro.engines.datalog.statistics import (
+    RelationStats,
+    StatsRegistry,
+    compute_stats,
+)
 
 Row = Tuple
 Key = Tuple
@@ -144,6 +151,27 @@ class StoreBackend(abc.ABC):
     @abc.abstractmethod
     def index_count(self) -> int:
         """Return how many distinct ``(relation, positions)`` indexes exist."""
+
+    # -- statistics --------------------------------------------------------
+
+    def relation_stats(self, name: str) -> RelationStats:
+        """Return cardinality and per-column distinct counts for ``name``.
+
+        **Part of the contract**, like the index counters: the engine
+        snapshots these each fixpoint iteration to drive cost-based join
+        ordering and adaptive re-planning, so the counts must stay truthful
+        across inserts and removals.  This generic implementation recomputes
+        from :meth:`scan` (O(rows)); backends override it — the in-memory
+        store maintains the counts incrementally on its write path, the
+        SQLite store answers with one aggregate query cached until the next
+        write.
+        """
+        return compute_stats(self.scan(name))
+
+    def stats_snapshot(self, names: Iterable[str]) -> Dict[str, RelationStats]:
+        """Return :meth:`relation_stats` for each of ``names`` (the shape the
+        planner's cost model consumes)."""
+        return {name: self.relation_stats(name) for name in names}
 
     # -- hooks (default no-ops) --------------------------------------------
 
@@ -270,6 +298,8 @@ class FactStore(StoreBackend):
         self._maintain = maintain_indexes
         #: number of from-scratch index constructions (monotone counter)
         self.index_build_count = 0
+        #: incrementally maintained cardinality / distinct-count statistics
+        self._stats = StatsRegistry()
 
     # -- base operations ---------------------------------------------------
 
@@ -298,6 +328,7 @@ class FactStore(StoreBackend):
         if row in relation:
             return False
         relation.add(row)
+        self._stats.record_add(name, row)
         indexes = self._indexes.get(name)
         if indexes:
             if self._maintain:
@@ -311,23 +342,23 @@ class FactStore(StoreBackend):
         """Insert many rows; return how many were new."""
         relation = self._relations[name]
         indexes = self._indexes.get(name)
-        if indexes and self._maintain:
-            fresh: List[Row] = []
-            for row in rows:
-                row = tuple(row)
-                if row not in relation:
-                    relation.add(row)
-                    fresh.append(row)
+        stats = self._stats
+        fresh: List[Row] = []
+        for row in rows:
+            row = tuple(row)
+            if row not in relation:
+                relation.add(row)
+                stats.record_add(name, row)
+                fresh.append(row)
+        if not fresh or not indexes:
+            return len(fresh)
+        if self._maintain:
             for positions, index in indexes.items():
                 for row in fresh:
                     index[tuple(row[i] for i in positions)].append(row)
-            return len(fresh)
-        before = len(relation)
-        relation.update(tuple(row) for row in rows)
-        added = len(relation) - before
-        if added and indexes:
+        else:
             indexes.clear()
-        return added
+        return len(fresh)
 
     def remove(self, name: str, row: Row) -> None:
         """Remove ``row`` if present (used by subsumption)."""
@@ -335,6 +366,7 @@ class FactStore(StoreBackend):
         if row not in relation:
             return
         relation.discard(row)
+        self._stats.record_remove(name, row)
         indexes = self._indexes.get(name)
         if not indexes:
             return
@@ -356,7 +388,11 @@ class FactStore(StoreBackend):
         Wholesale replacement drops the relation's indexes; they are rebuilt
         lazily on the next lookup.
         """
-        self._relations[name] = set(tuple(row) for row in rows)
+        replacement = set(tuple(row) for row in rows)
+        self._relations[name] = replacement
+        self._stats.record_clear(name)
+        for row in replacement:
+            self._stats.record_add(name, row)
         self._indexes.pop(name, None)
 
     # -- indexed access ------------------------------------------------------
@@ -428,6 +464,15 @@ class FactStore(StoreBackend):
     def index_count(self) -> int:
         """Return how many distinct ``(relation, positions)`` indexes exist."""
         return sum(len(by_positions) for by_positions in self._indexes.values())
+
+    def relation_stats(self, name: str) -> RelationStats:
+        """Return the incrementally maintained statistics for ``name``.
+
+        O(arity): the write path keeps one value→multiplicity map per
+        column current, so snapshotting costs nothing per row — the property
+        that makes per-iteration snapshots in the fixpoint loop free.
+        """
+        return self._stats.stats(name)
 
     def snapshot(self) -> Dict[str, Set[Row]]:
         """Return a shallow copy of all relations (for debugging/tests)."""

@@ -36,6 +36,7 @@ import sqlite3
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.common.errors import ExecutionError
+from repro.engines.datalog.statistics import EMPTY_STATS, RelationStats
 from repro.engines.datalog.storage import Key, Positions, Row, StoreBackend
 
 _SUPPORTED_TYPES = (bool, int, float, str, bytes)
@@ -80,6 +81,11 @@ class SQLiteFactStore(StoreBackend):
         #: the property instead of restating it
         self.batch_probe_count = 0
         self.batch_probe_query_count = 0
+        #: relation statistics computed by SQL aggregate, cached per relation
+        #: until a write hook dirties it; the SELECTs issued are counted so
+        #: tests can assert the cache actually works
+        self._stats_cache: Dict[str, RelationStats] = {}
+        self.stats_query_count = 0
         self._batch_depth = 0
         self._closed = False
 
@@ -168,6 +174,7 @@ class SQLiteFactStore(StoreBackend):
         """Insert ``row``; return ``True`` when it was new."""
         row = self._prepare_row(name, row)
         table = self._table(name, len(row))
+        self._stats_cache.pop(name, None)
         if any(value is None for value in row) and self.contains(name, row):
             return False  # UNIQUE treats NULLs as distinct; enforce set semantics
         placeholders = ", ".join("?" for _ in row)
@@ -182,6 +189,7 @@ class SQLiteFactStore(StoreBackend):
         if not prepared:
             return 0
         table = self._table(name, len(prepared[0]))
+        self._stats_cache.pop(name, None)
         arity = self._tables[name][1]
         for row in prepared:
             if len(row) != arity:
@@ -220,6 +228,7 @@ class SQLiteFactStore(StoreBackend):
         table, arity = entry
         if len(row) != arity:
             return
+        self._stats_cache.pop(name, None)
         where = " AND ".join(f"c{i} IS ?" for i in range(arity))
         self._conn.execute(f"DELETE FROM {table} WHERE {where}", row)
 
@@ -234,6 +243,7 @@ class SQLiteFactStore(StoreBackend):
         rows is a no-op (the row arity is unknown, so no table can exist).
         """
         entry = self._tables.pop(name, None)
+        self._stats_cache.pop(name, None)
         if entry is not None:
             self._conn.execute(f"DROP TABLE {entry[0]}")
             self._indexed.pop(name, None)
@@ -390,6 +400,41 @@ class SQLiteFactStore(StoreBackend):
     def index_count(self) -> int:
         """Return how many distinct ``(relation, positions)`` indexes exist."""
         return sum(len(position_sets) for position_sets in self._indexed.values())
+
+    def relation_stats(self, name: str) -> RelationStats:
+        """Return cardinality and per-column distinct counts for ``name``.
+
+        One aggregate query — ``COUNT(*)`` plus ``COUNT(DISTINCT cN)`` and
+        ``COUNT(cN)`` per column — cached until a write hook dirties the
+        relation, so repeated snapshots inside one fixpoint iteration cost
+        nothing.  ``COUNT(DISTINCT ...)`` ignores NULLs, so a column holding
+        any ``None`` gets one extra distinct value to match Python set
+        semantics; SQLite's numeric comparison (``1 == 1.0``) already does.
+        """
+        cached = self._stats_cache.get(name)
+        if cached is not None:
+            return cached
+        entry = self._tables.get(name)
+        if entry is None:
+            return EMPTY_STATS
+        table, arity = entry
+        selects = ["COUNT(*)"]
+        for position in range(arity):
+            selects.append(f"COUNT(DISTINCT c{position})")
+            selects.append(f"COUNT(c{position})")
+        self.stats_query_count += 1
+        fetched = self._conn.execute(
+            f"SELECT {', '.join(selects)} FROM {table}"
+        ).fetchone()
+        cardinality = fetched[0]
+        distinct = tuple(
+            fetched[1 + 2 * position]
+            + (1 if fetched[2 + 2 * position] < cardinality else 0)
+            for position in range(arity)
+        )
+        stats = RelationStats(cardinality=cardinality, distinct=distinct)
+        self._stats_cache[name] = stats
+        return stats
 
     # -- hooks -------------------------------------------------------------
 

@@ -209,6 +209,22 @@ class Raqlet:
 
     # -- execution ------------------------------------------------------------
 
+    def datalog_engine(
+        self,
+        compiled: CompiledQuery,
+        facts: FactsInput,
+        optimized: bool = True,
+        **engine_options,
+    ) -> DatalogEngine:
+        """Build (without running) a Datalog engine for the compiled query.
+
+        Callers that need more than the result rows — the plan report
+        (``engine.explain()``, the CLI's ``--explain``), re-plan counters,
+        iteration counts — hold the engine; plain execution goes through
+        :meth:`run_on_datalog_engine`.
+        """
+        return DatalogEngine(compiled.program(optimized), facts, **engine_options)
+
     def run_on_datalog_engine(
         self,
         compiled: CompiledQuery,
@@ -221,11 +237,12 @@ class Raqlet:
         ``engine_options`` are forwarded to :class:`DatalogEngine` — e.g.
         ``store="sqlite"`` / ``store="sqlite:PATH"`` to select the
         SQLite-backed fact store, ``executor="interpreted"`` /
-        ``executor="compiled"`` to pick the plan executor, or
-        ``incremental_indexes`` / ``reuse_plans`` to benchmark the seed
-        evaluation strategy.
+        ``executor="compiled"`` to pick the plan executor,
+        ``replan_threshold`` to tune (or disable) statistics-driven
+        re-planning, or ``incremental_indexes`` / ``reuse_plans`` to
+        benchmark the seed evaluation strategy.
         """
-        engine = DatalogEngine(compiled.program(optimized), facts, **engine_options)
+        engine = self.datalog_engine(compiled, facts, optimized, **engine_options)
         return engine.query()
 
     def run_on_relational_engine(

@@ -26,7 +26,13 @@ from repro.dlir.core import (
     Var,
     Wildcard,
 )
-from repro.engines.datalog import DatalogEngine, FactStore, PlanCache, plan_rule
+from repro.engines.datalog import (
+    DatalogEngine,
+    FactStore,
+    PlanCache,
+    RelationStats,
+    plan_rule,
+)
 from repro.engines.datalog.evaluation import (
     _compare,
     evaluate_rule,
@@ -357,6 +363,160 @@ def test_plan_cache_reuses_plans(store):
     delta_variant = cache.plan_for(rule, store, delta_index=0, delta_size=1)
     assert delta_variant is not first
     assert len(cache) == 2
+
+
+# ---------------------------------------------------------------------------
+# Cost-based ordering and adaptive re-planning
+# ---------------------------------------------------------------------------
+
+
+def test_cost_model_orders_by_fanout_not_size(store):
+    # After the delta binds n, `wide` (500 rows over 5 keys -> fan-out 100)
+    # must come after `narrow` (2000 rows over 2000 keys -> fan-out 1), even
+    # though `wide` is the *smaller* relation — exactly the case the greedy
+    # size heuristic gets backwards.
+    rule = _rule(
+        Atom("q", (Var("n"), Var("a"), Var("b"))),
+        [
+            Atom("seed", (Var("n"),)),
+            Atom("wide", (Var("n"), Var("a"))),
+            Atom("narrow", (Var("n"), Var("b"))),
+        ],
+    )
+    stats = {
+        "seed": RelationStats(1, (1,)),
+        "wide": RelationStats(500, (5, 500)),
+        "narrow": RelationStats(2000, (2000, 2000)),
+    }
+    costed = plan_rule(rule, store, delta_index=0, delta_size=1, stats=stats)
+    assert [step.relation for step in costed.steps] == ["seed", "narrow", "wide"]
+    assert costed.stats_basis == (("narrow", 2000), ("seed", 1), ("wide", 500))
+    assert costed.step_fanouts == (1.0, 1.0, 100.0)
+    # Greedy fallback (no stats): smaller relation first, no basis recorded.
+    greedy = plan_rule(rule, store, delta_index=0, delta_size=1)
+    assert greedy.stats_basis is None
+    assert greedy.step_fanouts is None
+
+
+def test_cost_model_prefers_filtering_atom_over_grown_relation(store):
+    # An unbound small filter beats scanning a grown relation: with `big` at
+    # 10k rows, the 40-row `filt` should be enumerated first even though it
+    # shares no variable with the delta.
+    rule = _rule(
+        Atom("q", (Var("x"), Var("y"))),
+        [
+            Atom("d", (Var("n"),)),
+            Atom("big", (Var("x"), Var("y"))),
+            Atom("filt", (Var("x"),)),
+        ],
+    )
+    stats = {
+        "d": RelationStats(1, (1,)),
+        "big": RelationStats(10_000, (100, 10_000)),
+        "filt": RelationStats(40, (40,)),
+    }
+    plan = plan_rule(rule, store, delta_index=0, delta_size=1, stats=stats)
+    order = [step.relation for step in plan.steps]
+    assert order == ["d", "filt", "big"]
+    # ... and big is then probed on its bound x column.
+    assert plan.steps[2].key_positions == (0,)
+
+
+def test_plan_cache_replans_on_drift(store):
+    rule = _rule(
+        Atom("tc", (Var("x"), Var("y"))),
+        [Atom("tc", (Var("x"), Var("z"))), Atom("edge", (Var("z"), Var("y")))],
+    )
+    cache = PlanCache(replan_threshold=10)
+    small = {"tc": RelationStats(2, (2, 2)), "edge": RelationStats(5, (4, 4))}
+    first = cache.plan_for(rule, store, delta_index=0, delta_size=2, stats=small)
+    assert cache.replan_count == 0 and cache.stats_epoch == 0
+    # Under 10x drift: the cached plan object is returned untouched.
+    drifted_a_bit = {
+        "tc": RelationStats(15, (5, 5)),
+        "edge": RelationStats(5, (4, 4)),
+    }
+    assert (
+        cache.plan_for(rule, store, delta_index=0, delta_size=4, stats=drifted_a_bit)
+        is first
+    )
+    # Past 10x: a new plan object, counters advance, epoch stamps the plan.
+    grown = {
+        "tc": RelationStats(500, (40, 40)),
+        "edge": RelationStats(5, (4, 4)),
+    }
+    replanned = cache.plan_for(
+        rule, store, delta_index=0, delta_size=40, stats=grown
+    )
+    assert replanned is not first
+    assert cache.replan_count == 1
+    assert cache.stats_epoch == 1
+    assert replanned.stats_epoch == 1
+    assert dict(replanned.stats_basis)["tc"] == 500
+    # Same join structure -> equal by value (the compiled-closure cache key),
+    # different provenance.
+    assert replanned == first
+
+
+def test_plan_cache_threshold_modes(store):
+    rule = _rule(Atom("q", (Var("x"),)), [Atom("node", (Var("x"),))])
+    stats = {"node": RelationStats(5, (5,))}
+    frozen = PlanCache(replan_threshold=float("inf"))
+    plan = frozen.plan_for(rule, store, stats=stats)
+    grown = {"node": RelationStats(50_000, (50_000,))}
+    assert frozen.plan_for(rule, store, stats=grown) is plan
+    assert frozen.replan_count == 0
+    eager = PlanCache(replan_threshold=1)
+    first = eager.plan_for(rule, store, stats=stats)
+    second = eager.plan_for(rule, store, stats=stats)  # zero drift still fires
+    assert second is not first
+    assert eager.replan_count == 1
+    # Plans without a basis (greedy fallback) never drift.
+    lazy = PlanCache(replan_threshold=1)
+    greedy = lazy.plan_for(rule, store)
+    assert lazy.plan_for(rule, store, stats=stats) is greedy
+    assert lazy.replan_count == 0
+
+
+def test_replanned_join_orders_agree_on_results(store):
+    # The same rule evaluated under wildly wrong statistics must still
+    # produce the reference solutions — stats steer cost, never semantics.
+    rule = _rule(
+        Atom("path", (Var("x"), Var("z"))),
+        [Atom("edge", (Var("x"), Var("y"))), Atom("edge", (Var("y"), Var("z")))],
+    )
+    for stats in (
+        None,
+        {"edge": RelationStats(5, (4, 4))},
+        {"edge": RelationStats(1_000_000, (1, 1))},
+    ):
+        plan = plan_rule(rule, store, stats=stats)
+        planned = _as_binding_set(rule_solutions(rule, store, plan=plan))
+        assert planned == _as_binding_set(reference_solutions(rule, store))
+
+
+def test_engine_exposes_replan_counters():
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("tc", [("a", "number"), ("b", "number")])
+    builder.rule("tc", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("tc", ["x", "y"], [("tc", ["x", "z"]), ("edge", ["z", "y"])])
+    builder.output("tc")
+    facts = {"edge": [(i, i + 1) for i in range(40)]}
+    eager = DatalogEngine(builder.build(), facts, replan_threshold=1)
+    eager.run()
+    assert eager.replan_count > 0
+    assert eager.stats_epoch == eager.replan_count
+    assert eager.plan_build_count > eager.replan_count  # first builds too
+    assert eager.stats_snapshot_count > 0
+    report = eager.plan_report()
+    assert any(entry["delta_index"] == 0 for entry in report)
+    text = eager.explain()
+    assert "replans=" in text and "est_fanout=" in text
+    frozen = DatalogEngine(builder.build(), facts, replan_threshold=float("inf"))
+    frozen.run()
+    assert frozen.replan_count == 0
+    assert frozen.query("tc").same_rows(eager.query("tc"))
 
 
 # ---------------------------------------------------------------------------

@@ -103,6 +103,23 @@ def _case_delta_nonlinear_second_position():
     return plan_rule(rule, _store(), delta_index=1, delta_size=2)
 
 
+def _case_negation_mid_step():
+    # The negation's variables are bound after step 0, so the batched probe
+    # (collect the level's keys, one lookup_many, filter) lands mid-plan,
+    # feeding the next step's solutions.
+    rule = Rule(
+        Atom("r", (Var("x"), Var("z"))),
+        (
+            Atom("node", (Var("x"),)),
+            Atom("edge", (Var("x"), Var("z"))),
+            NegatedAtom(Atom("cut", (Var("x"),))),
+        ),
+    )
+    store = _store()
+    store.add_many("cut", [(2,), (4,)])
+    return plan_rule(rule, store)
+
+
 def _case_constants_and_wildcards():
     rule = Rule(
         Atom("q", (Var("x"),)),
@@ -119,6 +136,7 @@ def _case_constants_and_wildcards():
 CASES = {
     "multi_atom_join": _case_multi_atom_join,
     "negation": _case_negation,
+    "negation_mid_step": _case_negation_mid_step,
     "comparison_guards": _case_comparison_guards,
     "aggregate_head": _case_aggregate_head,
     "delta_linear": _case_delta_linear,

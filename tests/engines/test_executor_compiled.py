@@ -70,6 +70,42 @@ def test_join_negation_and_guard_agree(store):
     assert derived  # not vacuous
 
 
+def test_later_negation_with_raising_key_is_not_batched(store):
+    """A later negation whose key uses arithmetic must not be pre-evaluated
+    for rows an earlier negation rejects: the interpreter rejects (2, 0) at
+    ``!a(x)`` and never computes ``10 / y``, so eager level-wide key
+    collection would raise a division-by-zero the interpreter doesn't."""
+    store.add_many("p", [(1, 2), (2, 0)])
+    store.add_many("a", [(2,)])
+    rule = Rule(
+        Atom("q", (Var("x"),)),
+        (
+            Atom("p", (Var("x"), Var("y"))),
+            NegatedAtom(Atom("a", (Var("x"),))),
+            NegatedAtom(Atom("b", (ArithExpr("/", Const(10), Var("y")),))),
+        ),
+    )
+    derived = _assert_executors_agree(rule, store)
+    assert derived == {(1,)}
+
+
+def test_first_negation_with_raising_key_still_agrees(store):
+    """Arithmetic in the *first* negation's key is evaluated for exactly the
+    rows that pass the guard ops on both executors — including the raise."""
+    store.add_many("p", [(1, 2), (2, 0)])
+    rule = Rule(
+        Atom("q", (Var("x"),)),
+        (
+            Atom("p", (Var("x"), Var("y"))),
+            NegatedAtom(Atom("b", (ArithExpr("/", Const(10), Var("y")),))),
+        ),
+    )
+    with pytest.raises(ExecutionError):
+        CompiledExecutor().evaluate_rule(rule, store)
+    with pytest.raises(ExecutionError):
+        evaluate_rule(rule, store)
+
+
 def test_delta_restricted_evaluation_agrees(store):
     rule = Rule(
         Atom("path", (Var("x"), Var("z"))),
