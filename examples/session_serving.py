@@ -1,0 +1,93 @@
+"""Serving workloads with a persistent session and prepared queries.
+
+The one-shot API recompiles plans and re-ingests the graph on every call —
+fine for a compiler demo, wrong for a server answering many requests over
+one graph.  This example shows the serving shape:
+
+1. open a session — the EDB is ingested **once**, indexes and statistics
+   are built on demand and then stay hot;
+2. prepare a query whose ``$personId`` is **late-bound** — the compiled
+   plan (and the generated Soufflé/SQL text) keeps the named placeholder;
+3. run it with several bindings — the engine's counters prove the warm
+   runs pay zero re-ingest, zero index rebuilds, zero plan recompiles;
+4. mutate the graph — the derived result is marked dirty and lazily
+   re-derived on the next run;
+5. route the same prepared text to other engines with ``session.execute``.
+
+Run with::
+
+    python examples/session_serving.py
+"""
+
+from repro import Raqlet
+
+SCHEMA = """
+CREATE GRAPH {
+  (personType : Person { id INT, firstName STRING, locationIP STRING }),
+  (cityType : City { id INT, name STRING }),
+  (:personType)-[locationType : isLocatedIn { id INT }]->(:cityType)
+}
+"""
+
+QUERY = """
+MATCH (n:Person {id: $personId})-[:IS_LOCATED_IN]->(p:City)
+RETURN DISTINCT n.firstName AS firstName, p.id AS cityId
+"""
+
+FACTS = {
+    "Person": [
+        (42, "Ada", "10.0.0.1"),
+        (43, "Alan", "10.0.0.2"),
+        (44, "Edgar", "10.0.0.3"),
+    ],
+    "City": [(1, "Edinburgh"), (2, "Lausanne")],
+    "Person_IS_LOCATED_IN_City": [(42, 1, 900), (43, 2, 901), (44, 1, 902)],
+}
+
+
+def main() -> None:
+    raqlet = Raqlet(SCHEMA)
+
+    with raqlet.session(FACTS) as session:  # EDB ingested once, right here
+        prepared = session.prepare(QUERY)
+        print(f"prepared with late-bound parameters: {prepared.param_names}")
+        print("generated SQL keeps the placeholder:")
+        print("   ...WHERE", prepared.compiled.sql_text().split("WHERE")[1].split(")")[0] + ")")
+        print()
+
+        for person_id in (42, 43, 44):
+            result = prepared.run(personId=person_id)
+            print(f"personId={person_id} -> {result.to_dicts()}")
+
+        engine = session.store
+        print()
+        print(f"result repr:    {prepared.run(personId=42)!r}")
+        print(f"ingests:        {session.ingest_count} (the whole point)")
+        print(f"plan builds:    {prepared.engine.plan_build_count}")
+        print(f"index builds:   {engine.index_build_count}")
+        print()
+
+        # Mutations mark derived results dirty; the next run re-derives
+        # against the still-hot indexes and plans.
+        session.insert("Person_IS_LOCATED_IN_City", [(42, 2, 903)])
+        print(f"after insert:   personId=42 -> {prepared.run(personId=42).to_dicts()}")
+        session.retract("Person_IS_LOCATED_IN_City", [(42, 2, 903)])
+        print(f"after retract:  personId=42 -> {prepared.run(personId=42).to_dicts()}")
+        print()
+
+        # The same prepared text routes to every engine that supports it.
+        for engine_name in ("datalog", "sqlite", "relational", "graph"):
+            result = session.execute(QUERY, engine=engine_name, personId=43)
+            print(f"{engine_name:<11} -> {sorted(result.rows)}")
+
+        agreed = all(
+            session.execute(QUERY, engine=name, personId=43).row_set()
+            == session.execute(QUERY, engine="datalog", personId=43).row_set()
+            for name in ("sqlite", "relational", "graph")
+        )
+        print(f"engines agree: {agreed}")
+        assert agreed
+
+
+if __name__ == "__main__":
+    main()

@@ -1,24 +1,35 @@
 """Raqlet: cross-paradigm compilation for recursive queries (reproduction).
 
-The public API is re-exported here; the typical entry point is
-:class:`repro.Raqlet`::
+The public API is re-exported here.  For serving workloads the entry point
+is a persistent session — compile once, bind per request, keep the store
+hot::
 
     from repro import Raqlet
     raqlet = Raqlet(schema_text)
+    session = raqlet.session(facts)
+    prepared = session.prepare("MATCH (n:Person {id: $personId}) ... ")
+    prepared.run(personId=42)
+    prepared.run(personId=99)     # warm: zero re-ingest, zero recompiles
+
+For one-off compilation the classic pipeline remains::
+
     compiled = raqlet.compile_cypher("MATCH (n:Person {id: 42}) ... ")
     print(compiled.datalog_text())
     print(compiled.sql_text())
 """
 
 from repro.pipeline import CompiledQuery, Raqlet
+from repro.session import PreparedQuery, Session
 from repro.engines.result import QueryResult
 from repro.schema import PGSchema, SchemaMapping, parse_pg_schema, pg_to_dl_schema
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "Raqlet",
     "CompiledQuery",
+    "Session",
+    "PreparedQuery",
     "QueryResult",
     "PGSchema",
     "SchemaMapping",

@@ -17,6 +17,7 @@ from repro.pgir.expr import (
     PGExpression,
     PGFunction,
     PGNot,
+    PGParam,
     PGProperty,
     PGVariable,
 )
@@ -45,6 +46,8 @@ def _expression_text(expression: PGExpression) -> str:
         if isinstance(expression.value, bool):
             return "true" if expression.value else "false"
         return str(expression.value)
+    if isinstance(expression, PGParam):
+        return f"${expression.name}"
     if isinstance(expression, PGProperty):
         return f"{expression.variable}.{expression.property_name}"
     if isinstance(expression, PGBinary):

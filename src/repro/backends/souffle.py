@@ -24,6 +24,7 @@ from repro.dlir.core import (
     Const,
     DLIRProgram,
     NegatedAtom,
+    Param,
     Rule,
     Term,
     Var,
@@ -36,6 +37,9 @@ def _term_text(term: Term) -> str:
         return term.name
     if isinstance(term, Wildcard):
         return "_"
+    if isinstance(term, Param):
+        # Named placeholder: prepared queries substitute the value per run.
+        return f"${term.name}"
     if isinstance(term, Const):
         if isinstance(term.value, str):
             return souffle_quote_string(term.value)

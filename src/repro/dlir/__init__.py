@@ -16,10 +16,15 @@ from repro.dlir.core import (
     DLIRProgram,
     Literal,
     NegatedAtom,
+    Param,
     Rule,
     Term,
     Var,
     Wildcard,
+    bind_parameters,
+    program_param_names,
+    rename_relations,
+    rule_param_names,
 )
 from repro.dlir.builder import ProgramBuilder
 from repro.dlir.from_pgir import PGIRToDLIR, translate_pgir_to_dlir
@@ -30,7 +35,12 @@ __all__ = [
     "Term",
     "Var",
     "Const",
+    "Param",
     "Wildcard",
+    "bind_parameters",
+    "program_param_names",
+    "rename_relations",
+    "rule_param_names",
     "ArithExpr",
     "Atom",
     "NegatedAtom",

@@ -76,6 +76,26 @@ class Wildcard(Term):
 
 
 @dataclass(frozen=True)
+class Param(Term):
+    """A **late-bound** query parameter, printed as ``$name``.
+
+    A parameter is a ground value whose *identity* is known at compile time
+    but whose *value* is only supplied at execution time (one binding per
+    run).  Structurally it behaves like :class:`Const` — it carries no
+    variables, counts as a bound position for planning and safety, and can
+    be propagated into atom argument positions — which is what lets one
+    compiled plan (and its generated closure) serve every binding of a
+    prepared query without recompilation.  Text backends keep the named
+    placeholder: Soufflé prints ``$name``, SQL prints ``:name``.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
 class ArithExpr(Term):
     """An arithmetic expression over terms: ``left op right``.
 
@@ -501,3 +521,195 @@ class DLIRProgram:
 def make_columns(names_and_types: Sequence[Tuple[str, DLType]]) -> Tuple[DLColumn, ...]:
     """Build a tuple of :class:`DLColumn` from ``(name, type)`` pairs."""
     return tuple(DLColumn(name, dl_type) for name, dl_type in names_and_types)
+
+
+def rename_relations(
+    program: DLIRProgram, mapping: Mapping[str, str]
+) -> DLIRProgram:
+    """Return a copy of ``program`` with relations renamed per ``mapping``.
+
+    Every occurrence is rewritten: schema declarations, rule heads, positive
+    and negated body atoms, outputs, inputs and inline fact keys.  Names
+    absent from ``mapping`` are kept.  Used by the session layer to give
+    each prepared query a private namespace for its generated IDB relations
+    (``Return`` → ``Return__q1``), so queries sharing one store can never
+    collide on generated names (or, worse, on their arities).
+    """
+    renamed = DLIRProgram(
+        schema=DLSchema(),
+        outputs=[mapping.get(name, name) for name in program.outputs],
+        inputs=[mapping.get(name, name) for name in program.inputs],
+        facts={
+            mapping.get(name, name): list(rows)
+            for name, rows in program.facts.items()
+        },
+    )
+    for relation in program.schema:
+        new_name = mapping.get(relation.name, relation.name)
+        renamed.schema.add(
+            relation if new_name == relation.name else replace(relation, name=new_name)
+        )
+
+    def rename_atom(atom: Atom) -> Atom:
+        new_name = mapping.get(atom.relation, atom.relation)
+        return atom if new_name == atom.relation else Atom(new_name, atom.terms)
+
+    for rule in program.rules:
+        body: List[Literal] = []
+        for literal in rule.body:
+            if isinstance(literal, Atom):
+                body.append(rename_atom(literal))
+            elif isinstance(literal, NegatedAtom):
+                body.append(NegatedAtom(rename_atom(literal.atom)))
+            else:
+                body.append(literal)
+        renamed.rules.append(
+            Rule(
+                head=rename_atom(rule.head),
+                body=tuple(body),
+                aggregations=rule.aggregations,
+                subsume_min=rule.subsume_min,
+                subsume_max=rule.subsume_max,
+            )
+        )
+    return renamed
+
+
+# ---------------------------------------------------------------------------
+# Late-bound parameters
+# ---------------------------------------------------------------------------
+
+
+def term_params(term: Term) -> Iterator[str]:
+    """Yield the parameter names occurring in ``term``."""
+    if isinstance(term, Param):
+        yield term.name
+    elif isinstance(term, ArithExpr):
+        yield from term_params(term.left)
+        yield from term_params(term.right)
+
+
+def rule_param_names(rule: Rule) -> List[str]:
+    """Return the parameter names referenced by ``rule``, without duplicates."""
+    names: List[str] = []
+
+    def collect(term: Term) -> None:
+        for name in term_params(term):
+            if name not in names:
+                names.append(name)
+
+    for term in rule.head.terms:
+        collect(term)
+    for literal in rule.body:
+        if isinstance(literal, Atom):
+            for term in literal.terms:
+                collect(term)
+        elif isinstance(literal, NegatedAtom):
+            for term in literal.atom.terms:
+                collect(term)
+        elif isinstance(literal, Comparison):
+            collect(literal.left)
+            collect(literal.right)
+    for aggregation in rule.aggregations:
+        if aggregation.argument is not None:
+            collect(aggregation.argument)
+    return names
+
+
+def program_param_names(program: DLIRProgram) -> List[str]:
+    """Return every parameter name referenced by ``program``, in rule order."""
+    names: List[str] = []
+    for rule in program.rules:
+        for name in rule_param_names(rule):
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def _bind_term(term: Term, values: Mapping[str, ConstValue]) -> Term:
+    if isinstance(term, Param):
+        if term.name not in values:
+            raise TranslationError(
+                f"no value supplied for query parameter ${term.name}"
+            )
+        return Const(values[term.name])
+    if isinstance(term, ArithExpr):
+        return ArithExpr(
+            term.op, _bind_term(term.left, values), _bind_term(term.right, values)
+        )
+    return term
+
+
+def bind_parameters(
+    program: DLIRProgram, values: Mapping[str, ConstValue]
+) -> DLIRProgram:
+    """Return a copy of ``program`` with every :class:`Param` replaced by the
+    :class:`Const` it is bound to in ``values``.
+
+    This is the *early-binding* escape hatch for backends that cannot accept
+    named placeholders at execution time (the in-repo relational engine); the
+    Datalog engine instead keeps the parameters late-bound and resolves them
+    per run.  A parameter without a value raises
+    :class:`~repro.common.errors.TranslationError`.
+    """
+    bound = program.copy()
+    new_rules: List[Rule] = []
+    for rule in bound.rules:
+        body: List[Literal] = []
+        for literal in rule.body:
+            if isinstance(literal, Atom):
+                body.append(
+                    Atom(
+                        literal.relation,
+                        tuple(_bind_term(term, values) for term in literal.terms),
+                    )
+                )
+            elif isinstance(literal, NegatedAtom):
+                body.append(
+                    NegatedAtom(
+                        Atom(
+                            literal.atom.relation,
+                            tuple(
+                                _bind_term(term, values)
+                                for term in literal.atom.terms
+                            ),
+                        )
+                    )
+                )
+            elif isinstance(literal, Comparison):
+                body.append(
+                    Comparison(
+                        literal.op,
+                        _bind_term(literal.left, values),
+                        _bind_term(literal.right, values),
+                    )
+                )
+            else:  # pragma: no cover - defensive
+                body.append(literal)
+        aggregations = tuple(
+            Aggregation(
+                func=aggregation.func,
+                result=aggregation.result,
+                argument=(
+                    _bind_term(aggregation.argument, values)
+                    if aggregation.argument is not None
+                    else None
+                ),
+                distinct=aggregation.distinct,
+            )
+            for aggregation in rule.aggregations
+        )
+        new_rules.append(
+            Rule(
+                head=Atom(
+                    rule.head.relation,
+                    tuple(_bind_term(term, values) for term in rule.head.terms),
+                ),
+                body=tuple(body),
+                aggregations=aggregations,
+                subsume_min=rule.subsume_min,
+                subsume_max=rule.subsume_max,
+            )
+        )
+    bound.rules = new_rules
+    return bound

@@ -31,6 +31,7 @@ from repro.dlir.core import (
     Const,
     DLIRProgram,
     Literal,
+    Param,
     Rule,
     Term,
     Var,
@@ -44,6 +45,7 @@ from repro.pgir.expr import (
     PGExpression,
     PGFunction,
     PGNot,
+    PGParam,
     PGProperty,
     PGVariable,
     split_conjunction,
@@ -717,6 +719,8 @@ class PGIRToDLIR:
             if expression.value is None:
                 raise UnsupportedFeatureError("null literals")
             return Const(expression.value)  # type: ignore[arg-type]
+        if isinstance(expression, PGParam):
+            return Param(expression.name)
         if isinstance(expression, PGVariable):
             info = body.scope.get(expression.name)
             if info is None:

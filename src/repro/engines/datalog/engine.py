@@ -29,7 +29,6 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.analysis.dependencies import build_dependency_graph
 from repro.analysis.stratification import stratify
 from repro.common.errors import ExecutionError
 from repro.dlir.core import Atom, DLIRProgram, Rule
@@ -93,6 +92,7 @@ class DatalogEngine:
         store: StoreSpec = None,
         executor: ExecutorSpec = None,
         replan_threshold: Optional[float] = None,
+        parameters: Optional[Mapping[str, object]] = None,
     ) -> None:
         problems = program.validate()
         if problems:
@@ -106,7 +106,9 @@ class DatalogEngine:
         # None honouring REPRO_EXECUTOR.  ``replan_threshold`` is the
         # cardinality drift factor that triggers adaptive re-planning
         # (default 10, env REPRO_REPLAN_THRESHOLD; 1 = re-plan every
-        # iteration, float("inf") = freeze first plans).
+        # iteration, float("inf") = freeze first plans).  ``parameters``
+        # binds the program's late-bound ``$name`` placeholders for this
+        # evaluation (rebind with ``reset(parameters=...)``).
         self._store = create_store(store, maintain_indexes=incremental_indexes)
         self._executor = create_executor(executor)
         self._replan_threshold = resolve_replan_threshold(replan_threshold)
@@ -115,15 +117,29 @@ class DatalogEngine:
             if reuse_plans
             else None
         )
+        self._params: Dict[str, object] = dict(parameters or {})
         self._evaluated = False
         self._iterations: Dict[str, int] = {}
+        self._strata: Optional[List[Sequence[str]]] = None
         self.stats_snapshot_count = 0
+        #: how many times :meth:`reset` cleared the IDB for re-derivation
+        self.reset_count = 0
+        self._idb_relations = set(program.idb_names())
+        self._store.mark_idb(self._idb_relations)
+        # Constructor-supplied facts landing on *derived* relations (a
+        # relation may have both rules and externally supplied seed rows)
+        # are remembered: reset() clears the whole IDB and must restore
+        # them alongside the program's own fact clauses.
+        self._seed_idb_facts: Dict[str, List[Tuple]] = {}
         with self._store.batch():
             for relation, rows in program.facts.items():
                 self._store.add_many(relation, (tuple(row) for row in rows))
             if facts:
                 for relation, rows in facts.items():
-                    self._store.add_many(relation, (tuple(row) for row in rows))
+                    materialised = [tuple(row) for row in rows]
+                    if relation in self._idb_relations:
+                        self._seed_idb_facts[relation] = materialised
+                    self._store.add_many(relation, materialised)
         self._subsumption = self._collect_subsumption_specs()
 
     # -- public API --------------------------------------------------------
@@ -160,16 +176,65 @@ class DatalogEngine:
         """Return the plan cache's statistics epoch (bumped per re-plan)."""
         return self._plans.stats_epoch if self._plans is not None else 0
 
+    @property
+    def parameters(self) -> Dict[str, object]:
+        """Return the late-bound parameter values of the current evaluation."""
+        return dict(self._params)
+
     def run(self) -> StoreBackend:
         """Evaluate the whole program; idempotent."""
         if self._evaluated:
             return self._store
-        graph = build_dependency_graph(self._program)
-        strata = stratify(self._program)
-        for stratum in strata:
-            self._evaluate_stratum(stratum, graph)
+        if self._strata is None:
+            # Stratification depends only on the (immutable) program, so
+            # warm re-runs after reset() reuse it.
+            self._strata = stratify(self._program)
+        for stratum in self._strata:
+            self._evaluate_stratum(stratum)
         self._evaluated = True
         return self._store
+
+    def reset(self, parameters: Optional[Mapping[str, object]] = None) -> None:
+        """Clear every derived (IDB) fact so the next :meth:`run` re-derives.
+
+        The expensive state survives: the EDB stays ingested, every index
+        stays registered (and is emptied in place, so ``index_build_count``
+        does not move), the :class:`PlanCache` keeps its plans and the
+        compiled executor its closures.  ``parameters`` optionally rebinds
+        the late-bound parameter values for the next evaluation — the warm
+        path of a :class:`~repro.session.PreparedQuery`.
+        """
+        with self._store.batch():
+            self._store.clear_idb(self._idb_relations)
+            for relation, rows in self._program.facts.items():
+                # Ground facts attached to derived relations (a relation can
+                # have both fact clauses and rules) were cleared with the
+                # IDB; restore them.
+                if relation in self._idb_relations:
+                    self._store.add_many(relation, (tuple(row) for row in rows))
+            for relation, rows in self._seed_idb_facts.items():
+                # Likewise for constructor-supplied seed rows on derived
+                # relations.
+                self._store.add_many(relation, rows)
+        self._subsumption = self._collect_subsumption_specs()
+        self._iterations = {}
+        self._evaluated = False
+        self.reset_count += 1
+        if parameters is not None:
+            self._params = dict(parameters)
+
+    def set_parameters(self, parameters: Mapping[str, object]) -> None:
+        """Bind parameter values for the next evaluation.
+
+        Rebinding after an evaluation requires :meth:`reset` first — the
+        derived facts in the store reflect the old binding.
+        """
+        if self._evaluated:
+            raise ExecutionError(
+                "engine already evaluated — call reset() before re-binding "
+                "parameters"
+            )
+        self._params = dict(parameters)
 
     def query(self, relation: Optional[str] = None) -> QueryResult:
         """Run the program (if needed) and return the rows of ``relation``.
@@ -373,7 +438,7 @@ class DatalogEngine:
                 fresh.add(row)
         return fresh
 
-    def _evaluate_stratum(self, stratum: Sequence[str], graph) -> None:
+    def _evaluate_stratum(self, stratum: Sequence[str]) -> None:
         stratum_set = set(stratum)
         rules = [
             rule for rule in self._program.rules if rule.head.relation in stratum_set
@@ -388,7 +453,6 @@ class DatalogEngine:
         defined_here = {
             rule.head.relation for rule in rules if rule.head.relation in stratum_set
         }
-        del graph  # the dependency graph is only needed for stratification
         recursive_relations = defined_here
         # The relations whose statistics matter to this stratum's plans: one
         # snapshot per iteration covers every positive body atom.
@@ -407,7 +471,10 @@ class DatalogEngine:
         with self._store.batch():
             for rule in rules:
                 derived = self._executor.evaluate_rule(
-                    rule, self._store, plan=self._plan(rule, stats=stats)
+                    rule,
+                    self._store,
+                    plan=self._plan(rule, stats=stats),
+                    params=self._params,
                 )
                 fresh = self._insert(rule.head.relation, derived)
                 delta[rule.head.relation].update(fresh)
@@ -444,6 +511,7 @@ class DatalogEngine:
                             delta_index=position,
                             delta_rows=view,
                             plan=self._plan(rule, position, len(view), stats=stats),
+                            params=self._params,
                         )
                         fresh = self._insert(rule.head.relation, derived)
                         new_delta[rule.head.relation].update(fresh)
@@ -461,7 +529,10 @@ def evaluate_program(
     relation: Optional[str] = None,
     store: StoreSpec = None,
     executor: ExecutorSpec = None,
+    parameters: Optional[Mapping[str, object]] = None,
 ) -> QueryResult:
     """Convenience wrapper: evaluate ``program`` and return one relation's rows."""
-    engine = DatalogEngine(program, facts, store=store, executor=executor)
+    engine = DatalogEngine(
+        program, facts, store=store, executor=executor, parameters=parameters
+    )
     return engine.query(relation)

@@ -26,11 +26,26 @@ from collections import defaultdict
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import ExecutionError
-from repro.dlir.core import ArithExpr, Const, Rule, Term, Var
+from repro.dlir.core import ArithExpr, Const, Param, Rule, Term, Var
 from repro.engines.datalog.planner import Guard, RulePlan, plan_rule
 from repro.engines.datalog.storage import DeltaView, StoreBackend
 
 Bindings = Dict[str, object]
+Params = Optional[Dict[str, object]]
+
+
+def param_bindings(params: Params) -> Bindings:
+    """Return the reserved ``$name`` bindings for one parameter assignment.
+
+    Late-bound parameters travel through evaluation as pre-seeded bindings
+    under ``$``-prefixed keys — rule variables are identifiers, so the
+    namespaces cannot collide and every downstream consumer (probe-key
+    assembly, guards, head projection) resolves them with the ordinary
+    bindings lookup.
+    """
+    if not params:
+        return {}
+    return {f"${name}": value for name, value in params.items()}
 
 
 def evaluate_term(term: Term, bindings: Bindings):
@@ -41,6 +56,13 @@ def evaluate_term(term: Term, bindings: Bindings):
         if term.name not in bindings:
             raise ExecutionError(f"variable {term.name!r} is not bound")
         return bindings[term.name]
+    if isinstance(term, Param):
+        key = f"${term.name}"
+        if key not in bindings:
+            raise ExecutionError(
+                f"no value bound for query parameter ${term.name}"
+            )
+        return bindings[key]
     if isinstance(term, ArithExpr):
         left = evaluate_term(term.left, bindings)
         right = evaluate_term(term.right, bindings)
@@ -143,13 +165,15 @@ def rule_solutions(
     delta_index: Optional[int] = None,
     delta_rows: Optional[Sequence[Tuple]] = None,
     plan: Optional[RulePlan] = None,
+    params: Params = None,
 ) -> Iterator[Bindings]:
     """Yield every variable binding satisfying the rule body.
 
     When ``delta_index`` is given, the positive atom at that body position
     draws its rows from ``delta_rows`` instead of the store (semi-naive
     evaluation).  ``plan`` supplies a precompiled strategy; omitted, one is
-    built for this call.
+    built for this call.  ``params`` supplies the run's late-bound
+    parameter values (seeded into the bindings under ``$name`` keys).
     """
     if plan is None:
         delta_size = len(delta_rows) if delta_rows is not None else 0
@@ -157,7 +181,7 @@ def rule_solutions(
     delta_view = resolve_delta_view(plan, delta_index, delta_rows)
     delta_body_index = plan.delta_index
 
-    bindings: Bindings = {}
+    bindings: Bindings = param_bindings(params)
     if not _apply_guard(plan.prelude, bindings, store):
         return
     steps = plan.steps
@@ -176,10 +200,21 @@ def rule_solutions(
             yield bindings
             return
         step = steps[position]
-        key = tuple(
-            bindings[source] if is_var else source
-            for is_var, source in step.key_sources
-        )
+        try:
+            key = tuple(
+                bindings[source] if is_var else source
+                for is_var, source in step.key_sources
+            )
+        except KeyError as exc:
+            # Probe keys read variables bound by earlier steps and the
+            # run's ``$name`` parameter seeds; surface a miss as the same
+            # ExecutionError the compiled executor raises.
+            missing = exc.args[0]
+            if isinstance(missing, str) and missing.startswith("$"):
+                raise ExecutionError(
+                    f"no value bound for query parameter {missing}"
+                ) from exc
+            raise ExecutionError(f"variable {missing!r} is not bound") from exc
         if step.body_index == delta_body_index and delta_view is not None:
             rows = delta_view.lookup(step.key_positions, key)
         else:
@@ -223,32 +258,45 @@ def evaluate_rule(
     delta_index: Optional[int] = None,
     delta_rows: Optional[Sequence[Tuple]] = None,
     plan: Optional[RulePlan] = None,
+    params: Params = None,
 ) -> Set[Tuple]:
     """Evaluate ``rule`` and return the derived head tuples."""
     if rule.aggregations:
         # Aggregate rules are always recomputed over the full store: a new
         # delta row can change the aggregate of groups derived earlier.
-        return _evaluate_aggregate_rule(rule, store, plan)
+        return _evaluate_aggregate_rule(rule, store, plan, params)
     derived: Set[Tuple] = set()
     head_terms = rule.head.terms
-    for bindings in rule_solutions(rule, store, delta_index, delta_rows, plan):
+    for bindings in rule_solutions(
+        rule, store, delta_index, delta_rows, plan, params=params
+    ):
         derived.add(tuple(evaluate_term(term, bindings) for term in head_terms))
     return derived
 
 
 def _evaluate_aggregate_rule(
-    rule: Rule, store: StoreBackend, plan: Optional[RulePlan] = None
+    rule: Rule,
+    store: StoreBackend,
+    plan: Optional[RulePlan] = None,
+    params: Params = None,
 ) -> Set[Tuple]:
-    return aggregate_solutions(rule, rule_solutions(rule, store, plan=plan))
+    return aggregate_solutions(
+        rule, rule_solutions(rule, store, plan=plan, params=params), params=params
+    )
 
 
-def aggregate_solutions(rule: Rule, solutions: Iterable[Bindings]) -> Set[Tuple]:
+def aggregate_solutions(
+    rule: Rule, solutions: Iterable[Bindings], params: Params = None
+) -> Set[Tuple]:
     """Group ``solutions`` and derive the aggregate rule's head tuples.
 
     Shared by the interpreted and compiled executors: the executor produces
     the body solutions (with whatever strategy), this computes the grouping,
-    distinct handling and aggregate functions on top.
+    distinct handling and aggregate functions on top.  ``params`` re-seeds
+    the ``$name`` bindings for solution dicts that do not carry them (the
+    compiled executor's aggregate path materialises only rule variables).
     """
+    seeded = param_bindings(params)
     group_keys = rule.group_by_variables()
     aggregate_by_result = {agg.result.name: agg for agg in rule.aggregations}
     groups: Dict[Tuple, Dict[str, List]] = defaultdict(
@@ -259,6 +307,10 @@ def aggregate_solutions(rule: Rule, solutions: Iterable[Bindings]) -> Set[Tuple]
     )
     group_bindings: Dict[Tuple, Bindings] = {}
     for bindings in solutions:
+        # Interpreter solutions (and compiled closures' bindings dicts)
+        # already carry the $ keys; only re-seed dicts that lack them.
+        if seeded and any(key not in bindings for key in seeded):
+            bindings = {**seeded, **bindings}
         key = tuple(bindings[name] for name in group_keys)
         group_bindings.setdefault(key, bindings)
         for name, aggregation in aggregate_by_result.items():

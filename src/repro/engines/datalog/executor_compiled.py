@@ -59,7 +59,16 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.common.errors import ExecutionError
-from repro.dlir.core import ArithExpr, Const, Rule, Term, Var, term_variables
+from repro.dlir.core import (
+    ArithExpr,
+    Const,
+    Param,
+    Rule,
+    Term,
+    Var,
+    rule_param_names,
+    term_variables,
+)
 from repro.engines.datalog.evaluation import (
     COMPARISON_TYPE_ERROR_FMT,
     _apply_arith,
@@ -88,11 +97,19 @@ def _unbound(name):
     raise ExecutionError(f"variable {name!r} is not bound")
 
 
+def _param(params, name):
+    """Resolve one late-bound parameter (the interpreter's error on a miss)."""
+    if params is None or name not in params:
+        raise ExecutionError(f"no value bound for query parameter ${name}")
+    return params[name]
+
+
 #: the globals every generated closure runs with
 _CLOSURE_GLOBALS = {
     "ExecutionError": ExecutionError,
     "_div": _div,
     "_unbound": _unbound,
+    "_param": _param,
     "_cmp_error": COMPARISON_TYPE_ERROR_FMT,
 }
 
@@ -121,6 +138,10 @@ class _PlanCompiler:
         self.slots: List[str] = []  # identifiers carried in solution tuples
         self.slot_idents: Set[str] = set()
         self.in_steps = False
+        # Late-bound parameters: hoisted into locals once per call, so the
+        # closure's signature (and source) only changes for parameterised
+        # rules — parameter-free plans generate byte-identical code.
+        self.param_names: Tuple[str, ...] = tuple(rule_param_names(self.rule))
 
     # -- small emission helpers ------------------------------------------
 
@@ -175,6 +196,11 @@ class _PlanCompiler:
     def _term(self, term: Term) -> str:
         if isinstance(term, Const):
             return self._literal(term.value)
+        if isinstance(term, Param):
+            ident = self.env.get(f"${term.name}")
+            if ident is None:  # pragma: no cover - hoist covers every rule param
+                raise CodegenError(f"parameter ${term.name} was not hoisted")
+            return ident
         if isinstance(term, Var):
             ident = self.env.get(term.name)
             if ident is None:
@@ -224,7 +250,7 @@ class _PlanCompiler:
         ):
             return False
         return all(
-            isinstance(term, (Const, Var))
+            isinstance(term, (Const, Var, Param))
             for negation in guard.negations[1:]
             for term in negation.terms
         )
@@ -321,7 +347,8 @@ class _PlanCompiler:
             raise CodegenError(
                 "compiled execution requires the delta atom at step 0"
             )
-        self.emit(f"def {self.function_name}(store, delta):", 0)
+        signature = "store, delta, params" if self.param_names else "store, delta"
+        self.emit(f"def {self.function_name}({signature}):", 0)
         delta_note = (
             f"  [delta at body position {plan.delta_index}]"
             if plan.delta_index is not None
@@ -330,6 +357,10 @@ class _PlanCompiler:
         self.emit(f"# {rule}{delta_note}", 1)
         self.emit("lookup = store.lookup", 1)
         self.emit("lookup_many = store.lookup_many", 1)
+        for name in self.param_names:
+            ident = self._fresh(name)
+            self.env[f"${name}"] = ident
+            self.emit(f"{ident} = _param(params, {name!r})", 1)
         self.emit("out = []" if is_aggregate else "out = set()", 1)
         self._emit_guard(plan.prelude, 1, "return out")
         self.in_steps = True
@@ -506,21 +537,31 @@ class CompiledPlan:
 
     ``fn(store, delta)`` returns the derived head-tuple set for plain rules
     and the list of body-solution bindings for aggregate rules (which are
-    then grouped by :func:`aggregate_solutions`).
+    then grouped by :func:`aggregate_solutions`).  Closures of parameterised
+    rules take the extra argument ``fn(store, delta, params)`` — the dict of
+    late-bound values, hoisted into locals at the top of the function —
+    which is what lets one compiled closure serve every parameter binding.
     """
 
     plan: RulePlan
     source: str
     fn: Callable
+    param_names: Tuple[str, ...] = ()
 
 
 def compile_plan(plan: RulePlan) -> CompiledPlan:
     """Generate, compile and return the closure for ``plan`` (uncached)."""
-    source = generate_plan_source(plan)
+    generator = _PlanCompiler(plan)
+    source = generator.generate()
     namespace = dict(_CLOSURE_GLOBALS)
     code = compile(source, f"<plan:{plan.rule.head.relation}>", "exec")
     exec(code, namespace)
-    return CompiledPlan(plan=plan, source=source, fn=namespace["_compiled_rule"])
+    return CompiledPlan(
+        plan=plan,
+        source=source,
+        fn=namespace["_compiled_rule"],
+        param_names=generator.param_names,
+    )
 
 
 # -- executor objects --------------------------------------------------------
@@ -538,8 +579,14 @@ class RuleExecutor:
         delta_index: Optional[int] = None,
         delta_rows: Optional[Sequence[Tuple]] = None,
         plan: Optional[RulePlan] = None,
+        params: Optional[Dict[str, object]] = None,
     ) -> Set[Tuple]:
-        """Evaluate one rule application; return the derived head tuples."""
+        """Evaluate one rule application; return the derived head tuples.
+
+        ``params`` supplies the run's late-bound parameter values (prepared
+        queries); plans and compiled closures are binding-independent, so
+        the same plan serves every ``params``.
+        """
         raise NotImplementedError
 
 
@@ -548,8 +595,10 @@ class InterpretedExecutor(RuleExecutor):
 
     name = "interpreted"
 
-    def evaluate_rule(self, rule, store, delta_index=None, delta_rows=None, plan=None):
-        return evaluate_rule(rule, store, delta_index, delta_rows, plan)
+    def evaluate_rule(
+        self, rule, store, delta_index=None, delta_rows=None, plan=None, params=None
+    ):
+        return evaluate_rule(rule, store, delta_index, delta_rows, plan, params)
 
 
 _UNSET = object()
@@ -580,6 +629,9 @@ class CompiledExecutor(RuleExecutor):
         # id -> (plan, compiled); the plan reference keeps the id alive.
         self._by_id: Dict[int, Tuple[RulePlan, Optional[CompiledPlan]]] = {}
         self.fallback_count = 0
+        #: closures actually generated+compiled (structural cache misses);
+        #: the session tests assert this stays flat across re-binds
+        self.compile_count = 0
 
     def compiled_for(self, plan: RulePlan) -> Optional[CompiledPlan]:
         """Return the cached closure for ``plan`` (``None`` = interpreter)."""
@@ -590,6 +642,7 @@ class CompiledExecutor(RuleExecutor):
         if compiled is _UNSET:
             try:
                 compiled = compile_plan(plan)
+                self.compile_count += 1
             except (CodegenError, SyntaxError):
                 compiled = None
                 self.fallback_count += 1
@@ -599,19 +652,27 @@ class CompiledExecutor(RuleExecutor):
         self._by_id[id(plan)] = (plan, compiled)
         return compiled
 
-    def evaluate_rule(self, rule, store, delta_index=None, delta_rows=None, plan=None):
+    def evaluate_rule(
+        self, rule, store, delta_index=None, delta_rows=None, plan=None, params=None
+    ):
         if plan is None:
             delta_size = len(delta_rows) if delta_rows is not None else 0
             plan = plan_rule(rule, store, delta_index, delta_size)
         compiled = self.compiled_for(plan)
         if compiled is None:
-            return evaluate_rule(rule, store, delta_index, delta_rows, plan)
+            return evaluate_rule(rule, store, delta_index, delta_rows, plan, params)
         if rule.aggregations:
             # Aggregates always recompute over the full store (a delta row
             # can change any group), exactly like the interpreter — which
             # also never checks them for a delta-position mismatch.
-            return aggregate_solutions(rule, compiled.fn(store, None))
+            if compiled.param_names:
+                solutions = compiled.fn(store, None, params)
+            else:
+                solutions = compiled.fn(store, None)
+            return aggregate_solutions(rule, solutions, params=params)
         delta = resolve_delta_view(plan, delta_index, delta_rows)
+        if compiled.param_names:
+            return compiled.fn(store, delta, params)
         return compiled.fn(store, delta)
 
 

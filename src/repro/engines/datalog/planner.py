@@ -51,6 +51,7 @@ from repro.dlir.core import (
     Comparison,
     Const,
     NegatedAtom,
+    Param,
     Rule,
     Term,
     Var,
@@ -228,7 +229,7 @@ def _atom_selectivity(
     shared = 0
     bound_positions = 0
     for term in atom.terms:
-        if isinstance(term, Const):
+        if isinstance(term, (Const, Param)):
             bound_positions += 1
         elif isinstance(term, Var) and term.name in bound:
             shared += 1
@@ -241,7 +242,7 @@ def _bound_positions(atom: Atom, bound: Set[str]) -> Tuple[List[int], int, int]:
     positions: List[int] = []
     shared = 0
     for position, term in enumerate(atom.terms):
-        if isinstance(term, Const):
+        if isinstance(term, (Const, Param)):
             positions.append(position)
         elif isinstance(term, Var) and term.name in bound:
             positions.append(position)
@@ -292,6 +293,13 @@ def _compile_step(
         if isinstance(term, Const):
             key_positions.append(position)
             key_sources.append((False, term.value))
+        elif isinstance(term, Param):
+            # Late-bound: the probe key reads the parameter's reserved
+            # binding (``$name`` — the prefix keeps it disjoint from rule
+            # variables, which are identifiers).  The plan itself stays
+            # binding-independent, so one plan serves every run.
+            key_positions.append(position)
+            key_sources.append((True, f"${term.name}"))
         elif isinstance(term, Var):
             if term.name in bound:
                 key_positions.append(position)

@@ -45,7 +45,7 @@ import abc
 import os
 from collections import defaultdict
 from contextlib import contextmanager
-from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.engines.datalog.statistics import (
     RelationStats,
@@ -172,6 +172,49 @@ class StoreBackend(abc.ABC):
         """Return :meth:`relation_stats` for each of ``names`` (the shape the
         planner's cost model consumes)."""
         return {name: self.relation_stats(name) for name in names}
+
+    # -- IDB/EDB partition --------------------------------------------------
+
+    def mark_idb(self, names: Iterable[str]) -> None:
+        """Record ``names`` as derived (IDB) relations of this store.
+
+        The partition is additive — a store shared by several prepared
+        queries accumulates every query's derived relations — and purely
+        advisory bookkeeping: it lets sessions distinguish the ingested EDB
+        (kept hot across runs) from derived results (cleared and lazily
+        re-derived after parameter re-binding or mutation).
+        """
+        marks = getattr(self, "_idb_marks", None)
+        if marks is None:
+            marks = set()
+            self._idb_marks = marks
+        marks.update(names)
+
+    def idb_marks(self) -> Set[str]:
+        """Return the relations marked as IDB (derived) on this store."""
+        return set(getattr(self, "_idb_marks", ()) or ())
+
+    def clear_relation(self, name: str) -> None:
+        """Remove every tuple of ``name``, keeping its indexes *registered*.
+
+        Unlike :meth:`replace` with no rows, clearing must not force index
+        rebuilds: an emptied index is still a valid index over the emptied
+        relation, so warm re-derivation after a session reset pays zero
+        ``index_build_count``.  This generic implementation falls back to
+        :meth:`replace`; both shipped backends override it.
+        """
+        self.replace(name, [])
+
+    def clear_idb(self, names: Optional[Iterable[str]] = None) -> None:
+        """Clear the relations in ``names`` (default: every marked IDB).
+
+        The engine's :meth:`~repro.engines.datalog.engine.DatalogEngine.reset`
+        passes its own program's IDB names so that several prepared queries
+        sharing one store never wipe each other's extensional data.
+        """
+        targets = self.idb_marks() if names is None else names
+        for name in targets:
+            self.clear_relation(name)
 
     # -- hooks (default no-ops) --------------------------------------------
 
@@ -394,6 +437,21 @@ class FactStore(StoreBackend):
         for row in replacement:
             self._stats.record_add(name, row)
         self._indexes.pop(name, None)
+
+    def clear_relation(self, name: str) -> None:
+        """Remove every tuple of ``name``, emptying (not dropping) its indexes.
+
+        The relation's existing hash indexes stay registered with empty
+        buckets — an empty index over an empty relation is exact — so a
+        session's warm re-derivation never pays an index rebuild
+        (``index_build_count`` is untouched; the benchmarks assert this).
+        """
+        self._relations[name] = set()
+        self._stats.record_clear(name)
+        indexes = self._indexes.get(name)
+        if indexes:
+            for index in indexes.values():
+                index.clear()
 
     # -- indexed access ------------------------------------------------------
 

@@ -253,6 +253,20 @@ class SQLiteFactStore(StoreBackend):
         elif entry is not None:
             self._table(name, entry[1])  # recreate the (empty) relation
 
+    def clear_relation(self, name: str) -> None:
+        """Remove every row of ``name``, keeping its table and indexes.
+
+        ``DELETE FROM`` leaves the table and every SQLite index in place
+        (SQLite maintains them through the delete), so a session's warm
+        re-derivation pays zero index rebuilds — mirroring the in-memory
+        store's in-place index emptying.
+        """
+        entry = self._tables.get(name)
+        if entry is None:
+            return
+        self._stats_cache.pop(name, None)
+        self._conn.execute(f"DELETE FROM {entry[0]}")
+
     # -- indexed access ----------------------------------------------------
 
     def lookup(self, name: str, positions: Sequence[int], key: Key) -> Sequence[Row]:

@@ -24,6 +24,7 @@ from repro.pgir.expr import (
     PGExpression,
     PGFunction,
     PGNot,
+    PGParam,
     PGProperty,
     PGVariable,
 )
@@ -360,6 +361,13 @@ class GraphEngine:
     def _eval(self, expression: PGExpression, row: Row):
         if isinstance(expression, PGConst):
             return expression.value
+        if isinstance(expression, PGParam):
+            # The graph interpreter has no runtime parameter binding: the
+            # session (or run_on_graph_engine) re-lowers with values
+            # inlined, so reaching a placeholder means none was supplied.
+            raise ExecutionError(
+                f"no value bound for query parameter ${expression.name}"
+            )
         if isinstance(expression, PGVariable):
             if expression.name not in row:
                 raise ExecutionError(f"variable {expression.name!r} is not bound")

@@ -32,6 +32,7 @@ from repro.sqir.nodes import (
     SQLExpr,
     SQLFunction,
     SQLLiteral,
+    SQLParam,
     SQIRQuery,
     TableRef,
 )
@@ -58,6 +59,11 @@ class _SelectEvaluator:
     def _eval(self, expression: SQLExpr, env: Env):
         if isinstance(expression, SQLLiteral):
             return expression.value
+        if isinstance(expression, SQLParam):
+            raise ExecutionError(
+                f"unbound query parameter {expression} — bind parameters "
+                "(repro.dlir.bind_parameters) before relational execution"
+            )
         if isinstance(expression, ColumnRef):
             key = (expression.table, expression.column)
             if key not in env:

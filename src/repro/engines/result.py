@@ -25,6 +25,19 @@ class QueryResult:
     def __iter__(self):
         return iter(self.rows)
 
+    def __repr__(self) -> str:
+        """A stable one-line summary: column names plus the row count.
+
+        Deliberately row-free so a REPL (or log line) never dumps a
+        million-row result; use :meth:`to_dicts` / :meth:`sorted_rows` for
+        the data itself.
+        """
+        row_word = "row" if len(self.rows) == 1 else "rows"
+        return (
+            f"QueryResult(columns=[{', '.join(self.columns)}], "
+            f"{len(self.rows)} {row_word})"
+        )
+
     def row_set(self) -> FrozenSet[Tuple]:
         """Return the rows as a frozen set (set-semantics view)."""
         return frozenset(self.rows)

@@ -70,10 +70,17 @@ class SQLiteExecutor:
 
     # -- execution ------------------------------------------------------------
 
-    def execute_sql(self, sql: str) -> QueryResult:
-        """Run ``sql`` (a single statement) and return its result rows."""
+    def execute_sql(
+        self, sql: str, parameters: Optional[Mapping[str, object]] = None
+    ) -> QueryResult:
+        """Run ``sql`` (a single statement) and return its result rows.
+
+        ``parameters`` binds named ``:name`` placeholders (the form the SQL
+        backend emits for late-bound query parameters) through SQLite's own
+        parameter binding.
+        """
         try:
-            cursor = self._connection.execute(sql)
+            cursor = self._connection.execute(sql, dict(parameters or {}))
         except sqlite3.Error as exc:
             raise ExecutionError(f"SQLite error: {exc}\nSQL was:\n{sql}") from exc
         columns = [description[0] for description in cursor.description or []]

@@ -8,6 +8,8 @@ Supported constructs (the subset Raqlet itself emits, plus ground facts):
 * rules ``Head(t, ...) :- Lit, ..., Lit.`` with positive atoms, negated atoms
   (``!Atom``), comparisons (``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``) and
   arithmetic in comparison operands and head arguments,
+* late-bound query parameters ``$name`` in term positions (bound per run
+  through the prepared-query API),
 * ground facts ``Name(1, "x").``,
 * ``//`` line comments.
 
@@ -32,6 +34,7 @@ from repro.dlir.core import (
     DLIRProgram,
     Literal,
     NegatedAtom,
+    Param,
     Rule,
     Term,
     Var,
@@ -44,6 +47,7 @@ _TOKEN_RE = re.compile(
     (?P<ws>\s+)
   | (?P<comment>//[^\n]*|\#[^\n]*)
   | (?P<directive>\.[A-Za-z_]+)
+  | (?P<parameter>\$[A-Za-z_][A-Za-z_0-9]*)
   | (?P<number>-?\d+\.\d+|-?\d+)
   | (?P<string>"(?:[^"\\]|\\.)*")
   | (?P<turnstile>:-)
@@ -258,6 +262,9 @@ class _Parser:
         if token.kind == "string":
             self._advance()
             return Const(token.text[1:-1].replace('\\"', '"').replace("\\\\", "\\"))
+        if token.kind == "parameter":
+            self._advance()
+            return Param(token.text[1:])
         if token.kind == "_":
             self._advance()
             return Wildcard()

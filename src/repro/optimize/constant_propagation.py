@@ -6,6 +6,11 @@ comparison that performed the binding is kept only when ``x`` appears in the
 head (so the head stays range-restricted after substitution the comparison is
 no longer needed there either, because the head occurrence is also replaced).
 
+Late-bound parameters (:class:`~repro.dlir.core.Param`) propagate exactly
+like constants: ``$p`` is a ground value at execution time, so pushing it
+into an atom argument turns a post-join filter into an index probe — the
+step that makes prepared queries as fast as queries with inlined values.
+
 Pushing constants into atoms is what later lets the engines use index lookups
 instead of full scans, and it exposes further simplification for the magic-set
 transformation.
@@ -13,30 +18,33 @@ transformation.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Union
 
 from repro.dlir.core import (
     Comparison,
     Const,
     DLIRProgram,
     Literal,
+    Param,
     Rule,
     Term,
     Var,
 )
 from repro.optimize.base import Pass
 
+_GroundTerm = Union[Const, Param]
 
-def _constant_bindings(rule: Rule) -> Dict[str, Const]:
-    """Return variables equated to constants by the rule body."""
-    bindings: Dict[str, Const] = {}
+
+def _constant_bindings(rule: Rule) -> Dict[str, _GroundTerm]:
+    """Return variables equated to constants (or parameters) by the body."""
+    bindings: Dict[str, _GroundTerm] = {}
     for comparison in rule.comparisons():
         if comparison.op != "=":
             continue
         left, right = comparison.left, comparison.right
-        if isinstance(left, Var) and isinstance(right, Const):
+        if isinstance(left, Var) and isinstance(right, (Const, Param)):
             bindings.setdefault(left.name, right)
-        elif isinstance(right, Var) and isinstance(left, Const):
+        elif isinstance(right, Var) and isinstance(left, (Const, Param)):
             bindings.setdefault(right.name, left)
     return bindings
 
@@ -75,6 +83,12 @@ class ConstantPropagation(Pass):
                     and isinstance(literal.right, Const)
                     and literal.left.value == literal.right.value
                 ):
+                    continue
+                if (
+                    isinstance(literal.left, Param)
+                    and literal.left == literal.right
+                ):
+                    # ``$p = $p`` holds for every binding.
                     continue
             body.append(literal)
         new_rule = substituted.with_body(body)

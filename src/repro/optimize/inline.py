@@ -27,6 +27,7 @@ from repro.dlir.core import (
     DLIRProgram,
     Literal,
     NegatedAtom,
+    Param,
     Rule,
     Term,
     Var,
@@ -67,6 +68,14 @@ def _unify_head(definition: Rule, call: Atom) -> Optional[List[Literal]]:
                 continue
             else:
                 extras.append(Comparison("=", call_term, head_term))
+        elif isinstance(head_term, Param):
+            if isinstance(call_term, Param) and call_term == head_term:
+                continue  # same parameter: trivially equal under any binding
+            if isinstance(call_term, Wildcard):
+                continue
+            # The parameter's value is unknown until run time: keep the
+            # equality as a residual comparison.
+            extras.append(Comparison("=", call_term, head_term))
         else:
             # Arithmetic heads are not inlined.
             return None

@@ -35,6 +35,7 @@ from repro.dlir.core import (
     DLIRProgram,
     Literal,
     NegatedAtom,
+    Param,
     Rule,
     Term,
     Var,
@@ -62,13 +63,18 @@ def _call_sites(program: DLIRProgram, predicate: str, component) -> List[Atom]:
 
 
 def _bound_positions(sites: Sequence[Atom]) -> Tuple[int, ...]:
-    """Return positions bound to a constant at every call site."""
+    """Return positions bound to a ground term at every call site.
+
+    Late-bound parameters count as bound: their value is fixed per run, so
+    a magic seed fact ``Magic_P($p)`` simply derives the binding's value at
+    execution time.
+    """
     if not sites:
         return ()
     arity = sites[0].arity
     positions = []
     for index in range(arity):
-        if all(isinstance(site.terms[index], Const) for site in sites):
+        if all(isinstance(site.terms[index], (Const, Param)) for site in sites):
             positions.append(index)
     return tuple(positions)
 
@@ -161,7 +167,7 @@ class MagicSets(Pass):
         head_bound_terms = []
         for index in bound:
             term = rule.head.terms[index]
-            if not isinstance(term, (Var, Const)):
+            if not isinstance(term, (Var, Const, Param)):
                 return None, []
             head_bound_terms.append(term)
         guard = Atom(magic_name, tuple(head_bound_terms))

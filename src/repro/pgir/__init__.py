@@ -17,6 +17,7 @@ from repro.pgir.expr import (
     PGExpression,
     PGFunction,
     PGNot,
+    PGParam,
     PGProperty,
     PGVariable,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "PGExpression",
     "PGVariable",
     "PGConst",
+    "PGParam",
     "PGProperty",
     "PGBinary",
     "PGNot",

@@ -1,9 +1,10 @@
 """PGIR expression language.
 
-PGIR expressions are a normalised form of Cypher expressions: parameters have
-been substituted, ``!=`` has been rewritten to ``<>``, and aggregation calls
-are explicit :class:`PGAggregate` nodes so later stages can detect them
-without knowing Cypher's function-name conventions.
+PGIR expressions are a normalised form of Cypher expressions: parameters with
+compile-time values have been substituted (the rest stay as late-bound
+:class:`PGParam` placeholders), ``!=`` has been rewritten to ``<>``, and
+aggregation calls are explicit :class:`PGAggregate` nodes so later stages can
+detect them without knowing Cypher's function-name conventions.
 """
 
 from __future__ import annotations
@@ -52,6 +53,21 @@ class PGConst(PGExpression):
         if isinstance(self.value, bool):
             return "true" if self.value else "false"
         return str(self.value)
+
+
+@dataclass(frozen=True)
+class PGParam(PGExpression):
+    """A **late-bound** query parameter reference ``$name``.
+
+    Produced when a ``$param`` has no value at compile time: the value is
+    supplied per execution (prepared-query style) instead of being inlined
+    as a :class:`PGConst`.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
 
 
 @dataclass(frozen=True)

@@ -7,7 +7,9 @@ The lowering normalises the query:
 * inline property maps such as ``{id: 42}`` become explicit WHERE conditions,
 * incoming relationship patterns are normalised to directed patterns by
   swapping their endpoints,
-* query parameters are substituted with the values supplied at compile time,
+* query parameters with values supplied at compile time are substituted;
+  parameters *without* a value stay as late-bound ``PGParam`` placeholders
+  (bound per execution through the prepared-query API),
 * ``ORDER BY``, ``SKIP`` and ``LIMIT`` are dropped with a warning (the paper
   removes them so that set-semantics backends produce equivalent results).
 """
@@ -27,6 +29,7 @@ from repro.pgir.expr import (
     PGExpression,
     PGFunction,
     PGNot,
+    PGParam,
     PGProperty,
     PGVariable,
     conjoin,
@@ -269,9 +272,9 @@ class _Lowerer:
             return PGConst(expression.value)
         if isinstance(expression, cy.Parameter):
             if expression.name not in self._parameters:
-                raise TranslationError(
-                    f"no value supplied for query parameter ${expression.name}"
-                )
+                # Late binding: the value arrives at execution time (through
+                # a prepared query), so keep the named placeholder.
+                return PGParam(expression.name)
             return PGConst(self._parameters[expression.name])  # type: ignore[arg-type]
         if isinstance(expression, cy.PropertyAccess):
             subject = expression.subject
@@ -325,7 +328,9 @@ def lower_cypher_to_pgir(
 ) -> LoweringResult:
     """Lower a parsed Cypher query into PGIR.
 
-    ``parameters`` supplies values for ``$param`` references; a missing value
-    raises :class:`~repro.common.errors.TranslationError`.
+    ``parameters`` supplies compile-time values for ``$param`` references; a
+    reference without a value is kept as a late-bound
+    :class:`~repro.pgir.expr.PGParam` placeholder and must be bound at
+    execution time (see :class:`repro.session.PreparedQuery`).
     """
     return _Lowerer(parameters).lower(query)

@@ -18,7 +18,7 @@ from repro.analysis import AnalysisReport, analyze_program
 from repro.analysis.report import BACKEND_CAPABILITIES, check_backend_support
 from repro.backends import dlir_to_souffle, pgir_to_cypher, sqir_to_sql
 from repro.common.errors import RaqletError, UnsupportedFeatureError
-from repro.dlir import DLIRProgram, translate_pgir_to_dlir
+from repro.dlir import DLIRProgram, program_param_names, translate_pgir_to_dlir
 from repro.engines.datalog import DatalogEngine
 from repro.engines.graph import GraphEngine, PropertyGraph
 from repro.engines.relational import Database, RelationalEngine
@@ -84,6 +84,15 @@ class CompiledQuery:
     def sql_text(self, optimized: bool = True, dialect: str = "ansi") -> str:
         """Return SQL text for the chosen program variant."""
         return sqir_to_sql(self.sqir(optimized), dialect=dialect)
+
+    def param_names(self, optimized: bool = True) -> List[str]:
+        """Return the names of the query's late-bound ``$name`` parameters.
+
+        These are the parameters *not* inlined at compile time; each
+        execution must supply a value for every one of them (see
+        :meth:`repro.session.PreparedQuery.run`).
+        """
+        return program_param_names(self.program(optimized))
 
     def backend_problems(self, backend: str) -> List[str]:
         """Return the reasons ``backend`` cannot run this query (empty = ok)."""
@@ -207,6 +216,34 @@ class Raqlet:
         else:
             compiled.dlir_optimized = compiled.dlir
 
+    # -- sessions -------------------------------------------------------------
+
+    def session(
+        self,
+        facts: Optional[FactsInput] = None,
+        *,
+        store=None,
+        executor=None,
+        **engine_options,
+    ):
+        """Open a persistent :class:`~repro.session.Session` over ``facts``.
+
+        The session owns one fact store (EDB ingest, indexes and statistics
+        are paid once), compiles queries with late-bound ``$name``
+        parameters through :meth:`~repro.session.Session.prepare`, routes
+        :meth:`~repro.session.Session.execute` across engines, and supports
+        :meth:`~repro.session.Session.insert` /
+        :meth:`~repro.session.Session.retract` mutations with lazy
+        re-derivation.  ``store`` / ``executor`` / ``engine_options`` are
+        resolved exactly like the one-shot API (``None`` honours
+        ``REPRO_STORE`` / ``REPRO_EXECUTOR``).
+        """
+        from repro.session import Session
+
+        return Session(
+            self, facts, store=store, executor=executor, **engine_options
+        )
+
     # -- execution ------------------------------------------------------------
 
     def datalog_engine(
@@ -214,6 +251,10 @@ class Raqlet:
         compiled: CompiledQuery,
         facts: FactsInput,
         optimized: bool = True,
+        *,
+        store=None,
+        executor=None,
+        parameters: Optional[Mapping[str, object]] = None,
         **engine_options,
     ) -> DatalogEngine:
         """Build (without running) a Datalog engine for the compiled query.
@@ -221,55 +262,129 @@ class Raqlet:
         Callers that need more than the result rows — the plan report
         (``engine.explain()``, the CLI's ``--explain``), re-plan counters,
         iteration counts — hold the engine; plain execution goes through
-        :meth:`run_on_datalog_engine`.
+        :meth:`run_on_datalog_engine`.  ``parameters`` binds late-bound
+        ``$name`` placeholders (merged over the compile-time values).
+        Store and executor selection routes through
+        :func:`repro.session.resolve_execution_options`, the single place
+        where ``None`` falls back to ``REPRO_STORE`` / ``REPRO_EXECUTOR``.
         """
-        return DatalogEngine(compiled.program(optimized), facts, **engine_options)
+        from repro.session import resolve_execution_options
+
+        resolved_store, resolved_executor = resolve_execution_options(
+            store,
+            executor,
+            maintain_indexes=engine_options.get("incremental_indexes", True),
+        )
+        return DatalogEngine(
+            compiled.program(optimized),
+            facts,
+            store=resolved_store,
+            executor=resolved_executor,
+            parameters={**compiled.parameters, **(parameters or {})},
+            **engine_options,
+        )
 
     def run_on_datalog_engine(
         self,
         compiled: CompiledQuery,
         facts: FactsInput,
         optimized: bool = True,
+        *,
+        store=None,
+        executor=None,
+        parameters: Optional[Mapping[str, object]] = None,
         **engine_options,
     ) -> QueryResult:
         """Execute the compiled query on the in-repo Datalog engine.
 
+        A thin wrapper over a **throwaway session**: the call builds a
+        :class:`~repro.session.Session`, prepares the compiled query, runs
+        it once with the query's compile-time parameters, and closes the
+        session.  Long-running callers should hold a session themselves
+        (:meth:`session`) so the EDB ingest, indexes, statistics and
+        compiled plans amortise across requests.
+
         ``engine_options`` are forwarded to :class:`DatalogEngine` — e.g.
-        ``store="sqlite"`` / ``store="sqlite:PATH"`` to select the
-        SQLite-backed fact store, ``executor="interpreted"`` /
-        ``executor="compiled"`` to pick the plan executor,
         ``replan_threshold`` to tune (or disable) statistics-driven
         re-planning, or ``incremental_indexes`` / ``reuse_plans`` to
-        benchmark the seed evaluation strategy.
+        benchmark the seed evaluation strategy; ``store`` / ``executor``
+        select the backend exactly as in :meth:`session`.
         """
-        engine = self.datalog_engine(compiled, facts, optimized, **engine_options)
-        return engine.query()
+        from repro.session import Session
+
+        session = Session(
+            self, facts, store=store, executor=executor, **engine_options
+        )
+        try:
+            return session.prepare(compiled, optimized=optimized).run(
+                parameters or {}
+            )
+        finally:
+            session.close()
 
     def run_on_relational_engine(
-        self, compiled: CompiledQuery, database: Database, optimized: bool = True
+        self,
+        compiled: CompiledQuery,
+        database: Database,
+        optimized: bool = True,
+        parameters: Optional[Mapping[str, object]] = None,
     ) -> QueryResult:
-        """Execute the generated SQIR on the in-repo relational engine."""
+        """Execute the generated SQIR on the in-repo relational engine.
+
+        ``parameters`` binds any late-bound ``$name`` placeholders before
+        translation (the relational engine has no runtime binding).
+        """
         problems = compiled.backend_problems("relational-engine")
         if problems:
             raise UnsupportedFeatureError("; ".join(problems), backend="relational-engine")
-        return RelationalEngine(database).execute(compiled.sqir(optimized))
+        program = compiled.program(optimized)
+        values = {**compiled.parameters, **(parameters or {})}
+        if program_param_names(program):
+            from repro.dlir import bind_parameters
+
+            program = bind_parameters(program, values)
+        return RelationalEngine(database).execute(translate_dlir_to_sqir(program))
 
     def run_on_sqlite(
-        self, compiled: CompiledQuery, executor: SQLiteExecutor, optimized: bool = True
+        self,
+        compiled: CompiledQuery,
+        executor: SQLiteExecutor,
+        optimized: bool = True,
+        parameters: Optional[Mapping[str, object]] = None,
     ) -> QueryResult:
-        """Execute the generated SQL text on SQLite."""
+        """Execute the generated SQL text on SQLite.
+
+        Late-bound parameters are emitted as named ``:name`` placeholders
+        and bound by SQLite itself, so the SQL text is reusable per binding.
+        """
         problems = compiled.backend_problems("sqlite")
         if problems:
             raise UnsupportedFeatureError("; ".join(problems), backend="sqlite")
-        return executor.execute_sql(compiled.sql_text(optimized, dialect="sqlite"))
+        values = {**compiled.parameters, **(parameters or {})}
+        return executor.execute_sql(
+            compiled.sql_text(optimized, dialect="sqlite"), values
+        )
 
     def run_on_graph_engine(
-        self, compiled: CompiledQuery, graph: PropertyGraph
+        self,
+        compiled: CompiledQuery,
+        graph: PropertyGraph,
+        parameters: Optional[Mapping[str, object]] = None,
     ) -> QueryResult:
-        """Execute the original (PGIR) query on the property-graph engine."""
+        """Execute the original (PGIR) query on the property-graph engine.
+
+        The graph interpreter evaluates PGIR directly, so late-bound
+        parameters are inlined by re-lowering the source with ``parameters``
+        merged over the compile-time values.
+        """
         if compiled.lowering is None:
             raise RaqletError("graph execution requires a Cypher input query")
-        return GraphEngine(graph).execute(compiled.lowering)
+        lowering = compiled.lowering
+        if compiled.param_names():
+            values = {**compiled.parameters, **(parameters or {})}
+            ast = parse_cypher(compiled.source_text)
+            lowering = lower_cypher_to_pgir(ast, values)
+        return GraphEngine(graph).execute(lowering)
 
     def run_everywhere(
         self,
@@ -281,26 +396,38 @@ class Raqlet:
         optimized: bool = True,
         datalog_store: Optional[str] = None,
         datalog_executor: Optional[str] = None,
+        parameters: Optional[Mapping[str, object]] = None,
     ) -> Dict[str, QueryResult]:
         """Run the query on every engine it supports and collect the results.
 
         Engines whose capability check rejects the query are skipped.
         ``datalog_store`` selects the Datalog engine's fact-store backend
-        (``"memory"``, ``"sqlite"``, ``"sqlite:PATH"``; defaults to the
-        ``REPRO_STORE`` environment variable, then ``"memory"``);
-        ``datalog_executor`` selects its plan executor (``"interpreted"``,
-        ``"compiled"``; defaults to ``REPRO_EXECUTOR``, then ``"compiled"``).
+        (``"memory"``, ``"sqlite"``, ``"sqlite:PATH"``) and
+        ``datalog_executor`` its plan executor (``"interpreted"``,
+        ``"compiled"``); both route through
+        :func:`repro.session.resolve_execution_options` — the single place
+        where ``None`` falls back to ``REPRO_STORE`` / ``REPRO_EXECUTOR``,
+        so forwarding an unset option never shadows the environment.
+        ``parameters`` binds any late-bound ``$name`` placeholders on every
+        engine.
         """
         results: Dict[str, QueryResult] = {}
         results["datalog"] = self.run_on_datalog_engine(
-            compiled, facts, optimized, store=datalog_store, executor=datalog_executor
+            compiled,
+            facts,
+            optimized,
+            store=datalog_store,
+            executor=datalog_executor,
+            parameters=parameters,
         )
         if database is not None and not compiled.backend_problems("relational-engine"):
             results["relational"] = self.run_on_relational_engine(
-                compiled, database, optimized
+                compiled, database, optimized, parameters
             )
         if sqlite_executor is not None and not compiled.backend_problems("sqlite"):
-            results["sqlite"] = self.run_on_sqlite(compiled, sqlite_executor, optimized)
+            results["sqlite"] = self.run_on_sqlite(
+                compiled, sqlite_executor, optimized, parameters
+            )
         if graph is not None and compiled.lowering is not None:
-            results["graph"] = self.run_on_graph_engine(compiled, graph)
+            results["graph"] = self.run_on_graph_engine(compiled, graph, parameters)
         return results

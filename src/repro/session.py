@@ -1,0 +1,584 @@
+"""Persistent graph sessions: compile once, bind per request, keep the store hot.
+
+The one-shot API (``Raqlet.run_on_datalog_engine``) rebuilds the world on
+every call: a fresh :class:`~repro.engines.datalog.engine.DatalogEngine`,
+a full EDB re-ingest, index builds, statistics accumulation and plan
+compilation — acceptable for a compiler demo, fatal for a serving system
+answering millions of requests against one graph.  A :class:`Session` is the
+embedded-database-style alternative (cf. SQLite's prepared statements,
+Soufflé's separation of program compilation from fact loading):
+
+* the session owns **one** :class:`~repro.engines.datalog.storage.StoreBackend`
+  whose EDB ingest, incremental indexes and statistics registry are paid
+  once and shared by every query;
+* :meth:`Session.prepare` compiles a query whose ``$name`` parameters stay
+  **late-bound** (:class:`~repro.dlir.core.Param` placeholders survive down
+  to the emitted Soufflé/SQL), returning a :class:`PreparedQuery`;
+* ``prepared.run(personId=42)`` substitutes the binding at execution time,
+  so :class:`~repro.engines.datalog.planner.PlanCache` entries, compiled
+  closures and relation statistics are reused across calls with different
+  arguments — a warm run performs **zero** fact re-ingest, **zero** index
+  rebuilds and **zero** plan recompiles;
+* :meth:`Session.insert` / :meth:`Session.retract` mutate the shared EDB and
+  mark every derived result dirty; the next run lazily re-derives (the
+  groundwork for incremental IDB maintenance).
+
+The lifecycle::
+
+    session = raqlet.session(facts)            # ingest once
+    prepared = session.prepare(cypher)         # compile once ($params stay)
+    prepared.run(personId=42)                  # bind + derive
+    prepared.run(personId=99)                  # warm: reuse plans/indexes
+    session.insert("Person_KNOWS_Person", [(42, 99, 7)])
+    prepared.run(personId=42)                  # dirty -> lazily re-derived
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.common.errors import RaqletError, UnsupportedFeatureError
+from repro.dlir import (
+    DLIRProgram,
+    bind_parameters,
+    program_param_names,
+    rename_relations,
+)
+from repro.engines.datalog.engine import DatalogEngine
+from repro.engines.datalog.executor_compiled import (
+    ExecutorSpec,
+    RuleExecutor,
+    create_executor,
+)
+from repro.engines.datalog.storage import StoreBackend, StoreSpec, create_store
+from repro.engines.result import QueryResult
+
+FactsInput = Mapping[str, Iterable[Tuple]]
+ParamValues = Mapping[str, object]
+
+#: engines :meth:`Session.execute` can route to ("auto" picks the Datalog
+#: engine, the only backend whose capability check never rejects a query)
+EXECUTION_ENGINES = ("auto", "datalog", "relational", "sqlite", "graph")
+
+
+def resolve_execution_options(
+    store: StoreSpec = None,
+    executor: ExecutorSpec = None,
+    *,
+    maintain_indexes: bool = True,
+) -> Tuple[StoreBackend, RuleExecutor]:
+    """Resolve store/executor specifications in **one** place.
+
+    ``None`` always falls through to the ``REPRO_STORE`` / ``REPRO_EXECUTOR``
+    environment variables (then the defaults) — both :class:`Session` and the
+    one-shot ``Raqlet.run_*`` entry points route through here, so no caller
+    can accidentally shadow the environment resolution by forwarding an
+    explicit ``None``.
+    """
+    return (
+        create_store(store, maintain_indexes=maintain_indexes),
+        create_executor(executor),
+    )
+
+
+def detect_query_language(text: str) -> str:
+    """Guess whether ``text`` is Datalog or Cypher.
+
+    Datalog is recognised by its syntax anchors — a rule turnstile
+    following an atom's closing parenthesis (so a ``":-"`` inside a Cypher
+    string literal does not misroute), or a ``.decl`` / ``.input`` /
+    ``.output`` directive.  Everything else is treated as Cypher; pass
+    ``language=`` to :meth:`Session.prepare` to override.
+    """
+    stripped = text.strip()
+    if re.search(r"\)\s*:-", stripped):
+        return "datalog"
+    if any(
+        line.strip().startswith((".decl", ".input", ".output"))
+        for line in stripped.splitlines()
+    ):
+        return "datalog"
+    return "cypher"
+
+
+class PreparedQuery:
+    """A compiled query bound to a session, executable with per-run parameters.
+
+    The prepared query owns one long-lived
+    :class:`~repro.engines.datalog.engine.DatalogEngine` over the session's
+    shared store.  The first :meth:`run` derives the result; later runs with
+    a different binding (or after a session mutation) clear only the derived
+    relations (:meth:`DatalogEngine.reset`) and re-derive against the still
+    hot EDB, indexes, statistics, plan cache and compiled closures.
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        compiled,  # repro.pipeline.CompiledQuery
+        optimized: bool = True,
+    ) -> None:
+        self._session = session
+        self.compiled = compiled
+        self._optimized = optimized
+        program: DLIRProgram = compiled.program(optimized)
+        # Generated IDB names ("Return", "Match1", magic predicates, ...)
+        # repeat across queries — and may even repeat with different
+        # arities, which a table-per-relation backend cannot absorb.  Each
+        # prepared query therefore derives into a private namespace on the
+        # shared store; the EDB names are untouched.
+        suffix = session._next_namespace()
+        self.namespace: Dict[str, str] = {
+            name: f"{name}{suffix}" for name in program.idb_names()
+        }
+        # The *original* names are recorded too, so mutation guards can
+        # reject inserts that would silently miss the renamed relation.
+        session._derived_originals.update(self.namespace)
+        self._program = rename_relations(program, self.namespace)
+        #: parameter names the program leaves late-bound
+        self.param_names: Tuple[str, ...] = tuple(
+            program_param_names(self._program)
+        )
+        # A relation can have both rules and externally supplied seed rows
+        # (Datalog programs routinely do).  Session facts ingested under
+        # the *original* name of a renamed derived relation must seed the
+        # renamed relation, or they would be invisible to the query.
+        seed_facts: Dict[str, List[Tuple]] = {}
+        for original, renamed in self.namespace.items():
+            rows = session.store.scan(original)
+            if rows:
+                seed_facts[renamed] = [tuple(row) for row in rows]
+        # The engine is built eagerly: program validation errors surface at
+        # prepare() time (like the one-shot API), and the engine's one-off
+        # costs (program fact ingest, subsumption specs) are paid here, not
+        # on the first request.  Seed rows on derived relations survive
+        # warm resets (the engine re-adds them after clearing its IDB).
+        self._engine = DatalogEngine(
+            self._program,
+            seed_facts or None,
+            store=session.store,
+            executor=session.executor,
+            **session.engine_options,
+        )
+        self._idb_relations = frozenset(self._program.idb_names())
+        self._derived = False
+        self._last_params: Optional[Dict[str, object]] = None
+        self._mutation_epoch = -1
+        #: wall-clock seconds of the most recent :meth:`run`
+        self.last_run_seconds = 0.0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def engine(self) -> DatalogEngine:
+        """Return the long-lived Datalog engine (counters, ``explain()``)."""
+        return self._engine
+
+    @property
+    def idb_relations(self) -> frozenset:
+        """Return the derived relations this query writes into the store."""
+        return self._idb_relations
+
+    def explain(
+        self, parameters: Optional[ParamValues] = None, **bindings: object
+    ) -> str:
+        """Run with the given binding and render the engine's plan report.
+
+        Without arguments the most recent binding is reused (a
+        parameterised query that has never run needs one, exactly like
+        :meth:`run`).
+        """
+        if parameters is None and not bindings and self._last_params is not None:
+            self.run(self._last_params)
+        else:
+            self.run(parameters, **bindings)
+        return self._engine.explain()
+
+    # -- execution ---------------------------------------------------------
+
+    def _resolve_params(
+        self, parameters: Optional[ParamValues], bindings: Mapping[str, object]
+    ) -> Dict[str, object]:
+        inlined = self.compiled.parameters
+        supplied: Dict[str, object] = dict(parameters or {})
+        supplied.update(bindings)
+        # A binding for a parameter that is *not* late-bound would be
+        # silently ignored — and if the query was compiled with the value
+        # inlined, the caller would get the old binding's rows back as if
+        # they were the answer.  Reject anything but a re-statement of the
+        # inlined value.
+        for name, value in supplied.items():
+            if name in self.param_names:
+                continue
+            if name in inlined:
+                if inlined[name] != value:
+                    raise RaqletError(
+                        f"query parameter ${name} was inlined at compile "
+                        f"time with value {inlined[name]!r}; prepare the "
+                        "query without compile-time parameters to bind it "
+                        "per run"
+                    )
+                continue
+            raise RaqletError(
+                f"unknown query parameter ${name}"
+                + (
+                    " (late-bound parameters: "
+                    + ", ".join(f"${p}" for p in self.param_names)
+                    + ")"
+                    if self.param_names
+                    else " (this query has no late-bound parameters)"
+                )
+            )
+        params: Dict[str, object] = dict(inlined)
+        params.update(supplied)
+        missing = [name for name in self.param_names if name not in params]
+        if missing:
+            raise RaqletError(
+                "missing value(s) for query parameter(s): "
+                + ", ".join(f"${name}" for name in sorted(missing))
+            )
+        return params
+
+    def _is_warm(self, params: Dict[str, object]) -> bool:
+        """Whether the previous derivation is still valid for ``params``.
+
+        Thanks to the per-query IDB namespace no other query can touch the
+        derived relations, so staleness reduces to two signals: the binding
+        and the session's mutation epoch.
+        """
+        return (
+            self._derived
+            and self._last_params == params
+            and self._mutation_epoch == self._session.mutation_epoch
+        )
+
+    def run(
+        self,
+        parameters: Optional[ParamValues] = None,
+        **bindings: object,
+    ) -> QueryResult:
+        """Execute with the given parameter binding and return the result.
+
+        Bindings may be passed as a mapping, as keyword arguments, or both
+        (keywords win).  A repeat run with the same binding and no
+        intervening mutation returns the already-derived result; any other
+        run resets only the derived relations and re-derives warm.
+        """
+        params = self._resolve_params(parameters, bindings)
+        started = time.perf_counter()
+        if not self._is_warm(params):
+            # Mark-dirty + lazy re-derive: clear this query's (namespaced)
+            # IDB relations and evaluate against the hot EDB.
+            self._engine.reset(parameters=params)
+            self._engine.run()
+            self._derived = True
+            self._last_params = dict(params)
+            self._mutation_epoch = self._session.mutation_epoch
+        result = self._engine.query()
+        self.last_run_seconds = time.perf_counter() - started
+        return result
+
+
+class Session:
+    """A long-lived execution context over one graph.
+
+    Constructed through :meth:`repro.pipeline.Raqlet.session`.  The session
+    resolves the store and executor **once** (``None`` honours
+    ``REPRO_STORE`` / ``REPRO_EXECUTOR``), ingests the extensional facts
+    once, and shares both with every query prepared or executed in it.
+    """
+
+    def __init__(
+        self,
+        raqlet,  # repro.pipeline.Raqlet
+        facts: Optional[FactsInput] = None,
+        *,
+        store: StoreSpec = None,
+        executor: ExecutorSpec = None,
+        **engine_options,
+    ) -> None:
+        self._raqlet = raqlet
+        # A caller-supplied StoreBackend instance stays under the caller's
+        # ownership; stores the session creates are closed by close().
+        self._owns_store = not isinstance(store, StoreBackend)
+        maintain_indexes = engine_options.get("incremental_indexes", True)
+        self._store, self._executor = resolve_execution_options(
+            store, executor, maintain_indexes=maintain_indexes
+        )
+        #: extra options forwarded to every prepared query's DatalogEngine
+        #: (``replan_threshold``, ``reuse_plans``, ``incremental_indexes``)
+        self.engine_options = dict(engine_options)
+        #: how many times the session ingested an EDB fact batch (the warm
+        #: path asserts this stays at 1)
+        self.ingest_count = 0
+        #: bumped by every insert()/retract(); prepared queries compare it
+        #: to decide whether their derived result is stale
+        self.mutation_epoch = 0
+        self._namespace_serial = 0
+        #: pre-namespace names of relations derived by prepared queries
+        self._derived_originals: set = set()
+        self._prepared: Dict[Tuple[str, str, bool, bool], PreparedQuery] = {}
+        # Lazily materialised secondary engines (invalidated on mutation).
+        self._sqlite_executor = None
+        self._relational_database = None
+        self._property_graph = None
+        self._closed = False
+        if facts:
+            self.ingest(facts)
+
+    # -- shared state ------------------------------------------------------
+
+    @property
+    def store(self) -> StoreBackend:
+        """Return the session's shared fact store."""
+        return self._store
+
+    @property
+    def executor(self) -> RuleExecutor:
+        """Return the session's shared rule executor (and closure cache)."""
+        return self._executor
+
+    @property
+    def raqlet(self):
+        """Return the compiler this session compiles queries with."""
+        return self._raqlet
+
+    def _next_namespace(self) -> str:
+        """Return a fresh IDB-namespace suffix for one prepared query."""
+        self._namespace_serial += 1
+        return f"__q{self._namespace_serial}"
+
+    def ingest(self, facts: FactsInput) -> None:
+        """Bulk-load extensional facts into the shared store (one batch).
+
+        Like :meth:`insert`, an ingest is a mutation: every prepared
+        query's derived result is marked stale and lazily re-derived on its
+        next run.
+        """
+        self._check_open()
+        for relation in facts:
+            self._check_extensional(relation)
+        self.ingest_count += 1
+        with self._store.batch():
+            for relation, rows in facts.items():
+                self._store.add_many(relation, (tuple(row) for row in rows))
+        self._note_mutation()
+
+    # -- preparing and executing queries -----------------------------------
+
+    def prepare(
+        self,
+        query,
+        *,
+        language: Optional[str] = None,
+        optimize: bool = True,
+        optimized: bool = True,
+    ) -> PreparedQuery:
+        """Compile ``query`` (Cypher text, Datalog text, or an existing
+        :class:`~repro.pipeline.CompiledQuery`) into a :class:`PreparedQuery`.
+
+        ``$name`` parameters are *not* inlined: they survive compilation as
+        late-bound placeholders and are supplied per :meth:`PreparedQuery.run`.
+        Text queries are cached, so preparing the same text twice returns
+        the same prepared query (and its warm engine).
+        """
+        self._check_open()
+        if not isinstance(query, str):
+            return PreparedQuery(self, query, optimized)
+        language = language or detect_query_language(query)
+        key = (language, query, optimize, optimized)
+        cached = self._prepared.get(key)
+        if cached is not None:
+            return cached
+        if language == "cypher":
+            compiled = self._raqlet.compile_cypher(query, optimize=optimize)
+        elif language == "datalog":
+            compiled = self._raqlet.compile_datalog(query, optimize=optimize)
+        else:
+            raise RaqletError(
+                f"unknown query language {language!r} "
+                "(expected 'cypher' or 'datalog')"
+            )
+        prepared = PreparedQuery(self, compiled, optimized)
+        self._prepared[key] = prepared
+        return prepared
+
+    def execute(
+        self,
+        query,
+        parameters: Optional[ParamValues] = None,
+        *,
+        engine: str = "auto",
+        language: Optional[str] = None,
+        **bindings: object,
+    ) -> QueryResult:
+        """Prepare (with caching) and run ``query`` on the chosen engine.
+
+        ``engine`` is one of ``"auto"`` (the Datalog engine — the only
+        backend that supports every analysed feature), ``"datalog"``,
+        ``"relational"``, ``"sqlite"`` or ``"graph"``; the non-default
+        engines are routed through the compiled query's
+        ``backend_problems()`` capability check first.
+        """
+        self._check_open()
+        if engine not in EXECUTION_ENGINES:
+            raise RaqletError(
+                f"unknown execution engine {engine!r} "
+                f"(expected one of {', '.join(EXECUTION_ENGINES)})"
+            )
+        prepared = self.prepare(query, language=language)
+        params = prepared._resolve_params(parameters, bindings)
+        if engine in ("auto", "datalog"):
+            return prepared.run(params)
+        if engine == "relational":
+            return self._execute_relational(prepared, params)
+        if engine == "sqlite":
+            return self._execute_sqlite(prepared, params)
+        return self._execute_graph(prepared, params)
+
+    # -- secondary engines -------------------------------------------------
+
+    def _check_capability(self, prepared: PreparedQuery, backend: str) -> None:
+        problems = prepared.compiled.backend_problems(backend)
+        if problems:
+            raise UnsupportedFeatureError("; ".join(problems), backend=backend)
+
+    def _edb_facts(self) -> Dict[str, List[Tuple]]:
+        """Materialise the session's current EDB from the shared store."""
+        facts: Dict[str, List[Tuple]] = {}
+        for relation in self._raqlet.dl_schema.edb_relations():
+            rows = self._store.scan(relation.name)
+            if rows:
+                facts[relation.name] = [tuple(row) for row in rows]
+        return facts
+
+    def _execute_relational(
+        self, prepared: PreparedQuery, params: Dict[str, object]
+    ) -> QueryResult:
+        from repro.engines.relational import Database, RelationalEngine
+        from repro.sqir import translate_dlir_to_sqir
+
+        self._check_capability(prepared, "relational-engine")
+        if self._relational_database is None:
+            database = Database()
+            for relation in self._raqlet.dl_schema.edb_relations():
+                database.create_table(relation.name, relation.column_names())
+                database.insert_many(relation.name, self._store.scan(relation.name))
+            self._relational_database = database
+        # The in-repo relational engine has no runtime parameter binding:
+        # substitute the values into the program and translate per run.
+        bound = bind_parameters(prepared._program, params)
+        return RelationalEngine(self._relational_database).execute(
+            translate_dlir_to_sqir(bound)
+        )
+
+    def _execute_sqlite(
+        self, prepared: PreparedQuery, params: Dict[str, object]
+    ) -> QueryResult:
+        from repro.engines.sqlite_exec import SQLiteExecutor
+
+        self._check_capability(prepared, "sqlite")
+        if self._sqlite_executor is None:
+            executor = SQLiteExecutor(self._raqlet.dl_schema, self._edb_facts())
+            executor.create_indexes()
+            self._sqlite_executor = executor
+        # The generated SQL keeps named ``:name`` placeholders; SQLite
+        # binds them natively, so the SQL text is also reusable per run.
+        sql = prepared.compiled.sql_text(prepared._optimized, dialect="sqlite")
+        return self._sqlite_executor.execute_sql(sql, params)
+
+    def _execute_graph(
+        self, prepared: PreparedQuery, params: Dict[str, object]
+    ) -> QueryResult:
+        from repro.engines.graph import GraphEngine, facts_to_property_graph
+
+        compiled = prepared.compiled
+        if compiled.lowering is None:
+            raise RaqletError("graph execution requires a Cypher input query")
+        if self._property_graph is None:
+            self._property_graph = facts_to_property_graph(
+                self._edb_facts(), self._raqlet.mapping
+            )
+        # The graph interpreter evaluates PGIR directly; re-lower with the
+        # binding inlined (compilation here is a few AST passes, not a plan
+        # rebuild — the graph engine has no cached plans to preserve).
+        bound = self._raqlet.compile_cypher(
+            compiled.source_text, params, optimize=False
+        )
+        assert bound.lowering is not None
+        return GraphEngine(self._property_graph).execute(bound.lowering)
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, relation: str, rows: Iterable[Tuple]) -> int:
+        """Insert extensional facts; returns how many were new.
+
+        Derived results are not touched here — every prepared query notices
+        the bumped mutation epoch and lazily re-derives on its next run
+        (mark-dirty + lazy re-derive; incremental IDB maintenance is the
+        planned refinement).
+        """
+        self._check_open()
+        self._check_extensional(relation)
+        with self._store.batch():
+            added = self._store.add_many(relation, (tuple(row) for row in rows))
+        self._note_mutation()
+        return added
+
+    def retract(self, relation: str, rows: Iterable[Tuple]) -> None:
+        """Remove extensional facts (absent rows are ignored)."""
+        self._check_open()
+        self._check_extensional(relation)
+        with self._store.batch():
+            for row in rows:
+                self._store.remove(relation, tuple(row))
+        self._note_mutation()
+
+    def _check_extensional(self, relation: str) -> None:
+        # Both name spaces are rejected: the renamed derived relations (the
+        # store's IDB marks) and their original names — an insert under an
+        # original name would land in the shared store but never reach the
+        # renamed relation the query actually derives into.
+        if relation in self._store.idb_marks() or relation in self._derived_originals:
+            raise RaqletError(
+                f"relation {relation!r} is derived by a query; "
+                "only extensional (EDB) relations can be mutated"
+            )
+
+    def _note_mutation(self) -> None:
+        self.mutation_epoch += 1
+        # Secondary engines are full materialisations; rebuild them lazily.
+        if self._sqlite_executor is not None:
+            self._sqlite_executor.close()
+            self._sqlite_executor = None
+        self._relational_database = None
+        self._property_graph = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RaqletError("session is closed")
+
+    def close(self) -> None:
+        """Release session resources (idempotent).
+
+        Stores the session created are closed; a caller-supplied store
+        instance is left open for its owner.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._sqlite_executor is not None:
+            self._sqlite_executor.close()
+            self._sqlite_executor = None
+        if self._owns_store:
+            self._store.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -16,6 +16,7 @@ from repro.sqir.nodes import (
     SQLExpr,
     SQLFunction,
     SQLLiteral,
+    SQLParam,
     SQIRQuery,
     SelectItem,
     SelectQuery,
@@ -29,6 +30,7 @@ __all__ = [
     "translate_sqir_to_dlir",
     "SQLExpr",
     "SQLLiteral",
+    "SQLParam",
     "ColumnRef",
     "SQLBinary",
     "SQLFunction",

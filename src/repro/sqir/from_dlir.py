@@ -29,6 +29,7 @@ from repro.dlir.core import (
     Const,
     DLIRProgram,
     NegatedAtom,
+    Param,
     Rule,
     Term,
     Var,
@@ -42,6 +43,7 @@ from repro.sqir.nodes import (
     SQLExpr,
     SQLFunction,
     SQLLiteral,
+    SQLParam,
     SQIRQuery,
     SelectItem,
     SelectQuery,
@@ -91,6 +93,8 @@ class _RuleTranslator:
                 continue
             if isinstance(term, Const):
                 self._where.append(SQLBinary("=", column, SQLLiteral(term.value)))
+            elif isinstance(term, Param):
+                self._where.append(SQLBinary("=", column, SQLParam(term.name)))
             elif isinstance(term, Var):
                 if term.name in self._bindings:
                     self._where.append(SQLBinary("=", self._bindings[term.name], column))
@@ -105,6 +109,8 @@ class _RuleTranslator:
         """Translate a term; returns ``None`` when a variable is not yet bound."""
         if isinstance(term, Const):
             return SQLLiteral(term.value)
+        if isinstance(term, Param):
+            return SQLParam(term.name)
         if isinstance(term, Var):
             return self._bindings.get(term.name)
         if isinstance(term, ArithExpr):
@@ -162,6 +168,8 @@ class _RuleTranslator:
                 continue
             if isinstance(term, Const):
                 conditions.append(SQLBinary("=", column, SQLLiteral(term.value)))
+            elif isinstance(term, Param):
+                conditions.append(SQLBinary("=", column, SQLParam(term.name)))
             elif isinstance(term, Var):
                 outer = self._bindings.get(term.name)
                 if outer is None:

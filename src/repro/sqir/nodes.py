@@ -30,6 +30,20 @@ class SQLLiteral(SQLExpr):
 
 
 @dataclass(frozen=True)
+class SQLParam(SQLExpr):
+    """A named placeholder ``:name`` bound at execution time.
+
+    SQLite binds these natively (``cursor.execute(sql, {"name": value})``);
+    other consumers substitute values before execution.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f":{self.name}"
+
+
+@dataclass(frozen=True)
 class ColumnRef(SQLExpr):
     """A column reference ``alias.column``."""
 

@@ -110,3 +110,11 @@ def test_paper_query_round_trips_through_datalog_frontend(paper_raqlet, paper_fa
     reparsed = parse_datalog(text)
     result = evaluate_program(reparsed, paper_facts, relation="Return")
     assert result.rows == [("Ada", 1)]
+
+
+def test_late_bound_parameters_keep_named_placeholders(paper_raqlet):
+    compiled = paper_raqlet.compile_cypher(
+        "MATCH (n:Person {id: $personId}) RETURN n.firstName AS firstName"
+    )
+    assert "$personId" in compiled.datalog_text()
+    assert "$personId" in compiled.datalog_text(optimized=False)

@@ -94,3 +94,13 @@ def test_group_concat_used_for_collect():
     sql = sqir_to_sql(translate_dlir_to_sqir(builder.build()), dialect="sqlite")
     assert "GROUP_CONCAT" in sql
     assert "GROUP BY" in sql
+
+
+def test_late_bound_parameters_emit_named_sql_placeholders(paper_raqlet):
+    compiled = paper_raqlet.compile_cypher(
+        "MATCH (n:Person {id: $personId}) RETURN n.firstName AS firstName"
+    )
+    for dialect in ("ansi", "sqlite"):
+        sql = compiled.sql_text(dialect=dialect)
+        assert ":personId" in sql
+        assert "$personId" not in sql

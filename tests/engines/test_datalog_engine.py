@@ -226,3 +226,24 @@ def test_fact_rule_heads_are_derived():
     builder.output("seed")
     result = evaluate_program(builder.build(), {}, relation="seed")
     assert result.rows == [(5,)]
+
+
+def test_reset_restores_seed_facts_on_derived_relations():
+    """Constructor facts attached to a relation that also has rules must
+    survive reset(): warm re-derivation equals the first derivation."""
+    from repro.frontend.datalog import parse_datalog
+
+    program = parse_datalog(
+        """
+.decl edge(a:number, b:number)
+.decl path(a:number, b:number)
+path(a, b) :- edge(a, b).
+path(a, c) :- path(a, b), edge(b, c).
+.output path
+"""
+    )
+    engine = DatalogEngine(program, {"edge": [(1, 2)], "path": [(10, 11)]})
+    first = engine.query("path").row_set()
+    assert first == {(1, 2), (10, 11)}
+    engine.reset()
+    assert engine.query("path").row_set() == first

@@ -35,3 +35,11 @@ def test_iteration_and_len():
     result = QueryResult.from_rows(["a"], [(1,), (2,)])
     assert list(result) == [(1,), (2,)]
     assert len(result) == 2
+
+
+def test_repr_is_stable_and_row_free():
+    result = QueryResult.from_rows(["a", "b"], [(1, "x"), (2, "y")])
+    assert repr(result) == "QueryResult(columns=[a, b], 2 rows)"
+    single = QueryResult.from_rows(["n"], [(1,)])
+    assert repr(single) == "QueryResult(columns=[n], 1 row)"
+    assert "x" not in repr(result)  # data never leaks into the repr

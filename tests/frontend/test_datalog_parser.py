@@ -143,3 +143,31 @@ def test_parsed_program_runs_on_engine():
     result = evaluate_program(program, relation="tc")
     assert (1, 4) in result.row_set()
     assert len(result) == 6
+
+
+def test_parameter_terms_parse_and_run_late_bound():
+    from repro.dlir.core import Param
+    from repro.engines.datalog import evaluate_program
+
+    program = parse_datalog(
+        """
+.decl edge(a:number, b:number)
+.decl hop(a:number, b:number)
+hop(a, b) :- edge(a, b), a = $src.
+.output hop
+edge(1, 2).
+edge(2, 3).
+"""
+    )
+    comparison = program.rules[0].comparisons()[0]
+    assert comparison.right == Param("src")
+    result = evaluate_program(program, relation="hop", parameters={"src": 2})
+    assert result.row_set() == {(2, 3)}
+
+
+def test_parameter_fact_clause_becomes_a_rule():
+    # A "fact" with a parameter is not ground: it must stay a rule whose
+    # head is evaluated per binding.
+    program = parse_datalog(".decl seed(a:number)\nseed($start).\n.output seed")
+    assert program.facts == {}
+    assert len(program.rules) == 1 and program.rules[0].is_fact()

@@ -176,6 +176,23 @@ def test_cli_ldbc_runs_all_engines(capsys):
     assert "engines agree: True" in captured.out
 
 
+def test_cli_ldbc_repeat_warm_path(capsys, monkeypatch):
+    # Pin the default re-plan threshold: the always-replan stress leg
+    # rebuilds plans on purpose, which would falsify plan_builds=1.
+    monkeypatch.delenv("REPRO_REPLAN_THRESHOLD", raising=False)
+    exit_code = main(
+        ["ldbc", "--query", "sq1", "--scale", "40", "--repeat", "3", "--explain"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "warm session path (3 runs)" in captured.out
+    assert "run 1 (cold)" in captured.out
+    assert "run 3 (warm)" in captured.out
+    # The whole point of the session: one ingest, one plan build, no re-plans.
+    assert "ingests=1 plan_builds=1 replans=0" in captured.out
+    assert "datalog plan report" in captured.out
+
+
 def test_cli_rejects_bad_parameter_syntax(schema_and_query_files):
     schema_path, query_path = schema_and_query_files
     with pytest.raises(SystemExit):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.errors import TranslationError, UnsupportedFeatureError
 from repro.frontend.cypher import parse_cypher
-from repro.pgir import lower_cypher_to_pgir
+from repro.pgir import lower_cypher_to_pgir, pgir_to_text
 from repro.pgir.expr import PGBinary, PGConst, PGProperty
 from repro.pgir.nodes import PGDirection, PGMatch, PGReturn, PGWhere, PGWith
 
@@ -110,9 +110,13 @@ def test_parameters_substituted():
     assert where.condition.right == PGConst(7)
 
 
-def test_missing_parameter_raises():
-    with pytest.raises(TranslationError):
-        _lower("MATCH (n:Person {id: $personId}) RETURN n.id AS id")
+def test_missing_parameter_stays_late_bound():
+    # A parameter without a compile-time value is no longer an error: it
+    # lowers to a PGParam placeholder, bound at execution time through the
+    # prepared-query API.
+    lowering = _lower("MATCH (n:Person {id: $personId}) RETURN n.id AS id")
+    text = pgir_to_text(lowering.query)
+    assert "$personId" in text
 
 
 def test_order_by_and_limit_dropped_with_warning():
