@@ -93,6 +93,7 @@ class DatalogEngine:
         executor: ExecutorSpec = None,
         replan_threshold: Optional[float] = None,
         parameters: Optional[Mapping[str, object]] = None,
+        ivm: bool = False,
     ) -> None:
         problems = program.validate()
         if problems:
@@ -124,6 +125,15 @@ class DatalogEngine:
         self.stats_snapshot_count = 0
         #: how many times :meth:`reset` cleared the IDB for re-derivation
         self.reset_count = 0
+        # ``ivm`` keeps the incremental maintainer primed after every full
+        # derivation so EDB deltas can be applied via :meth:`maintain`
+        # without re-deriving; see repro.engines.datalog.ivm.
+        self._ivm = bool(ivm)
+        self._maintainer = None
+        #: how many delta batches the incremental maintainer applied
+        self.maintain_count = 0
+        #: how many :meth:`maintain` calls fell back to full re-derivation
+        self.full_rederive_count = 0
         self._idb_relations = set(program.idb_names())
         self._store.mark_idb(self._idb_relations)
         # Constructor-supplied facts landing on *derived* relations (a
@@ -192,6 +202,12 @@ class DatalogEngine:
         for stratum in self._strata:
             self._evaluate_stratum(stratum)
         self._evaluated = True
+        if self._ivm:
+            # Prime right after derivation, while the store holds exactly
+            # the derived state (counts and aggregate snapshots are exact).
+            maintainer = self._ensure_maintainer()
+            if maintainer.maintainable:
+                maintainer.prime()
         return self._store
 
     def reset(self, parameters: Optional[Mapping[str, object]] = None) -> None:
@@ -220,8 +236,71 @@ class DatalogEngine:
         self._iterations = {}
         self._evaluated = False
         self.reset_count += 1
+        if self._maintainer is not None:
+            # The sidecar counts describe the cleared derivation; the next
+            # run() re-primes them.
+            self._maintainer.invalidate()
         if parameters is not None:
             self._params = dict(parameters)
+
+    @property
+    def ivm(self) -> bool:
+        """Whether incremental view maintenance is enabled."""
+        return self._ivm
+
+    @property
+    def maintainer(self):
+        """Return the incremental maintainer (``None`` until first used)."""
+        return self._maintainer
+
+    def _ensure_maintainer(self):
+        if self._maintainer is None:
+            # Imported lazily: ivm.py imports evaluation/storage, and
+            # eager import here would cost every non-IVM engine the load.
+            from repro.engines.datalog.ivm import IncrementalMaintainer
+
+            self._maintainer = IncrementalMaintainer(self)
+        return self._maintainer
+
+    def maintain(
+        self,
+        added: Mapping[str, Set[Tuple]],
+        removed: Mapping[str, Set[Tuple]],
+    ) -> bool:
+        """Fold one EDB delta batch into the derived store.
+
+        ``added``/``removed`` map extensional relations to the *effective*
+        row deltas the caller already applied to the store (added rows are
+        present, removed rows are gone).  On return the store again holds
+        the program's full derivation.  Always succeeds — when the program
+        is unmaintainable or maintenance errors out, the engine falls back
+        to a full ``reset()`` + ``run()`` and bumps ``full_rederive_count``
+        (the incremental path bumps ``maintain_count`` instead, which is
+        how tests prove IVM actually ran).
+        """
+        if not self._evaluated:
+            # Nothing derived yet: the next run() sees the new EDB anyway.
+            self.run()
+            return True
+        maintainer = self._ensure_maintainer() if self._ivm else self._maintainer
+        if maintainer is not None and maintainer.maintainable and maintainer.primed:
+            try:
+                maintainer.maintain(added, removed)
+                self.maintain_count += 1
+                return True
+            except Exception:
+                # The maintainer may have re-added retracted EDB rows (its
+                # union state) before failing; put the EDB back on the new
+                # state so the fallback derives from the right facts.  The
+                # reset() below clears any partial IDB writes wholesale.
+                with self._store.batch():
+                    for relation, rows in removed.items():
+                        for row in rows:
+                            self._store.remove(relation, tuple(row))
+        self.full_rederive_count += 1
+        self.reset()
+        self.run()
+        return True
 
     def set_parameters(self, parameters: Mapping[str, object]) -> None:
         """Bind parameter values for the next evaluation.

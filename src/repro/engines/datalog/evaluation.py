@@ -113,6 +113,17 @@ def _compare(op: str, left, right) -> bool:
     raise ExecutionError(f"unknown comparison operator {op!r}")
 
 
+def comparison_holds(op: str, left, right) -> bool:
+    """Evaluate one comparison operator on already-evaluated operands.
+
+    Public entry point shared with the incremental maintainer, which
+    re-checks rule comparisons outside a plan's guard machinery.  Raises
+    :class:`ExecutionError` on mixed-type ordering comparisons, exactly
+    like both executors.
+    """
+    return _compare(op, left, right)
+
+
 def _apply_guard(guard: Guard, bindings: Bindings, store: StoreBackend) -> bool:
     """Run a guard in place; return ``False`` when a check fails."""
     for op in guard.ops:

@@ -106,8 +106,13 @@ class StoreBackend(abc.ABC):
         """Insert many rows; return how many were new."""
 
     @abc.abstractmethod
-    def remove(self, name: str, row: Row) -> None:
-        """Remove ``row`` if present (used by subsumption)."""
+    def remove(self, name: str, row: Row) -> bool:
+        """Remove ``row`` if present; return ``True`` when it was removed.
+
+        The return value is the *effective* delta (used by subsumption and
+        by the session's mutation log feeding incremental maintenance):
+        removing an absent row returns ``False`` and changes nothing.
+        """
 
     @abc.abstractmethod
     def replace(self, name: str, rows: Iterable[Row]) -> None:
@@ -403,19 +408,19 @@ class FactStore(StoreBackend):
             indexes.clear()
         return len(fresh)
 
-    def remove(self, name: str, row: Row) -> None:
-        """Remove ``row`` if present (used by subsumption)."""
+    def remove(self, name: str, row: Row) -> bool:
+        """Remove ``row`` if present; return ``True`` when it was removed."""
         relation = self._relations[name]
         if row not in relation:
-            return
+            return False
         relation.discard(row)
         self._stats.record_remove(name, row)
         indexes = self._indexes.get(name)
         if not indexes:
-            return
+            return True
         if not self._maintain:
             indexes.clear()
-            return
+            return True
         for positions, index in indexes.items():
             key = tuple(row[i] for i in positions)
             bucket = index.get(key)
@@ -424,6 +429,7 @@ class FactStore(StoreBackend):
             bucket.remove(row)
             if not bucket:
                 del index[key]
+        return True
 
     def replace(self, name: str, rows: Iterable[Row]) -> None:
         """Replace the whole relation with ``rows``.

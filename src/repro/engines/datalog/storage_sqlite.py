@@ -219,18 +219,19 @@ class SQLiteFactStore(StoreBackend):
             if own_batch:
                 self.end_batch()
 
-    def remove(self, name: str, row: Row) -> None:
-        """Remove ``row`` if present (used by subsumption)."""
+    def remove(self, name: str, row: Row) -> bool:
+        """Remove ``row`` if present; return ``True`` when it was removed."""
         entry = self._tables.get(name)
         if entry is None:
-            return
+            return False
         row = self._prepare_row(name, row)
         table, arity = entry
         if len(row) != arity:
-            return
+            return False
         self._stats_cache.pop(name, None)
         where = " AND ".join(f"c{i} IS ?" for i in range(arity))
-        self._conn.execute(f"DELETE FROM {table} WHERE {where}", row)
+        cursor = self._conn.execute(f"DELETE FROM {table} WHERE {where}", row)
+        return cursor.rowcount > 0
 
     def replace(self, name: str, rows: Iterable[Row]) -> None:
         """Replace the whole relation with ``rows``.

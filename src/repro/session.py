@@ -20,8 +20,11 @@ Soufflé's separation of program compilation from fact loading):
   arguments — a warm run performs **zero** fact re-ingest, **zero** index
   rebuilds and **zero** plan recompiles;
 * :meth:`Session.insert` / :meth:`Session.retract` mutate the shared EDB and
-  mark every derived result dirty; the next run lazily re-derives (the
-  groundwork for incremental IDB maintenance).
+  log the *effective* per-row delta; on its next run each prepared query
+  folds the rows logged since its last derivation and hands them to the
+  engine's incremental maintainer (:mod:`repro.engines.datalog.ivm`), so
+  mutation cost scales with |Δ|, not |IDB| — programs the maintainer cannot
+  handle fall back transparently to mark-dirty + full re-derivation.
 
 The lifecycle::
 
@@ -57,6 +60,14 @@ from repro.engines.result import QueryResult
 
 FactsInput = Mapping[str, Iterable[Tuple]]
 ParamValues = Mapping[str, object]
+
+#: a delta-log entry: ``(relation, row, +1 | -1)``; the sentinel
+#: ``_BULK_MUTATION`` marks a bulk ingest whose per-row delta was not
+#: tracked, forcing consumers behind it onto the full re-derivation path
+_BULK_MUTATION: Tuple[Optional[str], Optional[Tuple], int] = (None, None, 0)
+
+#: delta-log length beyond which fully-consumed prefixes are compacted
+_DELTA_LOG_COMPACT_THRESHOLD = 256
 
 #: engines :meth:`Session.execute` can route to ("auto" picks the Datalog
 #: engine, the only backend whose capability check never rejects a query)
@@ -166,6 +177,10 @@ class PreparedQuery:
         self._derived = False
         self._last_params: Optional[Dict[str, object]] = None
         self._mutation_epoch = -1
+        #: position in the session's delta log up to which this query's
+        #: derivation is current (``None`` until the first derivation)
+        self._delta_pos: Optional[int] = None
+        session._register_prepared(self)
         #: wall-clock seconds of the most recent :meth:`run`
         self.last_run_seconds = 0.0
 
@@ -269,16 +284,43 @@ class PreparedQuery:
         params = self._resolve_params(parameters, bindings)
         started = time.perf_counter()
         if not self._is_warm(params):
-            # Mark-dirty + lazy re-derive: clear this query's (namespaced)
-            # IDB relations and evaluate against the hot EDB.
-            self._engine.reset(parameters=params)
-            self._engine.run()
-            self._derived = True
-            self._last_params = dict(params)
+            if not self._maintain_incrementally(params):
+                # Mark-dirty + lazy re-derive: clear this query's
+                # (namespaced) IDB relations and evaluate against the hot
+                # EDB.  This is the cold path (first run, new binding) and
+                # the fallback when the delta cannot be maintained.
+                self._engine.reset(parameters=params)
+                self._engine.run()
+                self._derived = True
+                self._last_params = dict(params)
             self._mutation_epoch = self._session.mutation_epoch
+            self._delta_pos = self._session._log_position()
         result = self._engine.query()
         self.last_run_seconds = time.perf_counter() - started
         return result
+
+    def _maintain_incrementally(self, params: Dict[str, object]) -> bool:
+        """Fold the EDB rows mutated since the last derivation into the
+        engine's incremental maintainer.
+
+        Only applicable when the previous derivation exists, used the same
+        binding, and every mutation since is covered by the session's
+        per-row delta log (a bulk :meth:`Session.ingest` is not).  Returns
+        ``True`` when the derived relations were brought current.
+        """
+        if not (
+            self._session._ivm
+            and self._derived
+            and self._last_params == params
+            and self._delta_pos is not None
+        ):
+            return False
+        delta = self._session._fold_delta(self._delta_pos)
+        if delta is None:
+            return False
+        added, removed = delta
+        self._engine.maintain(added, removed)
+        return True
 
 
 class Session:
@@ -308,8 +350,19 @@ class Session:
             store, executor, maintain_indexes=maintain_indexes
         )
         #: extra options forwarded to every prepared query's DatalogEngine
-        #: (``replan_threshold``, ``reuse_plans``, ``incremental_indexes``)
+        #: (``replan_threshold``, ``reuse_plans``, ``incremental_indexes``,
+        #: ``ivm``).  Sessions enable incremental view maintenance by
+        #: default — pass ``ivm=False`` to force mark-dirty + re-derive.
         self.engine_options = dict(engine_options)
+        self.engine_options.setdefault("ivm", True)
+        self._ivm = bool(self.engine_options["ivm"])
+        # Append-only log of effective EDB row mutations ``(relation, row,
+        # ±1)``; each prepared query remembers the position its derivation
+        # is current at and folds the suffix on its next run.  Consumed
+        # prefixes are compacted away in _note_mutation().
+        self._delta_log: List[Tuple[Optional[str], Optional[Tuple], int]] = []
+        self._delta_log_offset = 0
+        self._all_prepared: List[PreparedQuery] = []
         #: how many times the session ingested an EDB fact batch (the warm
         #: path asserts this stays at 1)
         self.ingest_count = 0
@@ -364,6 +417,10 @@ class Session:
         with self._store.batch():
             for relation, rows in facts.items():
                 self._store.add_many(relation, (tuple(row) for row in rows))
+        # Bulk loads skip per-row delta tracking (that is what makes them
+        # fast); the sentinel forces every consumer behind this point onto
+        # the full re-derivation path once.
+        self._delta_log.append(_BULK_MUTATION)
         self._note_mutation()
 
     # -- preparing and executing queries -----------------------------------
@@ -515,26 +572,44 @@ class Session:
     def insert(self, relation: str, rows: Iterable[Tuple]) -> int:
         """Insert extensional facts; returns how many were new.
 
-        Derived results are not touched here — every prepared query notices
-        the bumped mutation epoch and lazily re-derives on its next run
-        (mark-dirty + lazy re-derive; incremental IDB maintenance is the
-        planned refinement).
+        Derived results are not touched here — each prepared query notices
+        the bumped mutation epoch on its next run and folds the logged
+        per-row delta into its engine's incremental maintainer (falling
+        back to a full re-derivation when the program is unmaintainable).
+        Already-present rows change nothing and are not logged: the delta
+        log records *effective* mutations only.
         """
         self._check_open()
         self._check_extensional(relation)
+        added = 0
         with self._store.batch():
-            added = self._store.add_many(relation, (tuple(row) for row in rows))
+            for row in rows:
+                row = tuple(row)
+                if self._store.add(relation, row):
+                    added += 1
+                    self._delta_log.append((relation, row, 1))
         self._note_mutation()
         return added
 
-    def retract(self, relation: str, rows: Iterable[Tuple]) -> None:
-        """Remove extensional facts (absent rows are ignored)."""
+    def retract(self, relation: str, rows: Iterable[Tuple]) -> int:
+        """Remove extensional facts; returns how many were present.
+
+        Absent rows are ignored (and not logged).  Retracting a row that
+        also supports a derived fact through a rule never over-deletes: the
+        maintainer counts derivations per row (or re-derives, in recursive
+        strata), so the derived fact survives as long as any support does.
+        """
         self._check_open()
         self._check_extensional(relation)
+        removed = 0
         with self._store.batch():
             for row in rows:
-                self._store.remove(relation, tuple(row))
+                row = tuple(row)
+                if self._store.remove(relation, row):
+                    removed += 1
+                    self._delta_log.append((relation, row, -1))
         self._note_mutation()
+        return removed
 
     def _check_extensional(self, relation: str) -> None:
         # Both name spaces are rejected: the renamed derived relations (the
@@ -549,12 +624,73 @@ class Session:
 
     def _note_mutation(self) -> None:
         self.mutation_epoch += 1
+        self._compact_delta_log()
         # Secondary engines are full materialisations; rebuild them lazily.
         if self._sqlite_executor is not None:
             self._sqlite_executor.close()
             self._sqlite_executor = None
         self._relational_database = None
         self._property_graph = None
+
+    # -- the delta log -----------------------------------------------------
+
+    def _register_prepared(self, prepared: PreparedQuery) -> None:
+        self._all_prepared.append(prepared)
+
+    def _log_position(self) -> int:
+        """Return the log position representing "current as of now"."""
+        return self._delta_log_offset + len(self._delta_log)
+
+    def _fold_delta(
+        self, position: int
+    ) -> Optional[Tuple[Dict[str, set], Dict[str, set]]]:
+        """Fold the log suffix since ``position`` into ``(added, removed)``.
+
+        Opposite mutations of the same row cancel (each entry is an
+        *effective* change, so an insert following a retract restores the
+        original row exactly).  Returns ``None`` when the suffix contains a
+        bulk-ingest sentinel or was compacted away — the caller must take
+        the full re-derivation path.
+        """
+        start = position - self._delta_log_offset
+        if start < 0:
+            return None
+        added: Dict[str, set] = {}
+        removed: Dict[str, set] = {}
+        for relation, row, sign in self._delta_log[start:]:
+            if sign == 0:
+                return None
+            if sign > 0:
+                rows = removed.get(relation)
+                if rows is not None and row in rows:
+                    rows.discard(row)
+                else:
+                    added.setdefault(relation, set()).add(row)
+            else:
+                rows = added.get(relation)
+                if rows is not None and row in rows:
+                    rows.discard(row)
+                else:
+                    removed.setdefault(relation, set()).add(row)
+        return added, removed
+
+    def _compact_delta_log(self) -> None:
+        """Drop the log prefix every prepared query has already consumed."""
+        if len(self._delta_log) < _DELTA_LOG_COMPACT_THRESHOLD:
+            return
+        end = self._log_position()
+        floor = min(
+            (
+                prepared._delta_pos
+                for prepared in self._all_prepared
+                if prepared._delta_pos is not None
+            ),
+            default=end,
+        )
+        drop = floor - self._delta_log_offset
+        if drop > 0:
+            del self._delta_log[:drop]
+            self._delta_log_offset = floor
 
     # -- lifecycle ---------------------------------------------------------
 

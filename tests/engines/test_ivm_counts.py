@@ -1,0 +1,194 @@
+"""Hypothesis contract tests for the IVM counting sidecar.
+
+Property-based pinning of the sidecar invariants on both backends:
+
+* **counts never go negative** — after any mutation sequence every stored
+  count is positive, and for counting-maintained relations the set of
+  counted rows is exactly the set of stored rows;
+* **retract ∘ insert is the identity** — inserting a batch and retracting
+  it again restores the store (EDB and IDB) and the sidecar bit-for-bit;
+* **duplicate inserts are idempotent** — set semantics: re-inserting
+  present rows is an effective no-op, both through the engine and through
+  ``Session.insert`` (which reports 0 new rows and logs nothing).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Raqlet
+from repro.dlir.builder import ProgramBuilder
+from repro.dlir.core import Aggregation, Var
+from repro.engines.datalog import DatalogEngine
+from repro.engines.datalog.ivm import CountSidecar, IVMError
+
+STORES = ["memory", "sqlite"]
+
+#: small domain so mutation sequences collide often (the interesting case)
+_row = st.tuples(st.integers(0, 4), st.integers(0, 4))
+_rows = st.frozensets(_row, max_size=10)
+_mutations = st.lists(st.tuples(st.booleans(), _row), max_size=12)
+
+_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def _program():
+    """Counting stratum (projection + aggregate) over one EDB relation."""
+    builder = ProgramBuilder()
+    builder.edb("edge", [("a", "number"), ("b", "number")])
+    builder.idb("p", [("a", "number"), ("b", "number")])
+    builder.idb("t", [("a", "number")])
+    builder.idb("deg", [("a", "number"), ("n", "number")])
+    builder.rule("p", ["x", "y"], [("edge", ["x", "y"])])
+    builder.rule("t", ["x"], [("edge", ["x", "_"])])
+    builder.rule(
+        "deg", ["x", "n"], [("edge", ["x", "y"])],
+        aggregations=[Aggregation("count", Var("n"), argument=Var("y"))],
+    )
+    return builder.output("p").output("t").output("deg").build()
+
+
+def _snapshot(engine):
+    """Store contents of every relation plus the sidecar counts."""
+    state = {
+        relation: frozenset(map(tuple, engine.store.scan(relation)))
+        for relation in ("edge", "p", "t", "deg")
+    }
+    counts = {
+        relation: engine.maintainer.counts.relation_counts(relation)
+        for relation in ("p", "t", "deg")
+    }
+    return state, counts
+
+
+def _apply(engine, added, removed):
+    for row in added:
+        engine.store.add("edge", row)
+    for row in removed:
+        engine.store.remove("edge", row)
+    engine.maintain({"edge": set(added)}, {"edge": set(removed)})
+
+
+@pytest.mark.parametrize("store", STORES)
+@_SETTINGS
+@given(initial=_rows, mutations=_mutations)
+def test_counts_stay_positive_and_match_store(store, initial, mutations):
+    engine = DatalogEngine(
+        _program(), {"edge": sorted(initial)}, store=store, ivm=True
+    )
+    engine.run()
+    edges = set(initial)
+    for insert, row in mutations:
+        if insert and row not in edges:
+            edges.add(row)
+            _apply(engine, {row}, set())
+        elif not insert and row in edges:
+            edges.discard(row)
+            _apply(engine, set(), {row})
+        counts = engine.maintainer.counts
+        for relation in ("p", "t", "deg"):
+            per_row = counts.relation_counts(relation)
+            assert all(count > 0 for count in per_row.values()), (
+                f"{store}: negative/zero count survived in {relation}"
+            )
+            assert set(per_row) == set(
+                map(tuple, engine.store.scan(relation))
+            ), f"{store}: sidecar and store disagree on {relation}"
+    assert engine.full_rederive_count == 0
+    engine.store.close()
+
+
+@pytest.mark.parametrize("store", STORES)
+@_SETTINGS
+@given(initial=_rows, batch=_rows)
+def test_retract_of_insert_is_identity(store, initial, batch):
+    engine = DatalogEngine(
+        _program(), {"edge": sorted(initial)}, store=store, ivm=True
+    )
+    engine.run()
+    before = _snapshot(engine)
+    effective = batch - initial
+    _apply(engine, effective, set())
+    _apply(engine, set(), effective)
+    assert _snapshot(engine) == before, (
+        f"{store}: insert-then-retract of {sorted(effective)} did not "
+        "restore the store and sidecar"
+    )
+    assert engine.full_rederive_count == 0
+    engine.store.close()
+
+
+@pytest.mark.parametrize("store", STORES)
+@_SETTINGS
+@given(initial=_rows)
+def test_duplicate_insert_is_idempotent(store, initial):
+    engine = DatalogEngine(
+        _program(), {"edge": sorted(initial)}, store=store, ivm=True
+    )
+    engine.run()
+    before = _snapshot(engine)
+    # Set semantics: re-adding present rows is not an effective delta.
+    # The store reports them as non-new; the (empty) delta is a no-op.
+    effective = {row for row in initial if engine.store.add("edge", row)}
+    assert effective == set()
+    engine.maintain({"edge": effective}, {})
+    assert _snapshot(engine) == before
+    assert engine.full_rederive_count == 0
+    engine.store.close()
+
+
+# -- session-level set semantics -------------------------------------------
+
+_SESSION_SCHEMA = """
+CREATE GRAPH {
+  (personType : Person { id INT, firstName STRING, locationIP STRING }),
+  (:personType)-[knowsType : knows { id INT }]->(:personType)
+}
+"""
+
+
+@pytest.mark.parametrize("store", STORES)
+def test_session_duplicate_insert_and_absent_retract(store):
+    raqlet = Raqlet(_SESSION_SCHEMA)
+    facts = {
+        "Person": [(1, "a", "ip"), (2, "b", "ip")],
+        "Person_KNOWS_Person": [(1, 2, 7)],
+    }
+    with raqlet.session(facts, store=store) as session:
+        prepared = session.prepare(
+            "MATCH (a:Person {id: $src})-[:KNOWS*]->(b:Person) "
+            "RETURN DISTINCT b.id AS reachable"
+        )
+        assert set(prepared.run(src=1).rows) == {(2,)}
+        # duplicate insert: 0 new rows, nothing logged, result unchanged
+        assert session.insert("Person_KNOWS_Person", [(1, 2, 7)]) == 0
+        assert set(prepared.run(src=1).rows) == {(2,)}
+        # retract of an absent row: 0 removed, result unchanged
+        assert session.retract("Person_KNOWS_Person", [(9, 9, 9)]) == 0
+        assert set(prepared.run(src=1).rows) == {(2,)}
+        # insert-then-retract round trip is the identity
+        assert session.insert("Person_KNOWS_Person", [(2, 1, 8)]) == 1
+        assert session.retract("Person_KNOWS_Person", [(2, 1, 8)]) == 1
+        assert set(prepared.run(src=1).rows) == {(2,)}
+        assert prepared.engine.full_rederive_count == 0
+
+
+# -- the sidecar's own contract --------------------------------------------
+
+
+def test_sidecar_rejects_negative_counts():
+    sidecar = CountSidecar()
+    sidecar.adjust("p", (1, 2), 1)
+    assert sidecar.get("p", (1, 2)) == 1
+    assert sidecar.adjust("p", (1, 2), -1) == 0
+    assert sidecar.relation_counts("p") == {}  # zero counts are dropped
+    with pytest.raises(IVMError):
+        sidecar.adjust("p", (1, 2), -1)
+    with pytest.raises(IVMError):
+        sidecar.set("q", (3,), -2)
