@@ -1,18 +1,22 @@
-"""Compiled vs. interpreted plan execution on the TC micro and LDBC CQ2.
+"""Executor comparisons: interpreted vs. compiled vs. columnar.
 
 The compiled executor removes the interpreter's per-row costs (bindings-dict
 copies, per-step dispatch, per-element key assembly) by source-generating
 one closure per plan, and batches each join step's index probes through
-``StoreBackend.lookup_many``.  These benchmarks pin the two headline claims:
+``StoreBackend.lookup_many``.  These benchmarks pin the headline claims:
 
 * the compiled executor is **at least 1.5x** faster than the interpreter on
   the transitive-closure micro workload (in practice ~2x; 1.5x keeps CI
   sturdy), with identical results;
 * on the SQLite store every batched probe costs **one SQL query**, i.e. at
-  most one query per (join step, rule application) instead of one per row.
+  most one query per (join step, rule application) instead of one per row;
+* the columnar executor is **at least 3x** faster than the compiled one on
+  the dense-join micro (in practice ~10x: the join never leaves NumPy, and
+  liveness analysis turns the second join into a semi-join mask instead of
+  an O(output) row expansion), with identical results and zero fallbacks.
 
-Both executors run against the *same* compiled plans and the same store
-backend in every comparison, so the numbers isolate execution strategy.
+Every comparison runs the *same* compiled plans against the same store
+backend, so the numbers isolate execution strategy.
 """
 
 from __future__ import annotations
@@ -26,7 +30,14 @@ from tc_workload import tc_cycle_program, tc_fixpoint_facts
 from repro.engines.datalog import DatalogEngine
 from repro.ldbc import complex_query_2
 
-EXECUTORS = ("interpreted", "compiled")
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised on numpy-less CI legs
+    HAVE_NUMPY = False
+
+EXECUTORS = ("interpreted", "compiled") + (("columnar",) if HAVE_NUMPY else ())
 
 
 def _run_tc(executor, repeats=3):
@@ -81,6 +92,64 @@ def test_tc_micro_sqlite_batches_one_query_per_step():
     # invariant the store benchmarks assert.
     assert store.index_build_count == store.index_count
     store.close()
+
+
+def _dense_join_case(n):
+    """``hub(x) :- r(x, y), s(y, z)`` over two n x n integer grids.
+
+    The shape the columnar executor exists for: one dense hash join whose
+    intermediate (n^3 pairs under tuple-at-a-time execution) dwarfs the
+    input, no recursion, no per-row Python work needed anywhere.
+    """
+    from repro.dlir.builder import ProgramBuilder
+
+    builder = ProgramBuilder()
+    builder.edb("r", [("a", "number"), ("b", "number")])
+    builder.edb("s", [("a", "number"), ("b", "number")])
+    builder.idb("hub", [("a", "number")])
+    builder.rule("hub", ["x"], [("r", ["x", "y"]), ("s", ["y", "z"])])
+    program = builder.output("hub").build()
+    grid = [(i, j) for i in range(n) for j in range(n)]
+    return program, {"r": grid, "s": list(grid)}
+
+
+def _run_dense_join(executor_factory, n, repeats=3):
+    program, facts = _dense_join_case(n)
+    best = float("inf")
+    engine = executor = None
+    for _ in range(repeats):
+        executor = executor_factory()
+        # Pinned to the memory store: this benchmark compares executors.
+        engine = DatalogEngine(program, facts, store="memory", executor=executor)
+        started = time.perf_counter()
+        engine.run()
+        best = min(best, time.perf_counter() - started)
+    return best, engine, executor
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="columnar executor requires NumPy")
+def test_dense_join_columnar_beats_compiled():
+    """The columnar executor is >= 3x the compiled one on the dense join.
+
+    Observed ~10-15x; 3x keeps CI sturdy on noisy machines.  The counters
+    prove the claim is about the vectorised path: the whole program ran
+    columnar (zero static or runtime fallbacks).
+    """
+    from repro.engines.datalog import ColumnarExecutor
+
+    n = 100
+    fast, fast_engine, executor = _run_dense_join(ColumnarExecutor, n)
+    slow, slow_engine, _ = _run_dense_join(lambda: "compiled", n)
+    assert fast_engine.query("hub").same_rows(slow_engine.query("hub"))
+    assert fast_engine.fact_count("hub") == n
+    assert executor.vectorised_count > 0
+    assert executor.fallback_count == 0
+    assert executor.runtime_fallback_count == 0
+    assert fast_engine.executor_fallback_count == 0
+    assert fast * 3 <= slow, (
+        f"expected >=3x speedup, got {slow / fast:.2f}x "
+        f"(columnar={fast * 1000:.1f}ms, compiled={slow * 1000:.1f}ms)"
+    )
 
 
 @pytest.mark.parametrize("executor", EXECUTORS)

@@ -25,9 +25,11 @@ Assertions:
   (``full_rederive_count == 0``), and the IVM engine never reset after
   its initial derivation, while the baseline reset once per read.
 
-Store and executor follow ``REPRO_STORE`` / ``REPRO_EXECUTOR`` so the CI
-matrix (including the always-replan × sqlite leg) exercises the stream on
-every backend combination.
+The store follows ``REPRO_STORE`` so the CI matrix (including the
+always-replan × sqlite leg) exercises the stream on every backend; the
+executor is pinned to ``compiled`` so the IVM/baseline trajectory stays
+comparable across CI legs (maintenance itself is executor-independent —
+it runs on ``rule_solutions``, not the plan executors).
 """
 
 from __future__ import annotations
@@ -84,7 +86,7 @@ def test_streaming_inserts_are_o_delta(bench_data, bench_raqlet):
     spec = friend_reachability(person_ids[0])
     edges = _new_edges(bench_data.facts, person_ids, MUTATIONS)
 
-    ivm_session = bench_raqlet.session(bench_data.facts)
+    ivm_session = bench_raqlet.session(bench_data.facts, executor="compiled")
     try:
         ivm_prepared, ivm_times = _stream(ivm_session, spec, edges)
         ivm_engine = ivm_prepared.engine
@@ -98,7 +100,9 @@ def test_streaming_inserts_are_o_delta(bench_data, bench_raqlet):
     finally:
         ivm_session.close()
 
-    baseline_session = bench_raqlet.session(bench_data.facts, ivm=False)
+    baseline_session = bench_raqlet.session(
+        bench_data.facts, executor="compiled", ivm=False
+    )
     try:
         base_prepared, base_times = _stream(baseline_session, spec, edges)
         base_engine = base_prepared.engine

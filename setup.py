@@ -3,10 +3,18 @@
 The execution environment for this reproduction is fully offline and does not
 ship the ``wheel`` package, so PEP 517 editable installs (which build an
 editable wheel) fail.  This ``setup.py`` lets ``pip install -e .`` fall back
-to the legacy ``setup.py develop`` path; all project metadata lives in
-``pyproject.toml``.
+to the legacy ``setup.py develop`` path.
+
+The core engine is dependency-free; the columnar executor needs NumPy and is
+installed via the ``repro[columnar]`` extra (without it, ``executor=
+'columnar'`` raises a pointed error and the tuple executors work unchanged).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    extras_require={"columnar": ["numpy"]},
+)

@@ -9,7 +9,8 @@ Compile a Cypher query against a PG-Schema file and print every artifact::
 Run one of the bundled LDBC queries on every engine over a synthetic dataset
 (``--store sqlite`` runs the Datalog engine on the SQLite-backed fact store,
 ``--executor interpreted`` selects its plan interpreter instead of the
-default compiled closures)::
+default compiled closures, ``--executor columnar`` the NumPy column-array
+executor)::
 
     raqlet ldbc --query sq1 --scale 200 --store sqlite --executor interpreted
 
@@ -263,7 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ldbc_parser.add_argument(
         "--executor",
-        choices=["interpreted", "compiled"],
+        choices=["interpreted", "compiled", "columnar"],
         default=None,
         help="plan executor for the Datalog engine "
         "(default: $REPRO_EXECUTOR or compiled)",

@@ -23,10 +23,17 @@ Plan **execution** is pluggable too: the default
 source-generates one specialised closure per plan (inlined loop nest,
 batched ``lookup_many`` index probes), while
 ``DatalogEngine(..., executor="interpreted")`` or the ``REPRO_EXECUTOR``
-environment variable selects the step-by-step plan interpreter.
+environment variable selects the step-by-step plan interpreter and
+``executor="columnar"`` the NumPy column-array executor
+(:class:`~repro.engines.datalog.executor_columnar.ColumnarExecutor`;
+requires the ``repro[columnar]`` extra, falls back per-plan to compiled).
 """
 
 from repro.engines.datalog.engine import DatalogEngine, evaluate_program
+from repro.engines.datalog.executor_columnar import (
+    ColumnarExecutor,
+    describe_columnar_plan,
+)
 from repro.engines.datalog.executor_compiled import (
     CompiledExecutor,
     InterpretedExecutor,
@@ -65,8 +72,10 @@ __all__ = [
     "create_store",
     "RuleExecutor",
     "CompiledExecutor",
+    "ColumnarExecutor",
     "InterpretedExecutor",
     "create_executor",
+    "describe_columnar_plan",
     "compile_plan",
     "generate_plan_source",
     "DeltaView",

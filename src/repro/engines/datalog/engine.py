@@ -13,9 +13,9 @@ facts are inserted, so no index is ever rebuilt inside the loop.  Plans run
 through a pluggable :class:`~repro.engines.datalog.executor_compiled.RuleExecutor`
 — by default the compiled executor, which source-generates one specialised
 closure per plan and batches each join step's index probes through
-``StoreBackend.lookup_many`` (select with ``executor="interpreted"`` or the
-``REPRO_EXECUTOR`` environment variable to run the plan interpreter
-instead).
+``StoreBackend.lookup_many`` (select ``executor="interpreted"`` for the
+plan interpreter or ``executor="columnar"`` for the NumPy column-array
+executor, or set the ``REPRO_EXECUTOR`` environment variable).
 
 Min/max subsumption (``Rule.subsume_min`` / ``subsume_max``) is honoured
 during insertion: for a relation with a subsumption spec only the best value
@@ -103,8 +103,10 @@ class DatalogEngine:
         # / ``"sqlite:PATH"``, a StoreBackend instance, or None to honour the
         # REPRO_STORE environment variable.  ``executor`` selects how plans
         # run: ``"compiled"`` (default; source-generated closures with
-        # batched index probes) or ``"interpreted"`` (the plan walker), with
-        # None honouring REPRO_EXECUTOR.  ``replan_threshold`` is the
+        # batched index probes), ``"interpreted"`` (the plan walker), or
+        # ``"columnar"`` (NumPy column arrays with vectorised kernels,
+        # falling back per-plan to compiled), with None honouring
+        # REPRO_EXECUTOR.  ``replan_threshold`` is the
         # cardinality drift factor that triggers adaptive re-planning
         # (default 10, env REPRO_REPLAN_THRESHOLD; 1 = re-plan every
         # iteration, float("inf") = freeze first plans).  ``parameters``
@@ -163,6 +165,22 @@ class DatalogEngine:
     def executor(self) -> RuleExecutor:
         """Return the rule executor evaluating this engine's plans."""
         return self._executor
+
+    @property
+    def executor_fallback_count(self) -> int:
+        """Return how many times the executor fell back to a slower strategy.
+
+        Mirrors ``full_rederive_count`` for incremental maintenance: the
+        compiled executor counts plans it could not compile (handed to the
+        interpreter), the columnar executor counts both plans it could not
+        lower and rule applications whose data defeated the vectorised
+        kernels (both re-run on the compiled executor).  Zero for executors
+        without a fallback path.
+        """
+        executor = self._executor
+        return int(getattr(executor, "fallback_count", 0)) + int(
+            getattr(executor, "runtime_fallback_count", 0)
+        )
 
     @property
     def replan_threshold(self) -> float:

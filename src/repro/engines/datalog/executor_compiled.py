@@ -684,11 +684,13 @@ def create_executor(spec: ExecutorSpec = None) -> RuleExecutor:
     """Resolve an executor specification into a :class:`RuleExecutor`.
 
     ``spec`` may be an existing executor instance (returned as-is), one of
-    the strings ``"interpreted"`` / ``"compiled"``, or ``None`` — which reads
-    the ``REPRO_EXECUTOR`` environment variable and defaults to
-    ``"compiled"``.  The environment hook is what lets CI run the whole test
-    suite on either executor without touching any call site, mirroring
-    ``REPRO_STORE`` for storage backends.
+    the strings ``"interpreted"`` / ``"compiled"`` / ``"columnar"``, or
+    ``None`` — which reads the ``REPRO_EXECUTOR`` environment variable and
+    defaults to ``"compiled"``.  The environment hook is what lets CI run
+    the whole test suite on any executor without touching any call site,
+    mirroring ``REPRO_STORE`` for storage backends.  ``"columnar"`` requires
+    NumPy (the ``repro[columnar]`` extra) and raises
+    :class:`~repro.common.errors.ExecutionError` without it.
     """
     if isinstance(spec, RuleExecutor):
         return spec
@@ -700,6 +702,13 @@ def create_executor(spec: ExecutorSpec = None) -> RuleExecutor:
         return InterpretedExecutor()
     if spec == "compiled":
         return CompiledExecutor()
+    if spec == "columnar":
+        # Imported lazily: the columnar module needs NumPy only at
+        # construction time, and this module must import without it.
+        from repro.engines.datalog.executor_columnar import ColumnarExecutor
+
+        return ColumnarExecutor()
     raise ValueError(
-        f"unknown executor {spec!r} (expected 'interpreted' or 'compiled')"
+        f"unknown executor {spec!r} "
+        "(expected 'interpreted', 'compiled', or 'columnar')"
     )

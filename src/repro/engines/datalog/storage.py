@@ -178,6 +178,18 @@ class StoreBackend(abc.ABC):
         planner's cost model consumes)."""
         return {name: self.relation_stats(name) for name in names}
 
+    def data_version(self, name: str) -> Optional[int]:
+        """Return a counter that changes whenever relation ``name`` changes.
+
+        The columnar executor keys its per-relation column encodings on this
+        value, so it must bump on every *effective* mutation (a no-op add or
+        remove must NOT bump it — over-bumping silently destroys column
+        reuse across the fixpoint iterations that read a relation the rule
+        never writes).  Backends that cannot track this cheaply return
+        ``None``, which simply disables column caching for their relations.
+        """
+        return None
+
     # -- IDB/EDB partition --------------------------------------------------
 
     def mark_idb(self, names: Iterable[str]) -> None:
@@ -348,6 +360,8 @@ class FactStore(StoreBackend):
         self.index_build_count = 0
         #: incrementally maintained cardinality / distinct-count statistics
         self._stats = StatsRegistry()
+        # per-relation monotone change counters (see data_version)
+        self._versions: Dict[str, int] = defaultdict(int)
 
     # -- base operations ---------------------------------------------------
 
@@ -376,6 +390,7 @@ class FactStore(StoreBackend):
         if row in relation:
             return False
         relation.add(row)
+        self._versions[name] += 1
         self._stats.record_add(name, row)
         indexes = self._indexes.get(name)
         if indexes:
@@ -398,6 +413,8 @@ class FactStore(StoreBackend):
                 relation.add(row)
                 stats.record_add(name, row)
                 fresh.append(row)
+        if fresh:
+            self._versions[name] += 1
         if not fresh or not indexes:
             return len(fresh)
         if self._maintain:
@@ -414,6 +431,7 @@ class FactStore(StoreBackend):
         if row not in relation:
             return False
         relation.discard(row)
+        self._versions[name] += 1
         self._stats.record_remove(name, row)
         indexes = self._indexes.get(name)
         if not indexes:
@@ -439,6 +457,7 @@ class FactStore(StoreBackend):
         """
         replacement = set(tuple(row) for row in rows)
         self._relations[name] = replacement
+        self._versions[name] += 1
         self._stats.record_clear(name)
         for row in replacement:
             self._stats.record_add(name, row)
@@ -453,11 +472,16 @@ class FactStore(StoreBackend):
         (``index_build_count`` is untouched; the benchmarks assert this).
         """
         self._relations[name] = set()
+        self._versions[name] += 1
         self._stats.record_clear(name)
         indexes = self._indexes.get(name)
         if indexes:
             for index in indexes.values():
                 index.clear()
+
+    def data_version(self, name: str) -> Optional[int]:
+        """Per-relation change counter, bumped only on effective mutations."""
+        return self._versions[name]
 
     # -- indexed access ------------------------------------------------------
 

@@ -33,7 +33,8 @@ stay in memory; only the full relations live in SQLite.
 from __future__ import annotations
 
 import sqlite3
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import ExecutionError
 from repro.engines.datalog.statistics import EMPTY_STATS, RelationStats
@@ -85,6 +86,8 @@ class SQLiteFactStore(StoreBackend):
         #: until a write hook dirties it; the SELECTs issued are counted so
         #: tests can assert the cache actually works
         self._stats_cache: Dict[str, RelationStats] = {}
+        # per-relation monotone change counters (see data_version)
+        self._versions: Dict[str, int] = defaultdict(int)
         self.stats_query_count = 0
         self._batch_depth = 0
         self._closed = False
@@ -181,7 +184,10 @@ class SQLiteFactStore(StoreBackend):
         cursor = self._conn.execute(
             f"INSERT OR IGNORE INTO {table} VALUES ({placeholders})", row
         )
-        return cursor.rowcount > 0
+        if cursor.rowcount > 0:
+            self._versions[name] += 1
+            return True
+        return False
 
     def add_many(self, name: str, rows: Iterable[Row]) -> int:
         """Insert many rows inside one transaction; return how many were new."""
@@ -214,6 +220,8 @@ class SQLiteFactStore(StoreBackend):
             for row in with_null:
                 if self.add(name, row):
                     added += 1
+            if added:
+                self._versions[name] += 1
             return added
         finally:
             if own_batch:
@@ -231,7 +239,10 @@ class SQLiteFactStore(StoreBackend):
         self._stats_cache.pop(name, None)
         where = " AND ".join(f"c{i} IS ?" for i in range(arity))
         cursor = self._conn.execute(f"DELETE FROM {table} WHERE {where}", row)
-        return cursor.rowcount > 0
+        if cursor.rowcount > 0:
+            self._versions[name] += 1
+            return True
+        return False
 
     def replace(self, name: str, rows: Iterable[Row]) -> None:
         """Replace the whole relation with ``rows``.
@@ -245,6 +256,7 @@ class SQLiteFactStore(StoreBackend):
         """
         entry = self._tables.pop(name, None)
         self._stats_cache.pop(name, None)
+        self._versions[name] += 1
         if entry is not None:
             self._conn.execute(f"DROP TABLE {entry[0]}")
             self._indexed.pop(name, None)
@@ -266,6 +278,7 @@ class SQLiteFactStore(StoreBackend):
         if entry is None:
             return
         self._stats_cache.pop(name, None)
+        self._versions[name] += 1
         self._conn.execute(f"DELETE FROM {entry[0]}")
 
     # -- indexed access ----------------------------------------------------
@@ -450,6 +463,10 @@ class SQLiteFactStore(StoreBackend):
         stats = RelationStats(cardinality=cardinality, distinct=distinct)
         self._stats_cache[name] = stats
         return stats
+
+    def data_version(self, name: str) -> Optional[int]:
+        """Per-relation change counter, bumped only on effective mutations."""
+        return self._versions[name]
 
     # -- hooks -------------------------------------------------------------
 

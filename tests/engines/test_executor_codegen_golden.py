@@ -1,17 +1,23 @@
-"""Golden-source snapshot tests for the compiled executor's code generator.
+"""Golden-source snapshot tests for the plan-lowering executors.
 
 Each representative rule shape (multi-atom join, negation, comparison
 guards, aggregate head, delta-position variants) is planned against a fixed
-store and its generated closure source is compared against a checked-in
-golden file under ``tests/engines/goldens/``.  A codegen change therefore
-shows up as a readable source diff instead of a silent behaviour change —
+store and its lowering — the compiled executor's generated closure source
+*and* the columnar executor's kernel schedule — is compared against a
+checked-in golden file under ``tests/engines/goldens/``.  A lowering change
+therefore shows up as a readable diff instead of a silent behaviour change —
 review the diff, and if it is intended regenerate the goldens with::
 
     REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest \
         tests/engines/test_executor_codegen_golden.py
 
+The columnar goldens include fallback cases: plans whose shape the columnar
+lowering rejects snapshot the *reason* they run on the compiled executor
+instead.  Lowering and description are pure plan analysis, so these tests
+run without NumPy installed.
+
 Generation must stay deterministic (no ids, no set iteration) for these
-tests to be meaningful; the stability test below guards that directly.
+tests to be meaningful; the stability tests below guard that directly.
 """
 
 from __future__ import annotations
@@ -28,11 +34,17 @@ from repro.dlir.core import (
     Comparison,
     Const,
     NegatedAtom,
+    Param,
     Rule,
     Var,
     Wildcard,
 )
-from repro.engines.datalog import FactStore, generate_plan_source, plan_rule
+from repro.engines.datalog import (
+    FactStore,
+    describe_columnar_plan,
+    generate_plan_source,
+    plan_rule,
+)
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
 
@@ -167,3 +179,56 @@ def test_generation_is_deterministic():
         assert generate_plan_source(make_plan()) == generate_plan_source(
             make_plan()
         ), f"codegen for {name!r} is not deterministic"
+
+
+# -- columnar lowerings -------------------------------------------------------
+
+
+def _case_columnar_fallback_param_arith():
+    # A parameter inside arithmetic defeats the columnar lowering's static
+    # column typing — the plan must be rejected with a reason, and the rule
+    # runs on the compiled executor instead.
+    rule = Rule(
+        Atom("shifted", (Var("x"), Var("w"))),
+        (
+            Atom("edge", (Var("x"), Var("y"))),
+            Comparison("=", Var("w"), ArithExpr("+", Var("y"), Param("offset"))),
+        ),
+    )
+    return plan_rule(rule, _store())
+
+
+#: every compiled case plus the columnar-only fallback shapes
+COLUMNAR_CASES = dict(
+    CASES, columnar_fallback_param_arith=_case_columnar_fallback_param_arith
+)
+
+
+@pytest.mark.parametrize("name", sorted(COLUMNAR_CASES))
+def test_columnar_lowering_matches_golden(name):
+    description = describe_columnar_plan(COLUMNAR_CASES[name]())
+    golden_path = GOLDEN_DIR / f"columnar_{name}.txt.golden"
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        golden_path.write_text(description, encoding="utf-8")
+    assert golden_path.exists(), (
+        f"golden {golden_path.name} is missing — regenerate with "
+        f"REPRO_UPDATE_GOLDENS=1"
+    )
+    assert description == golden_path.read_text(encoding="utf-8"), (
+        f"columnar lowering for {name!r} diverges from its golden; if the "
+        f"change is intended, regenerate with REPRO_UPDATE_GOLDENS=1"
+    )
+
+
+def test_columnar_fallback_golden_states_reason():
+    """The fallback golden must *say why* the plan is not vectorised."""
+    description = describe_columnar_plan(_case_columnar_fallback_param_arith())
+    assert "fallback to compiled executor:" in description
+    assert "parameter inside arithmetic" in description
+
+
+def test_columnar_description_is_deterministic():
+    for name, make_plan in COLUMNAR_CASES.items():
+        assert describe_columnar_plan(make_plan()) == describe_columnar_plan(
+            make_plan()
+        ), f"columnar description for {name!r} is not deterministic"

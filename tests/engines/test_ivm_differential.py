@@ -5,7 +5,8 @@ through a deterministic script of interleaved ``insert``/``retract``/query
 steps.  After **every** mutation the incrementally maintained store must be
 set-equal — on every IDB relation — to a from-scratch re-derivation oracle
 (:func:`tests.engines.test_store_differential.naive_evaluate`) of the
-mutated EDB, across {interpreted, compiled} × {memory, sqlite}.  The
+mutated EDB, across {interpreted, compiled, columnar} × {memory, sqlite}
+(the columnar leg joins whenever NumPy is importable).  The
 engine counters prove the property is not vacuous: every generated program
 is maintainable, so ``full_rederive_count`` must stay 0 and
 ``maintain_count`` must equal the number of applied mutations — the
@@ -35,7 +36,7 @@ from tests.engines.test_store_differential import (
     naive_evaluate,
 )
 
-#: ≥ 30 seeds, each mutated MUTATION_STEPS times on all four combos
+#: ≥ 30 seeds, each mutated MUTATION_STEPS times on every executor × store combo
 SEEDS = range(32)
 MUTATION_STEPS = 12
 
