@@ -220,6 +220,49 @@ def _cmd_ldbc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the bundled LDBC statements over the JSON TCP protocol.
+
+    Loads a synthetic dataset, pre-registers every query in
+    ``_LDBC_QUERIES`` under its short name (``$`` parameters stay
+    late-bound, so clients supply bindings per request), and runs the
+    asyncio server until a ``shutdown`` request arrives.
+    """
+    import asyncio
+
+    from repro.serving import RaqletServer, ServingPool
+
+    data = load_dataset(scale_persons=args.scale, seed=args.seed)
+    raqlet = Raqlet(snb_schema_mapping())
+    pool = ServingPool(
+        raqlet,
+        data.facts,
+        workers=args.workers,
+        store=args.store,
+        executor=args.executor,
+    )
+    default_pid = data.dataset.default_person_id()
+    for name, make_spec in sorted(_LDBC_QUERIES.items()):
+        spec = make_spec(data, default_pid)
+        params = pool.prepare(name, spec["query"])
+        print(f"prepared {name}({', '.join(params)})")
+
+    async def serve() -> None:
+        server = RaqletServer(pool, host=args.host, port=args.port)
+        host, port = await server.start()
+        # The readiness line scripts wait for before connecting.
+        print(f"raqlet serving on {host}:{port}", flush=True)
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(serve())
+    finally:
+        pool.close()
+        data.close()
+    print("raqlet server stopped")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(prog="raqlet", description=__doc__)
@@ -285,6 +328,33 @@ def build_parser() -> argparse.ArgumentParser:
         "(join orders, cost estimates, re-plan counters)",
     )
     ldbc_parser.set_defaults(func=_cmd_ldbc)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve the LDBC statements over the JSON prepared-statement protocol",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=7431)
+    serve_parser.add_argument(
+        "--workers", type=int, default=4, help="serving pool worker sessions"
+    )
+    serve_parser.add_argument("--scale", type=int, default=100, help="number of persons")
+    serve_parser.add_argument("--seed", type=int, default=42)
+    serve_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="memory|sqlite[:PATH]",
+        help="fact-store backend shared by the pool "
+        "(default: $REPRO_STORE or memory)",
+    )
+    serve_parser.add_argument(
+        "--executor",
+        choices=["interpreted", "compiled", "columnar"],
+        default=None,
+        help="plan executor shared by the pool workers "
+        "(default: $REPRO_EXECUTOR or compiled)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -66,6 +66,7 @@ snapshot tested via :func:`describe_columnar_plan`.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -143,6 +144,12 @@ class ValueDict:
         self._fval = None  # float64 value where exact
         self._fexact = None  # bool: float64 conversion is exact
         self._isnan = None  # bool: value is a float NaN
+        # One ValueDict serves every worker of a serving pool.  Code
+        # *allocation* (the check-then-append below) and side-array syncs
+        # must be atomic or two threads could hand one code to two values;
+        # pure lookups of already-allocated codes stay lock-free (dict reads
+        # are atomic under the GIL and codes are never reassigned).
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._values)
@@ -156,9 +163,12 @@ class ValueDict:
         except TypeError as exc:  # unhashable — the engine could never store it
             raise ColumnarFallback(f"unhashable value {value!r}") from exc
         if code < 0:
-            code = len(self._values)
-            self._codes[value] = code
-            self._values.append(value)
+            with self._lock:
+                code = self._codes.get(value, -1)
+                if code < 0:
+                    code = len(self._values)
+                    self._codes[value] = code
+                    self._values.append(value)
         return code
 
     def encode_rows(self, rows: Sequence[Tuple]) -> Tuple[Tuple, int]:
@@ -198,10 +208,11 @@ class ValueDict:
                 # Fresh values: allocate in first-occurrence order (the
                 # dictionary contract the kernel tests pin).  Amortised —
                 # re-encoding known values takes the loop-free path below.
-                for value in scalars:
-                    if value not in codes:
-                        codes[value] = len(values)
-                        values.append(value)
+                with self._lock:
+                    for value in scalars:
+                        if value not in codes:
+                            codes[value] = len(values)
+                            values.append(value)
             return np.fromiter(
                 map(codes.__getitem__, scalars),
                 dtype=np.int64,
@@ -213,6 +224,13 @@ class ValueDict:
     # -- per-code side arrays ---------------------------------------------
 
     def _sync(self) -> None:
+        total = len(self._values)
+        if total == self._synced:
+            return
+        with self._lock:
+            self._sync_locked()
+
+    def _sync_locked(self) -> None:
         total = len(self._values)
         if total == self._synced:
             return
@@ -1293,6 +1311,15 @@ class ColumnarExecutor(RuleExecutor):
         self.runtime_fallback_count = 0
         self.vectorised_count = 0
         self.lower_count = 0
+        #: store relations actually encoded (cache misses in
+        #: :meth:`_relation_columns`) — what the cross-query encoding-reuse
+        #: tests assert on
+        self.store_encode_count = 0
+        # One executor is shared by every worker of a serving pool: cache
+        # *writes* (and the encode they guard) run under this lock with a
+        # double-check; the hit paths stay lock-free (single dict reads of
+        # immutable tuples, atomic under the GIL).
+        self._lock = threading.RLock()
 
     # -- lowering cache ----------------------------------------------------
 
@@ -1302,44 +1329,56 @@ class ColumnarExecutor(RuleExecutor):
         if memoised is not None and memoised[0] is plan:
             lowered = memoised[1]
             return lowered if isinstance(lowered, _ColumnarPlan) else None
-        lowered = self._by_structure.get(plan, _UNSET)
-        if lowered is _UNSET:
-            try:
-                lowered = _lower_plan(plan)
-                self.lower_count += 1
-            except ColumnarUnsupported as exc:
-                lowered = str(exc)
-                self.fallback_count += 1
-            self._by_structure[plan] = lowered
-        if len(self._by_id) >= self._ID_MEMO_LIMIT:
-            self._by_id.clear()
-        self._by_id[id(plan)] = (plan, lowered)
+        with self._lock:
+            lowered = self._by_structure.get(plan, _UNSET)
+            if lowered is _UNSET:
+                try:
+                    lowered = _lower_plan(plan)
+                    self.lower_count += 1
+                except ColumnarUnsupported as exc:
+                    lowered = str(exc)
+                    self.fallback_count += 1
+                self._by_structure[plan] = lowered
+            if len(self._by_id) >= self._ID_MEMO_LIMIT:
+                self._by_id.clear()
+            self._by_id[id(plan)] = (plan, lowered)
         return lowered if isinstance(lowered, _ColumnarPlan) else None
 
     # -- column caches -----------------------------------------------------
 
     def _relation_columns(self, store: StoreBackend, relation: str):
         version = store.data_version(relation)
-        key = (id(store), relation)
+        cache_key, pin = store.cache_identity(relation)
+        key = (cache_key, relation)
         if version is not None:
             entry = self._store_cache.get(key)
-            if entry is not None and entry[0] is store and entry[1] == version:
+            if entry is not None and entry[0] is pin and entry[1] == version:
                 return entry[2], entry[3]
-        cols, count = self._vd.encode_rows(store.scan(relation))
-        if version is not None:
-            if len(self._store_cache) >= self._STORE_CACHE_LIMIT:
-                self._store_cache.clear()
-            self._store_cache[key] = (store, version, cols, count)
+        with self._lock:
+            if version is not None:
+                entry = self._store_cache.get(key)
+                if entry is not None and entry[0] is pin and entry[1] == version:
+                    return entry[2], entry[3]
+            cols, count = self._vd.encode_rows(store.scan(relation))
+            self.store_encode_count += 1
+            if version is not None:
+                if len(self._store_cache) >= self._STORE_CACHE_LIMIT:
+                    self._store_cache.clear()
+                self._store_cache[key] = (pin, version, cols, count)
         return cols, count
 
     def _delta_columns(self, view: DeltaView):
         entry = self._delta_memo.get(id(view))
         if entry is not None and entry[0] is view:
             return entry[1], entry[2]
-        cols, count = self._vd.encode_rows(view.rows)
-        if len(self._delta_memo) >= self._DELTA_MEMO_LIMIT:
-            self._delta_memo.clear()
-        self._delta_memo[id(view)] = (view, cols, count)
+        with self._lock:
+            entry = self._delta_memo.get(id(view))
+            if entry is not None and entry[0] is view:
+                return entry[1], entry[2]
+            cols, count = self._vd.encode_rows(view.rows)
+            if len(self._delta_memo) >= self._DELTA_MEMO_LIMIT:
+                self._delta_memo.clear()
+            self._delta_memo[id(view)] = (view, cols, count)
         return cols, count
 
     # -- RuleExecutor ------------------------------------------------------

@@ -55,6 +55,7 @@ from __future__ import annotations
 import math
 import os
 import re
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -632,24 +633,32 @@ class CompiledExecutor(RuleExecutor):
         #: closures actually generated+compiled (structural cache misses);
         #: the session tests assert this stays flat across re-binds
         self.compile_count = 0
+        # One executor is shared by every worker of a serving pool.  The
+        # identity-memo fast path stays lock-free (a single dict read,
+        # atomic under the GIL, of an immutable tuple); the slow path —
+        # compile + both cache writes — runs under this lock with a
+        # double-check so concurrent first-misses of the same plan compile
+        # it exactly once.
+        self._lock = threading.Lock()
 
     def compiled_for(self, plan: RulePlan) -> Optional[CompiledPlan]:
         """Return the cached closure for ``plan`` (``None`` = interpreter)."""
         memoised = self._by_id.get(id(plan))
         if memoised is not None and memoised[0] is plan:
             return memoised[1]
-        compiled = self._by_structure.get(plan, _UNSET)
-        if compiled is _UNSET:
-            try:
-                compiled = compile_plan(plan)
-                self.compile_count += 1
-            except (CodegenError, SyntaxError):
-                compiled = None
-                self.fallback_count += 1
-            self._by_structure[plan] = compiled
-        if len(self._by_id) >= self._ID_MEMO_LIMIT:
-            self._by_id.clear()
-        self._by_id[id(plan)] = (plan, compiled)
+        with self._lock:
+            compiled = self._by_structure.get(plan, _UNSET)
+            if compiled is _UNSET:
+                try:
+                    compiled = compile_plan(plan)
+                    self.compile_count += 1
+                except (CodegenError, SyntaxError):
+                    compiled = None
+                    self.fallback_count += 1
+                self._by_structure[plan] = compiled
+            if len(self._by_id) >= self._ID_MEMO_LIMIT:
+                self._by_id.clear()
+            self._by_id[id(plan)] = (plan, compiled)
         return compiled
 
     def evaluate_rule(

@@ -42,6 +42,7 @@ structure-keyed closure cache regenerates code only when it must.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -526,6 +527,11 @@ class PlanCache:
     def __init__(self, replan_threshold: Optional[float] = None) -> None:
         self._plans: Dict[Tuple[int, Optional[int]], RulePlan] = {}
         self._rules: Dict[int, Rule] = {}
+        # Each engine owns one PlanCache and a serving worker owns its
+        # engines, so contention is nil — the lock only protects the
+        # introspection surfaces (explain/stats readers on other threads)
+        # from observing a half-built entry.
+        self._lock = threading.RLock()
         #: drift factor that triggers a re-plan (resolved from the
         #: environment when not given explicitly)
         self.replan_threshold = resolve_replan_threshold(replan_threshold)
@@ -547,24 +553,25 @@ class PlanCache:
         """Return the plan for ``(rule, delta_index)``, building it on first
         use and re-building it when ``stats`` drifted from its basis."""
         key = (id(rule), delta_index)
-        plan = self._plans.get(key)
-        if plan is not None:
-            if stats is None or not self.drifted(plan, stats):
-                return plan
-            self.stats_epoch += 1
-            self.replan_count += 1
-        plan = plan_rule(
-            rule,
-            store,
-            delta_index,
-            delta_size,
-            stats=stats,
-            stats_epoch=self.stats_epoch,
-        )
-        self.plan_build_count += 1
-        self._plans[key] = plan
-        self._rules[id(rule)] = rule
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                if stats is None or not self.drifted(plan, stats):
+                    return plan
+                self.stats_epoch += 1
+                self.replan_count += 1
+            plan = plan_rule(
+                rule,
+                store,
+                delta_index,
+                delta_size,
+                stats=stats,
+                stats_epoch=self.stats_epoch,
+            )
+            self.plan_build_count += 1
+            self._plans[key] = plan
+            self._rules[id(rule)] = rule
+            return plan
 
     def drifted(self, plan: RulePlan, stats: StatsSnapshot) -> bool:
         """Whether any relation the plan was costed on moved past the
@@ -581,7 +588,8 @@ class PlanCache:
 
     def plans(self) -> List[RulePlan]:
         """Return every cached plan (for the engine's explain surface)."""
-        return list(self._plans.values())
+        with self._lock:
+            return list(self._plans.values())
 
     def __len__(self) -> int:
         return len(self._plans)

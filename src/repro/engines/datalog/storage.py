@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import abc
 import os
+import threading
 from collections import defaultdict
 from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
@@ -82,6 +83,14 @@ class StoreBackend(abc.ABC):
     #: number of from-scratch index constructions (monotone counter).
     #: Required of every backend — benchmarks assert on it.
     index_build_count: int = 0
+
+    #: whether concurrent *reads* from several threads are safe without
+    #: external serialisation.  The in-memory store is (CPython dict/set
+    #: reads are atomic and its lazy index builds are lock-guarded); the
+    #: SQLite store is not (one connection, and reads can create indexes),
+    #: so the serving layer's :class:`~repro.engines.datalog.storage_shared.SharedEDB`
+    #: wraps every access to a non-concurrent base in one mutex.
+    concurrent_reads: bool = False
 
     # -- base operations ---------------------------------------------------
 
@@ -189,6 +198,21 @@ class StoreBackend(abc.ABC):
         ``None``, which simply disables column caching for their relations.
         """
         return None
+
+    def cache_identity(self, name: str) -> Tuple[int, object]:
+        """Return ``(key, pin)`` identifying the storage backing ``name``.
+
+        Executor-level caches (the columnar executor's encoded relation
+        columns) key their entries on ``key`` and hold ``pin`` to keep the
+        backing object alive, so that two store *views* exposing the same
+        underlying relation share one cache entry.  Plain backends are their
+        own backing storage; the serving layer's
+        :class:`~repro.engines.datalog.storage_shared.SnapshotView` forwards
+        clean shared-EDB relations to the shared store's identity so all
+        worker views reuse one encoding.  ``data_version`` values must be
+        comparable across every view that reports the same identity.
+        """
+        return (id(self), self)
 
     # -- IDB/EDB partition --------------------------------------------------
 
@@ -351,6 +375,11 @@ class FactStore(StoreBackend):
     """The in-memory backend: tuple sets with incrementally maintained hash
     indexes."""
 
+    # Reads are plain dict/set lookups (atomic under CPython's GIL) and the
+    # one read-triggered write — lazy index construction — is serialised by
+    # ``_index_lock`` below, so concurrent readers need no external mutex.
+    concurrent_reads = True
+
     def __init__(self, maintain_indexes: bool = True) -> None:
         self._relations: Dict[str, Set[Row]] = defaultdict(set)
         # relation name -> {positions -> {key -> [rows]}}
@@ -362,6 +391,10 @@ class FactStore(StoreBackend):
         self._stats = StatsRegistry()
         # per-relation monotone change counters (see data_version)
         self._versions: Dict[str, int] = defaultdict(int)
+        # serialises lazy index builds: two concurrent readers probing the
+        # same un-indexed (relation, positions) must produce one index and
+        # one ``index_build_count`` bump, not an interleaved half-built dict
+        self._index_lock = threading.Lock()
 
     # -- base operations ---------------------------------------------------
 
@@ -537,11 +570,14 @@ class FactStore(StoreBackend):
         indexes = self._indexes.setdefault(name, {})
         index = indexes.get(positions_key)
         if index is None:
-            index = defaultdict(list)
-            for row in self._relations[name]:
-                index[tuple(row[i] for i in positions_key)].append(row)
-            indexes[positions_key] = index
-            self.index_build_count += 1
+            with self._index_lock:
+                index = indexes.get(positions_key)
+                if index is None:
+                    index = defaultdict(list)
+                    for row in self._relations[name]:
+                        index[tuple(row[i] for i in positions_key)].append(row)
+                    indexes[positions_key] = index
+                    self.index_build_count += 1
         return index
 
     def scan(self, name: str) -> List[Row]:

@@ -1,0 +1,742 @@
+"""Epoch-versioned shared EDB storage for the concurrent serving layer.
+
+One writer, many readers, no torn reads: :class:`SharedEDB` wraps any
+:class:`~repro.engines.datalog.storage.StoreBackend` with multi-version
+visibility.  Writers (``insert``/``retract``/``ingest``) apply *effective*
+deltas under a single-writer lock and bump a global **epoch**; readers
+``pin()`` the current epoch and receive an :class:`EpochSnapshot` that keeps
+answering with the pinned state no matter how many writes land afterwards.
+
+The representation is the session delta log generalised into a per-epoch
+chain: the base store materialises the state as of a **floor** epoch, and
+every later epoch contributes one list of ``(relation, row, ±1)`` entries.
+A snapshot at epoch ``E`` reads "base ± net delta over ``(floor, E]``" — the
+net delta is folded once at pin time (with add/remove cancellation, the same
+arithmetic as the session's ``_fold_delta``) and is immutable afterwards, so
+snapshot reads take no locks.  When nothing is pinned, the chain prefix is
+folded into the base store (bounded by the positions of registered
+*consumers* — serving workers that still need the entries to feed
+incremental view maintenance), so the read fast path stays "delegate to the
+base store" and memory stays bounded.
+
+:class:`SnapshotView` is the per-worker adapter: a full ``StoreBackend``
+that routes shared-EDB reads through a pinned snapshot while keeping every
+derived (IDB) relation — and any transient EDB patches the IVM union-state
+machinery makes mid-maintenance — in a private in-memory store invisible to
+other workers.
+
+Relations whose backing store cannot serve concurrent readers
+(``concurrent_reads = False``, e.g. SQLite's single connection) are
+serialised through one base mutex; the in-memory store needs none.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.engines.datalog.statistics import RelationStats, compute_stats
+from repro.engines.datalog.storage import (
+    FactStore,
+    Key,
+    Positions,
+    Row,
+    StoreBackend,
+    StoreSpec,
+    create_store,
+)
+
+#: one effective mutation: ``(relation, row, +1 | -1)`` — the session delta
+#: log entry shape, so chain suffixes feed ``Session`` logs verbatim.
+Entry = Tuple[str, Row, int]
+
+#: net delta of one relation versus the base floor: ``(added, removed)``
+#: with ``added`` disjoint from the base and ``removed`` a subset of it.
+NetPair = Tuple[Set[Row], Set[Row]]
+
+
+def _key_matches(row: Row, positions: Sequence[int], key: Key) -> bool:
+    """Row-key equality with dict-key semantics (``==`` plus identity, so
+    NaN matches itself the way a hash-index probe would)."""
+    for position, wanted in zip(positions, key):
+        value = row[position]
+        if value is not wanted and value != wanted:
+            return False
+    return True
+
+
+class SharedEDB:
+    """An epoch-versioned, single-writer / multi-reader EDB store.
+
+    Parameters
+    ----------
+    store:
+        The base backend (any :func:`create_store` spec or instance).  Data
+        already in it is the state at epoch 0.
+    max_log_entries:
+        Soft bound on the delta chain.  When the chain exceeds it and no
+        reader is pinned, the chain is folded into the base even past
+        lagging consumers — those consumers then get ``None`` from
+        :meth:`delta_entries` and fall back to full re-derivation.
+    """
+
+    def __init__(self, store: StoreSpec = None, *, max_log_entries: int = 100_000) -> None:
+        base = create_store(store)
+        self._base = base
+        self._base_mutex: Optional[threading.RLock] = (
+            None if base.concurrent_reads else threading.RLock()
+        )
+        #: guards every piece of mutable metadata below (writes, pins,
+        #: consumer positions, net-delta cache, folding) — never held
+        #: during snapshot reads
+        self._lock = threading.RLock()
+        self._epoch = 0
+        self._floor = 0
+        self._chain: List[Tuple[int, List[Entry]]] = []
+        self._chain_len = 0
+        self._pins: Dict[int, int] = {}
+        self._consumers: Dict[int, int] = {}
+        self._consumer_seq = 0
+        self._net_cache: Dict[int, Dict[str, NetPair]] = {}
+        self._known: Set[str] = set(base.relation_names())
+        #: per-relation sorted epochs (> floor) at which the relation changed
+        self._touches: Dict[str, List[int]] = {}
+        #: per-relation count of change epochs already folded into the base
+        self._touch_base: Dict[str, int] = {}
+        self.max_log_entries = max_log_entries
+        self.write_count = 0
+        self.fold_count = 0
+
+    # -- base access (serialised when the backend needs it) -----------------
+
+    @contextmanager
+    def _guard(self) -> Iterator[None]:
+        mutex = self._base_mutex
+        if mutex is None:
+            yield
+        else:
+            with mutex:
+                yield
+
+    def base_contains(self, name: str, row: Row) -> bool:
+        with self._guard():
+            return self._base.contains(name, row)
+
+    def base_count(self, name: str) -> int:
+        with self._guard():
+            return self._base.count(name)
+
+    def base_scan(self, name: str) -> List[Row]:
+        with self._guard():
+            return list(self._base.scan(name))
+
+    def base_lookup(self, name: str, positions: Sequence[int], key: Key) -> Sequence[Row]:
+        with self._guard():
+            return self._base.lookup(name, positions, key)
+
+    def base_lookup_many(
+        self, name: str, positions: Sequence[int], keys: Sequence[Key]
+    ) -> Dict[Key, Sequence[Row]]:
+        with self._guard():
+            return self._base.lookup_many(name, positions, keys)
+
+    def base_relation_names(self) -> List[str]:
+        with self._guard():
+            return self._base.relation_names()
+
+    def base_relation_stats(self, name: str) -> RelationStats:
+        with self._guard():
+            return self._base.relation_stats(name)
+
+    # -- write side ---------------------------------------------------------
+
+    def ingest(self, facts: Mapping[str, Iterable[Row]]) -> int:
+        """Insert many relations' rows in one epoch; return rows added."""
+        return self.apply(facts, None)[0]
+
+    def insert(self, relation: str, rows: Iterable[Row]) -> int:
+        """Insert rows into one relation; return how many were new."""
+        return self.apply({relation: rows}, None)[0]
+
+    def retract(self, relation: str, rows: Iterable[Row]) -> int:
+        """Remove rows from one relation; return how many were present."""
+        return self.apply(None, {relation: rows})[1]
+
+    def apply(
+        self,
+        inserts: Optional[Mapping[str, Iterable[Row]]] = None,
+        retracts: Optional[Mapping[str, Iterable[Row]]] = None,
+    ) -> Tuple[int, int, int]:
+        """Apply one mutation batch atomically; return
+        ``(inserted, retracted, epoch)``.
+
+        Only *effective* changes are recorded (inserting a visible row or
+        retracting an absent one is a no-op), so the chain entries are valid
+        IVM deltas.  A batch with zero effective changes does not bump the
+        epoch.
+        """
+        with self._lock:
+            net = self._net_at(self._epoch)
+            # visibility overlay for rows touched earlier in this same batch
+            overlay: Dict[str, Dict[Row, bool]] = {}
+
+            def visible(relation: str, row: Row) -> bool:
+                touched = overlay.get(relation)
+                if touched is not None and row in touched:
+                    return touched[row]
+                pair = net.get(relation)
+                if pair is not None:
+                    if row in pair[0]:
+                        return True
+                    if row in pair[1]:
+                        return False
+                return self.base_contains(relation, row)
+
+            entries: List[Entry] = []
+            inserted = retracted = 0
+            for relation, rows in (inserts or {}).items():
+                for row in rows:
+                    row = tuple(row)
+                    if visible(relation, row):
+                        continue
+                    entries.append((relation, row, 1))
+                    overlay.setdefault(relation, {})[row] = True
+                    inserted += 1
+            for relation, rows in (retracts or {}).items():
+                for row in rows:
+                    row = tuple(row)
+                    if not visible(relation, row):
+                        continue
+                    entries.append((relation, row, -1))
+                    overlay.setdefault(relation, {})[row] = False
+                    retracted += 1
+
+            if entries:
+                self._epoch += 1
+                self._chain.append((self._epoch, entries))
+                self._chain_len += len(entries)
+                touched_relations = {relation for relation, _, _ in entries}
+                for relation in touched_relations:
+                    self._touches.setdefault(relation, []).append(self._epoch)
+                self._known.update(touched_relations)
+                self.write_count += 1
+                if not self._pins:
+                    self._maybe_fold()
+            return inserted, retracted, self._epoch
+
+    # -- read side ----------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The current (latest committed) epoch."""
+        return self._epoch
+
+    def is_known(self, name: str) -> bool:
+        """Whether ``name`` has ever existed in the shared EDB."""
+        return name in self._known
+
+    def pin(self) -> "EpochSnapshot":
+        """Pin the current epoch; the returned snapshot keeps seeing exactly
+        this state until :meth:`EpochSnapshot.release`."""
+        with self._lock:
+            epoch = self._epoch
+            net = self._net_at(epoch)
+            self._pins[epoch] = self._pins.get(epoch, 0) + 1
+            return EpochSnapshot(self, epoch, net)
+
+    def _unpin(self, epoch: int) -> None:
+        with self._lock:
+            remaining = self._pins.get(epoch, 0) - 1
+            if remaining > 0:
+                self._pins[epoch] = remaining
+            else:
+                self._pins.pop(epoch, None)
+                if not self._pins:
+                    self._maybe_fold()
+
+    def pinned_epochs(self) -> Dict[int, int]:
+        """Return ``{epoch: pin count}`` (diagnostics)."""
+        with self._lock:
+            return dict(self._pins)
+
+    def version_at(self, name: str, epoch: int) -> int:
+        """Monotone per-relation change counter as of ``epoch`` — the number
+        of epochs ``<= epoch`` that changed ``name``.  Folding preserves the
+        total, so this is a valid ``data_version`` for snapshot readers."""
+        # Lock-free: callers hold a pin, which blocks folding; a writer
+        # appending an epoch > `epoch` does not change the bisect result.
+        count = self._touch_base.get(name, 0)
+        touches = self._touches.get(name)
+        if touches:
+            count += bisect_right(touches, epoch)
+        return count
+
+    # -- IVM feed (serving workers) ------------------------------------------
+
+    def register_consumer(self) -> int:
+        """Register a delta consumer starting at the current epoch; entries
+        above its position are retained across folds.  Returns a token."""
+        with self._lock:
+            token = self._consumer_seq
+            self._consumer_seq += 1
+            self._consumers[token] = self._epoch
+            return token
+
+    def set_consumed(self, token: int, epoch: int) -> None:
+        """Record that consumer ``token`` has folded deltas up to ``epoch``."""
+        with self._lock:
+            if token in self._consumers and epoch > self._consumers[token]:
+                self._consumers[token] = epoch
+
+    def drop_consumer(self, token: int) -> None:
+        with self._lock:
+            self._consumers.pop(token, None)
+
+    def delta_entries(self, since: int, upto: Optional[int] = None) -> Optional[List[Entry]]:
+        """Effective entries for epochs in ``(since, upto]`` in commit order,
+        or ``None`` when the chain was folded past ``since`` (the caller
+        must fall back to full re-derivation)."""
+        with self._lock:
+            if upto is None:
+                upto = self._epoch
+            if since < self._floor:
+                return None
+            out: List[Entry] = []
+            for epoch, entries in self._chain:
+                if epoch <= since:
+                    continue
+                if epoch > upto:
+                    break
+                out.extend(entries)
+            return out
+
+    # -- folding -------------------------------------------------------------
+
+    def compact(self) -> bool:
+        """Fold the foldable chain prefix into the base store now.
+
+        Returns ``True`` when the floor advanced; a pinned reader (which the
+        fold would invalidate) makes this a no-op returning ``False``.
+        """
+        with self._lock:
+            if self._pins:
+                return False
+            floor_before = self._floor
+            self._maybe_fold()
+            return self._floor > floor_before
+
+    def _maybe_fold(self) -> None:
+        # caller holds self._lock and has checked there are no pins
+        if not self._chain:
+            return
+        if self._chain_len > self.max_log_entries:
+            target = self._epoch  # overflow: laggard consumers lose retention
+        else:
+            target = self._epoch
+            if self._consumers:
+                target = min(target, min(self._consumers.values()))
+        if target <= self._floor:
+            return
+        folded: List[Entry] = []
+        kept: List[Tuple[int, List[Entry]]] = []
+        for epoch, entries in self._chain:
+            if epoch <= target:
+                folded.extend(entries)
+            else:
+                kept.append((epoch, entries))
+        with self._guard():
+            with self._base.batch():
+                for relation, row, sign in folded:
+                    if sign > 0:
+                        self._base.add(relation, row)
+                    else:
+                        self._base.remove(relation, row)
+        for relation, touches in list(self._touches.items()):
+            cut = bisect_right(touches, target)
+            if cut:
+                self._touch_base[relation] = self._touch_base.get(relation, 0) + cut
+                del touches[:cut]
+                if not touches:
+                    del self._touches[relation]
+        self._chain = kept
+        self._chain_len = sum(len(entries) for _, entries in kept)
+        self._floor = target
+        self._net_cache.clear()
+        self.fold_count += 1
+
+    def _net_at(self, epoch: int) -> Dict[str, NetPair]:
+        # caller holds self._lock
+        net = self._net_cache.get(epoch)
+        if net is not None:
+            return net
+        staged: Dict[str, NetPair] = {}
+        for entry_epoch, entries in self._chain:
+            if entry_epoch > epoch:
+                break
+            for relation, row, sign in entries:
+                added, removed = staged.setdefault(relation, (set(), set()))
+                if sign > 0:
+                    if row in removed:
+                        removed.discard(row)
+                    else:
+                        added.add(row)
+                else:
+                    if row in added:
+                        added.discard(row)
+                    else:
+                        removed.add(row)
+        net = {relation: pair for relation, pair in staged.items() if pair[0] or pair[1]}
+        if len(self._net_cache) > 32:
+            for cached in list(self._net_cache):
+                if cached not in self._pins and cached != self._epoch:
+                    del self._net_cache[cached]
+        self._net_cache[epoch] = net
+        return net
+
+    # -- lifecycle / diagnostics ---------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "epoch": self._epoch,
+                "floor": self._floor,
+                "chain_entries": self._chain_len,
+                "pins": sum(self._pins.values()),
+                "consumers": dict(self._consumers),
+                "write_count": self.write_count,
+                "fold_count": self.fold_count,
+                "base": type(self._base).__name__,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            self._base.close()
+
+
+class EpochSnapshot:
+    """A read-only view of the shared EDB frozen at one pinned epoch.
+
+    All methods are lock-free on the in-memory base (the net delta is
+    immutable, and folding — the only base mutation besides the writer's
+    effectiveness probes — cannot run while this snapshot holds its pin).
+    """
+
+    __slots__ = ("_shared", "epoch", "_net", "_released")
+
+    def __init__(self, shared: SharedEDB, epoch: int, net: Dict[str, NetPair]) -> None:
+        self._shared = shared
+        self.epoch = epoch
+        self._net = net
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._shared._unpin(self.epoch)
+
+    def dirty(self, name: str) -> bool:
+        """Whether ``name`` differs from the base store at this epoch."""
+        return name in self._net
+
+    def relation_names(self) -> List[str]:
+        names = set(self._shared.base_relation_names())
+        names.update(self._net)
+        return list(names)
+
+    def count(self, name: str) -> int:
+        pair = self._net.get(name)
+        base = self._shared.base_count(name)
+        if pair is None:
+            return base
+        return base + len(pair[0]) - len(pair[1])
+
+    def contains(self, name: str, row: Row) -> bool:
+        pair = self._net.get(name)
+        if pair is not None:
+            if row in pair[0]:
+                return True
+            if row in pair[1]:
+                return False
+        return self._shared.base_contains(name, row)
+
+    def scan(self, name: str) -> List[Row]:
+        rows = self._shared.base_scan(name)
+        pair = self._net.get(name)
+        if pair is None:
+            return rows
+        added, removed = pair
+        if removed:
+            rows = [row for row in rows if row not in removed]
+        rows.extend(added)
+        return rows
+
+    def lookup(self, name: str, positions: Sequence[int], key: Key) -> Sequence[Row]:
+        pair = self._net.get(name)
+        if pair is None:
+            return self._shared.base_lookup(name, positions, key)
+        added, removed = pair
+        base_rows = self._shared.base_lookup(name, positions, key)
+        rows = [row for row in base_rows if row not in removed] if removed else list(base_rows)
+        if added:
+            positions = tuple(positions)
+            key = tuple(key)
+            rows.extend(row for row in added if _key_matches(row, positions, key))
+        return rows
+
+    def lookup_many(
+        self, name: str, positions: Sequence[int], keys: Sequence[Key]
+    ) -> Dict[Key, Sequence[Row]]:
+        if name not in self._net:
+            return self._shared.base_lookup_many(name, positions, keys)
+        result: Dict[Key, Sequence[Row]] = {}
+        for key in keys:
+            key = tuple(key)
+            if key not in result:
+                result[key] = self.lookup(name, positions, key)
+        return result
+
+    def relation_stats(self, name: str) -> RelationStats:
+        if name not in self._net:
+            return self._shared.base_relation_stats(name)
+        return compute_stats(self.scan(name))
+
+    def data_version(self, name: str) -> int:
+        return self._shared.version_at(name, self.epoch)
+
+
+class SnapshotView(StoreBackend):
+    """A per-worker ``StoreBackend`` over a :class:`SharedEDB`.
+
+    Shared-EDB relations are read through a pinned :class:`EpochSnapshot`
+    (re-pinned per request via :meth:`begin_read`/:meth:`end_read`); derived
+    relations and any transient EDB patches live in a private in-memory
+    store, so a worker's writes are invisible to every other worker.
+
+    Writes to a *shared* relation are absorbed locally: an ``add`` of a row
+    the snapshot already shows is a no-op, a ``remove`` of a snapshot row
+    shadows it in a mask set, and the patch bookkeeping dissolves as soon as
+    the net local change returns to zero — which is exactly what the IVM
+    union-state machinery does mid-maintenance (re-add retracted rows, run
+    the pass, take them back out).  A relation with no live patch keeps the
+    zero-copy fast path: reads delegate straight to the snapshot, and
+    :meth:`cache_identity` reports the shared store so all workers share one
+    columnar encoding per relation.
+    """
+
+    concurrent_reads = True  # each view is only ever used by its own worker
+
+    def __init__(self, shared: SharedEDB) -> None:
+        self._shared = shared
+        self._local = FactStore()
+        self._masked: Dict[str, Set[Row]] = {}
+        self._patched: Set[str] = set()
+        self._snap: Optional[EpochSnapshot] = None
+        self._consumer = shared.register_consumer()
+
+    # -- read-window lifecycle ----------------------------------------------
+
+    def begin_read(self) -> int:
+        """Pin the current shared epoch for the coming request; return it."""
+        if self._snap is not None:
+            self._snap.release()
+        self._snap = self._shared.pin()
+        return self._snap.epoch
+
+    def end_read(self) -> None:
+        """Release the pin.  Shared-relation reads raise until the next
+        :meth:`begin_read` (they could otherwise observe a folded base)."""
+        if self._snap is not None:
+            self._snap.release()
+            self._snap = None
+
+    @property
+    def pinned_epoch(self) -> Optional[int]:
+        return self._snap.epoch if self._snap is not None else None
+
+    def delta_since(self, epoch: int) -> Optional[List[Entry]]:
+        """Shared-EDB entries between ``epoch`` and the pinned epoch, or
+        ``None`` when that span was folded away."""
+        snap = self._snapshot()
+        return self._shared.delta_entries(epoch, snap.epoch)
+
+    def mark_consumed(self, epoch: int) -> None:
+        """Tell the shared store this worker has folded deltas up to
+        ``epoch`` (releases chain retention)."""
+        self._shared.set_consumed(self._consumer, epoch)
+
+    def _snapshot(self) -> EpochSnapshot:
+        snap = self._snap
+        if snap is None:
+            raise ExecutionError(
+                "SnapshotView read outside a pinned window; call begin_read() first"
+            )
+        return snap
+
+    def _is_shared(self, name: str) -> bool:
+        return self._shared.is_known(name)
+
+    def _tidy(self, name: str) -> None:
+        # drop the patch bookkeeping once the local overlay nets to zero,
+        # restoring the zero-copy snapshot fast path (and shared caching)
+        masked = self._masked.get(name)
+        if masked is not None and not masked:
+            del self._masked[name]
+            masked = None
+        if masked is None and not self._local.count(name):
+            self._patched.discard(name)
+
+    # -- StoreBackend: mutation ---------------------------------------------
+
+    def add(self, name: str, row: Row) -> bool:
+        if not self._is_shared(name):
+            return self._local.add(name, row)
+        row = tuple(row)
+        masked = self._masked.get(name)
+        if masked and row in masked:
+            masked.discard(row)
+            self._tidy(name)
+            return True
+        if self._snapshot().contains(name, row):
+            return False
+        if self._local.add(name, row):
+            self._patched.add(name)
+            return True
+        return False
+
+    def add_many(self, name: str, rows: Iterable[Row]) -> int:
+        if not self._is_shared(name):
+            return self._local.add_many(name, rows)
+        return sum(1 for row in rows if self.add(name, row))
+
+    def remove(self, name: str, row: Row) -> bool:
+        if not self._is_shared(name):
+            return self._local.remove(name, row)
+        row = tuple(row)
+        if self._local.remove(name, row):
+            self._tidy(name)
+            return True
+        masked = self._masked.get(name)
+        if masked and row in masked:
+            return False
+        if self._snapshot().contains(name, row):
+            self._masked.setdefault(name, set()).add(row)
+            self._patched.add(name)
+            return True
+        return False
+
+    def replace(self, name: str, rows: Iterable[Row]) -> None:
+        if self._is_shared(name):
+            raise ExecutionError(
+                f"cannot replace shared relation {name!r} through a snapshot view"
+            )
+        self._local.replace(name, rows)
+
+    def clear_relation(self, name: str) -> None:
+        if self._is_shared(name):
+            raise ExecutionError(
+                f"cannot clear shared relation {name!r} through a snapshot view"
+            )
+        self._local.clear_relation(name)
+
+    # -- StoreBackend: reads -------------------------------------------------
+
+    def relation_names(self) -> List[str]:
+        names = set(self._local.relation_names())
+        if self._snap is not None:
+            names.update(self._snap.relation_names())
+        return list(names)
+
+    def count(self, name: str) -> int:
+        if not self._is_shared(name):
+            return self._local.count(name)
+        total = self._snapshot().count(name)
+        if name in self._patched:
+            total += self._local.count(name) - len(self._masked.get(name, ()))
+        return total
+
+    def contains(self, name: str, row: Row) -> bool:
+        if not self._is_shared(name):
+            return self._local.contains(name, row)
+        if name in self._patched:
+            if self._local.contains(name, row):
+                return True
+            masked = self._masked.get(name)
+            if masked and row in masked:
+                return False
+        return self._snapshot().contains(name, row)
+
+    def scan(self, name: str) -> List[Row]:
+        if not self._is_shared(name):
+            return self._local.scan(name)
+        rows = self._snapshot().scan(name)
+        if name not in self._patched:
+            return rows
+        masked = self._masked.get(name)
+        if masked:
+            rows = [row for row in rows if row not in masked]
+        rows.extend(self._local.scan(name))
+        return rows
+
+    def lookup(self, name: str, positions: Sequence[int], key: Key) -> Sequence[Row]:
+        if not self._is_shared(name):
+            return self._local.lookup(name, positions, key)
+        snap_rows = self._snapshot().lookup(name, positions, key)
+        if name not in self._patched:
+            return snap_rows
+        masked = self._masked.get(name)
+        rows = [row for row in snap_rows if row not in masked] if masked else list(snap_rows)
+        rows.extend(self._local.lookup(name, positions, key))
+        return rows
+
+    def lookup_many(
+        self, name: str, positions: Sequence[int], keys: Sequence[Key]
+    ) -> Dict[Key, Sequence[Row]]:
+        if self._is_shared(name):
+            if name not in self._patched:
+                return self._snapshot().lookup_many(name, positions, keys)
+            result: Dict[Key, Sequence[Row]] = {}
+            for key in keys:
+                key = tuple(key)
+                if key not in result:
+                    result[key] = self.lookup(name, positions, key)
+            return result
+        return self._local.lookup_many(name, positions, keys)
+
+    # -- StoreBackend: statistics / caching ----------------------------------
+
+    @property
+    def index_count(self) -> int:
+        return self._local.index_count
+
+    @property
+    def index_build_count(self) -> int:
+        return self._local.index_build_count
+
+    def relation_stats(self, name: str) -> RelationStats:
+        if not self._is_shared(name):
+            return self._local.relation_stats(name)
+        if name not in self._patched:
+            return self._snapshot().relation_stats(name)
+        return compute_stats(self.scan(name))
+
+    def data_version(self, name: str) -> Optional[int]:
+        if not self._is_shared(name):
+            return self._local.data_version(name)
+        if name in self._patched:
+            return None  # patched: disable executor-level caching outright
+        return self._snapshot().data_version(name)
+
+    def cache_identity(self, name: str) -> Tuple[int, object]:
+        if self._is_shared(name) and name not in self._patched:
+            # all workers' views share one encoding of a clean shared relation
+            return (id(self._shared), self._shared)
+        return (id(self), self)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self.end_read()
+        self._shared.drop_consumer(self._consumer)

@@ -60,7 +60,12 @@ class SQLiteFactStore(StoreBackend):
 
     def __init__(self, path: str = ":memory:", maintain_indexes: bool = True) -> None:
         del maintain_indexes  # SQLite has no invalidate-on-growth mode
-        self._conn = sqlite3.connect(path)
+        # check_same_thread=False: the serving layer's SharedEDB reads the
+        # base store from worker threads.  It serialises every access to a
+        # backend whose ``concurrent_reads`` is False (this one) through a
+        # single mutex, so the connection is never used from two threads at
+        # once — the flag only lifts sqlite3's ownership assertion.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.isolation_level = None  # autocommit; batches use BEGIN/COMMIT
         cursor = self._conn.cursor()
         cursor.execute("PRAGMA journal_mode=MEMORY")

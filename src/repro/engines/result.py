@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 
 @dataclass
@@ -53,6 +54,37 @@ class QueryResult:
     def to_dicts(self) -> List[dict]:
         """Return rows as dictionaries keyed by column name."""
         return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def to_jsonable(self) -> Dict[str, list]:
+        """Return the result as a JSON-compatible dict.
+
+        Rows become lists (JSON has no tuples); values must already be
+        JSON-representable, which holds for everything the engines derive
+        (scalars only).  This is the payload shape the serving protocol
+        puts on the wire.
+        """
+        return {
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+        }
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string; inverse of :meth:`from_json`."""
+        return json.dumps(self.to_jsonable())
+
+    @staticmethod
+    def from_jsonable(payload: Dict[str, list]) -> "QueryResult":
+        """Rebuild a result from :meth:`to_jsonable` output (rows become
+        tuples again, so set-semantics comparisons keep working)."""
+        return QueryResult(
+            columns=list(payload["columns"]),
+            rows=[tuple(row) for row in payload["rows"]],
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "QueryResult":
+        """Rebuild a result from a :meth:`to_json` string."""
+        return QueryResult.from_jsonable(json.loads(text))
 
     @staticmethod
     def from_rows(columns: Sequence[str], rows: Sequence[Sequence]) -> "QueryResult":

@@ -1,0 +1,21 @@
+"""The concurrent serving layer: worker pool + asyncio front door.
+
+:mod:`repro.serving.pool` — :class:`~repro.serving.pool.ServingPool`, N
+worker sessions over one epoch-versioned shared EDB
+(:class:`~repro.engines.datalog.storage_shared.SharedEDB`), with
+binding-affinity routing, request coalescing and admission control.
+
+:mod:`repro.serving.server` — :class:`~repro.serving.server.RaqletServer`,
+an asyncio JSON prepared-statement protocol over the pool (the ``raqlet
+serve`` CLI).
+"""
+
+from repro.serving.pool import PoolSaturatedError, ServedResponse, ServingPool
+from repro.serving.server import RaqletServer
+
+__all__ = [
+    "PoolSaturatedError",
+    "RaqletServer",
+    "ServedResponse",
+    "ServingPool",
+]

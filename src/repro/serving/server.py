@@ -1,0 +1,208 @@
+"""The asyncio front door: a JSON prepared-statement protocol over a pool.
+
+Wire format: newline-delimited JSON objects over TCP, one request → one
+response, pipelining allowed.  Operations:
+
+``{"op": "prepare", "name": ..., "query": ..., "language"?: ...}``
+    Compile and register a named statement; answers its parameter names.
+``{"op": "run", "name": ..., "params"?: {...}}``
+    Execute a prepared statement.  Answers ``columns``/``rows`` (the
+    :meth:`QueryResult.to_jsonable` shape) plus the serving ``epoch`` and
+    ``worker``.  Identical concurrent runs coalesce in the pool; a
+    saturated pool answers ``{"ok": false, "code": "saturated"}`` — a
+    retryable backpressure signal, which is the admission-control story.
+``{"op": "mutate", "insert"?: {rel: [row, ...]}, "retract"?: {...}}``
+    Apply one EDB mutation batch; answers effective counts and the new
+    epoch.
+``{"op": "stats"}``, ``{"op": "ping"}``
+    Counters snapshot / liveness.
+``{"op": "shutdown"}``
+    Acknowledge, then stop the server (used by the CLI smoke and tests).
+
+Blocking pool work never runs on the event loop: ``run`` awaits the pool
+future, ``prepare``/``mutate`` go through the default thread-pool executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import RaqletError
+from repro.serving.pool import PoolSaturatedError, ServingPool
+
+#: requests larger than this are rejected instead of buffered (64 MiB —
+#: generous for mutation batches, small enough to bound a bad client)
+_LINE_LIMIT = 64 * 1024 * 1024
+
+
+class RaqletServer:
+    """Serve a :class:`~repro.serving.pool.ServingPool` over TCP."""
+
+    def __init__(
+        self,
+        pool: ServingPool,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._pool = pool
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    @property
+    def pool(self) -> ServingPool:
+        return self._pool
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; return the actual ``(host, port)``
+        (``port=0`` picks a free one)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port, limit=_LINE_LIMIT
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._host, self._port = sockname[0], sockname[1]
+        return self._host, self._port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._host, self._port
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a ``shutdown`` request (or :meth:`stop`) arrives."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, _error("request too large"))
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                response = await self._dispatch(line)
+                await self._send(writer, response)
+                if response.get("stopping"):
+                    self._shutdown.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, payload: Dict) -> None:
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    async def _dispatch(self, line: bytes) -> Dict:
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return _error(f"invalid JSON: {exc}", code="bad-request")
+        if not isinstance(request, dict) or "op" not in request:
+            return _error("request must be an object with an 'op'", code="bad-request")
+        op = request["op"]
+        handler = getattr(self, f"_op_{str(op).replace('-', '_')}", None)
+        if handler is None:
+            return _error(f"unknown op {op!r}", code="bad-request")
+        try:
+            return await handler(request)
+        except PoolSaturatedError as exc:
+            return _error(str(exc), code="saturated")
+        except RaqletError as exc:
+            return _error(str(exc), code="error")
+        except Exception as exc:  # a bad request must not kill the server
+            return _error(f"{type(exc).__name__}: {exc}", code="error")
+
+    # -- operations ----------------------------------------------------------
+
+    async def _op_ping(self, request: Dict) -> Dict:
+        return {"ok": True, "pong": True, "epoch": self._pool.epoch}
+
+    async def _op_prepare(self, request: Dict) -> Dict:
+        name = request.get("name")
+        query = request.get("query")
+        if not isinstance(name, str) or not isinstance(query, str):
+            return _error("prepare needs string 'name' and 'query'", code="bad-request")
+        loop = asyncio.get_running_loop()
+        param_names = await loop.run_in_executor(
+            None, lambda: self._pool.prepare(name, query, language=request.get("language"))
+        )
+        return {"ok": True, "name": name, "params": list(param_names)}
+
+    async def _op_run(self, request: Dict) -> Dict:
+        name = request.get("name")
+        if not isinstance(name, str):
+            return _error("run needs a string 'name'", code="bad-request")
+        params = request.get("params")
+        if params is None:
+            params = {}
+        if not isinstance(params, dict):
+            return _error("'params' must be an object", code="bad-request")
+        future = self._pool.submit(name, params)
+        response = await asyncio.wrap_future(future)
+        payload = response.result.to_jsonable()
+        payload.update(
+            {
+                "ok": True,
+                "name": name,
+                "epoch": response.epoch,
+                "worker": response.worker,
+            }
+        )
+        return payload
+
+    async def _op_mutate(self, request: Dict) -> Dict:
+        insert = _rows_payload(request.get("insert"))
+        retract = _rows_payload(request.get("retract"))
+        loop = asyncio.get_running_loop()
+        outcome = await loop.run_in_executor(
+            None, lambda: self._pool.mutate(insert=insert, retract=retract)
+        )
+        return {"ok": True, **outcome}
+
+    async def _op_stats(self, request: Dict) -> Dict:
+        return {"ok": True, "stats": self._pool.stats()}
+
+    async def _op_shutdown(self, request: Dict) -> Dict:
+        return {"ok": True, "stopping": True}
+
+
+def _rows_payload(payload) -> Optional[Dict[str, list]]:
+    if payload is None:
+        return None
+    if not isinstance(payload, dict):
+        raise RaqletError("mutation payload must map relation -> rows")
+    return {
+        relation: [tuple(row) for row in rows] for relation, rows in payload.items()
+    }
+
+
+def _error(message: str, code: str = "error") -> Dict:
+    return {"ok": False, "error": message, "code": code}

@@ -339,9 +339,15 @@ class Session:
         *,
         store: StoreSpec = None,
         executor: ExecutorSpec = None,
+        namespace: Optional[str] = None,
         **engine_options,
     ) -> None:
         self._raqlet = raqlet
+        #: optional label mixed into every prepared query's IDB-namespace
+        #: suffix, so several sessions sharing one store (the serving
+        #: pool's workers over a shared EDB) can never collide on derived
+        #: relation names
+        self._namespace_label = namespace
         # A caller-supplied StoreBackend instance stays under the caller's
         # ownership; stores the session creates are closed by close().
         self._owns_store = not isinstance(store, StoreBackend)
@@ -401,6 +407,8 @@ class Session:
     def _next_namespace(self) -> str:
         """Return a fresh IDB-namespace suffix for one prepared query."""
         self._namespace_serial += 1
+        if self._namespace_label:
+            return f"__{self._namespace_label}q{self._namespace_serial}"
         return f"__q{self._namespace_serial}"
 
     def ingest(self, facts: FactsInput) -> None:
@@ -611,6 +619,35 @@ class Session:
         self._note_mutation()
         return removed
 
+    def sync_external_mutations(
+        self,
+        entries: Optional[Iterable[Tuple[str, Tuple, int]]],
+    ) -> None:
+        """Fold EDB mutations applied *outside* this session into its log.
+
+        The serving layer's workers share one epoch-versioned EDB: writes go
+        through the shared store, not through :meth:`insert`/:meth:`retract`,
+        and each worker session learns about them here before its next read.
+        ``entries`` is the effective ``(relation, row, ±1)`` sequence — the
+        shared store's delta-chain suffix — which prepared queries then fold
+        into their engines' incremental maintainers exactly like native
+        session mutations.  ``None`` means the span is unknown (the chain
+        was compacted past this worker): the bulk sentinel is logged and
+        every prepared query re-derives once.  An empty sequence is a no-op.
+        """
+        self._check_open()
+        if entries is None:
+            self._delta_log.append(_BULK_MUTATION)
+            self._note_mutation()
+            return
+        entries = list(entries)
+        if not entries:
+            return
+        self._delta_log.extend(
+            (relation, tuple(row), sign) for relation, row, sign in entries
+        )
+        self._note_mutation()
+
     def _check_extensional(self, relation: str) -> None:
         # Both name spaces are rejected: the renamed derived relations (the
         # store's IDB marks) and their original names — an insert under an
@@ -636,6 +673,14 @@ class Session:
 
     def _register_prepared(self, prepared: PreparedQuery) -> None:
         self._all_prepared.append(prepared)
+
+    def _unregister_prepared(self, prepared: PreparedQuery) -> None:
+        """Stop tracking ``prepared`` (a replaced serving statement): its
+        stale consumption position must no longer pin the delta log."""
+        try:
+            self._all_prepared.remove(prepared)
+        except ValueError:
+            pass
 
     def _log_position(self) -> int:
         """Return the log position representing "current as of now"."""

@@ -43,3 +43,30 @@ def test_repr_is_stable_and_row_free():
     single = QueryResult.from_rows(["n"], [(1,)])
     assert repr(single) == "QueryResult(columns=[n], 1 row)"
     assert "x" not in repr(result)  # data never leaks into the repr
+
+
+def test_json_round_trip_preserves_row_set():
+    result = QueryResult.from_rows(
+        ["id", "name", "score"], [(1, "ada", 0.5), (2, "bob", None), (3, "eve", -7)]
+    )
+    restored = QueryResult.from_json(result.to_json())
+    assert restored.columns == result.columns
+    assert restored.same_rows(result)
+    # rows come back as tuples, so they stay hashable set members
+    assert all(isinstance(row, tuple) for row in restored.rows)
+
+
+def test_jsonable_payload_shape():
+    result = QueryResult.from_rows(["a"], [(1,), (2,)])
+    payload = result.to_jsonable()
+    assert payload == {"columns": ["a"], "rows": [[1], [2]]}
+    assert QueryResult.from_jsonable(payload).same_rows(result)
+
+
+def test_pickle_round_trip():
+    import pickle
+
+    result = QueryResult.from_rows(["a", "b"], [(1, "x"), (2, "y")])
+    restored = pickle.loads(pickle.dumps(result))
+    assert restored.columns == result.columns
+    assert restored.rows == result.rows
