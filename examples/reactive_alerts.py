@@ -1,0 +1,143 @@
+"""Reactive rules end to end: a threshold alert, embedded and over the wire.
+
+Part 1 (embedded) wires the full trigger chain inside one session: a
+standing query watches sensor readings over a threshold, a reactive rule
+escalates each hot reading into an ``alert`` fact, and a second standing
+query over the open alerts notifies a subscriber — all within the same
+mutation batch's flush, driven purely by IVM deltas (no query is re-run
+from scratch).
+
+Part 2 (over the wire) runs the same threshold query as a standing query
+on a serving pool: a TCP client subscribes via the JSON protocol, a
+writer streams sensor readings through ``mutate``, and the subscriber
+receives pushed ``notification`` frames carrying exactly the result rows
+that changed.
+
+Run with::
+
+    python examples/reactive_alerts.py
+"""
+
+import asyncio
+import json
+
+from repro import Raqlet
+from repro.serving import RaqletServer, ServingPool
+
+SCHEMA = """
+CREATE GRAPH {
+  (sensorType : Sensor { id INT, value INT })
+}
+"""
+
+#: readings at or above the threshold (the standing query the rule watches)
+HOT_READINGS = """
+.decl reading(s:number, v:number)
+.decl hot(s:number, v:number)
+hot(s, v) :- reading(s, v), v >= 95.
+.output hot
+"""
+
+#: the alerts the rule derives (watched by the downstream subscriber)
+OPEN_ALERTS = """
+.decl alert(s:number, v:number)
+.decl open_alert(s:number, v:number)
+open_alert(s, v) :- alert(s, v).
+.output open_alert
+"""
+
+READINGS_STREAM = [
+    (1, 20),   # calm
+    (2, 97),   # hot -> alert
+    (3, 40),   # calm
+    (4, 99),   # hot -> alert
+    (2, 101),  # hot again, new value -> alert
+]
+
+
+def embedded() -> None:
+    print("=" * 70)
+    print("Part 1: embedded threshold rule (insert -> rule -> alert fact)")
+    print("=" * 70)
+    raqlet = Raqlet(SCHEMA)
+    with raqlet.session() as session:
+        # The rule: every new hot reading raises an alert fact.
+        session.reactive.register_action(
+            "raise-alert",
+            lambda ctx: ctx.session.insert("alert", ctx.rows),
+        )
+        session.reactive.add_rule("escalate", HOT_READINGS, "raise-alert")
+
+        # The subscriber: observes the derived alerts, not the raw stream.
+        session.subscribe(
+            OPEN_ALERTS,
+            lambda delta: print(f"  subscriber saw new alerts: {sorted(delta.added)}"),
+        )
+
+        for reading in READINGS_STREAM:
+            print(f"reading {reading}")
+            session.insert("reading", [reading])
+
+        print(f"alert facts in the store: {sorted(session.store.scan('alert'))}")
+        engines = [prepared.engine for prepared in session._all_prepared]
+        print(
+            "maintenance counters: "
+            f"maintain={sum(e.maintain_count for e in engines)} "
+            f"full_rederive={sum(e.full_rederive_count for e in engines)}"
+        )
+
+
+async def over_the_wire() -> None:
+    print()
+    print("=" * 70)
+    print("Part 2: standing query over the wire (subscribe -> mutate -> frame)")
+    print("=" * 70)
+    pool = ServingPool(Raqlet(SCHEMA), {"reading": [(1, 20)]}, workers=2)
+    server = RaqletServer(pool, port=0)
+    await server.start()
+    host, port = server.address
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+
+        async def request(payload):
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+            return json.loads(await reader.readline())
+
+        await request({"op": "prepare", "name": "alerts", "query": HOT_READINGS})
+        reply = await request({"op": "subscribe", "name": "alerts"})
+        print(f"subscribed: sid={reply['sid']} epoch={reply['epoch']}")
+
+        loop = asyncio.get_running_loop()
+        for reading in READINGS_STREAM[1:]:
+            outcome = await loop.run_in_executor(
+                None, lambda r=reading: pool.mutate(insert={"reading": [r]})
+            )
+            print(f"writer inserted {reading} at epoch {outcome['epoch']}")
+            if reading[1] >= 95:
+                frame = json.loads(
+                    await asyncio.wait_for(reader.readline(), timeout=10)
+                )
+                assert frame["event"] == "notification"
+                print(
+                    f"  client received frame: +{frame['added']} "
+                    f"-{frame['removed']} @epoch {frame['epoch']}"
+                )
+
+        gone = await request({"op": "unsubscribe", "sid": reply["sid"]})
+        print(f"unsubscribed: {gone['removed']}")
+        writer.close()
+    finally:
+        await server.stop()
+        pool.close()
+
+
+def main() -> None:
+    embedded()
+    asyncio.run(over_the_wire())
+    print()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

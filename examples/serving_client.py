@@ -13,7 +13,9 @@ The protocol is newline-delimited JSON over TCP: each request is one JSON
 object with an ``"op"`` key, each response one JSON object with an ``"ok"``
 flag.  This script pings the server, runs a prepared statement twice with
 different bindings, applies a mutation, re-runs to show the new epoch's
-answer, and prints the serving counters.
+answer, subscribes to a standing query and receives the pushed
+notification frame for a further mutation, and prints the serving
+counters.
 """
 
 import argparse
@@ -23,19 +25,42 @@ import sys
 
 
 class ServingClient:
-    """One TCP connection speaking the newline-delimited JSON protocol."""
+    """One TCP connection speaking the newline-delimited JSON protocol.
+
+    Responses are request/reply, but a subscription also *pushes*
+    ``{"event": "notification", ...}`` frames at mutation time; those can
+    interleave with replies, so reads sort them into a side buffer.
+    """
 
     def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
+        self._notifications = []
 
-    def request(self, payload: dict) -> dict:
-        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
-        self._file.flush()
+    def _read(self) -> dict:
         line = self._file.readline()
         if not line:
             raise ConnectionError("server closed the connection")
         return json.loads(line)
+
+    def request(self, payload: dict) -> dict:
+        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self._file.flush()
+        while True:
+            message = self._read()
+            if message.get("event") == "notification":
+                self._notifications.append(message)
+                continue
+            return message
+
+    def next_notification(self) -> dict:
+        """Return the next pushed frame (buffered or read off the wire)."""
+        if self._notifications:
+            return self._notifications.pop(0)
+        message = self._read()
+        if message.get("event") != "notification":
+            raise ValueError(f"expected a notification frame, got {message}")
+        return message
 
     def close(self) -> None:
         self._file.close()
@@ -97,12 +122,37 @@ def main() -> int:
             f"(was {before}) at epoch {reply['epoch']}"
         )
 
+        # A standing query: subscribe, mutate, receive the pushed delta.
+        reply = client.request(
+            {"op": "subscribe", "name": "fof", "params": {"personId": args.person}}
+        )
+        print(f"subscribed sid={reply['sid']} to fof(personId={args.person})")
+        client.request(
+            {
+                "op": "mutate",
+                "insert": {
+                    "Person": [
+                        [990002, "Newly", "Arrived", "female", 0, 0, "0.0.0.1", "none"]
+                    ],
+                    "Person_KNOWS_Person": [[args.person, 990002, 990002, 0]],
+                },
+            }
+        )
+        frame = client.next_notification()
+        print(
+            f"notification: +{len(frame['added'])} -{len(frame['removed'])} "
+            f"rows @epoch {frame['epoch']}"
+        )
+        gone = client.request({"op": "unsubscribe", "sid": reply["sid"]})
+        print(f"unsubscribed: {gone['removed']}")
+
         stats = client.request({"op": "stats"})["stats"]
         print(
             f"counters: executed={stats['executed_count']} "
             f"coalesced={stats['coalesced_count']} "
             f"maintain={stats['maintain_count']} "
-            f"full_rederive={stats['full_rederive_count']}"
+            f"full_rederive={stats['full_rederive_count']} "
+            f"notifications={stats['notification_count']}"
         )
 
         if args.shutdown:

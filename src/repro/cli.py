@@ -246,6 +246,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         spec = make_spec(data, default_pid)
         params = pool.prepare(name, spec["query"])
         print(f"prepared {name}({', '.join(params)})")
+    if args.tick:
+        # Subscriptions already deliver per mutation; the ticker is a
+        # periodic safety net for out-of-band writers to the shared EDB.
+        pool.start_ticker(args.tick)
+        print(f"notification tick every {args.tick}s")
 
     async def serve() -> None:
         server = RaqletServer(pool, host=args.host, port=args.port)
@@ -337,6 +342,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--port", type=int, default=7431)
     serve_parser.add_argument(
         "--workers", type=int, default=4, help="serving pool worker sessions"
+    )
+    serve_parser.add_argument(
+        "--tick",
+        type=float,
+        default=0.0,
+        help="also flush subscription notifications every TICK seconds "
+        "(0 = mutation-driven only)",
     )
     serve_parser.add_argument("--scale", type=int, default=100, help="number of persons")
     serve_parser.add_argument("--seed", type=int, default=42)

@@ -27,7 +27,17 @@ what keeps shortest-path recursion finite on cyclic graphs.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.analysis.stratification import stratify
 from repro.common.errors import ExecutionError
@@ -46,6 +56,9 @@ from repro.engines.datalog.storage import (
     create_store,
 )
 from repro.engines.result import QueryResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (ivm imports us)
+    from repro.engines.datalog.ivm import MaintenanceReport
 
 FactsInput = Mapping[str, Iterable[Tuple]]
 
@@ -284,7 +297,7 @@ class DatalogEngine:
         self,
         added: Mapping[str, Set[Tuple]],
         removed: Mapping[str, Set[Tuple]],
-    ) -> bool:
+    ) -> "MaintenanceReport":
         """Fold one EDB delta batch into the derived store.
 
         ``added``/``removed`` map extensional relations to the *effective*
@@ -295,30 +308,107 @@ class DatalogEngine:
         to a full ``reset()`` + ``run()`` and bumps ``full_rederive_count``
         (the incremental path bumps ``maintain_count`` instead, which is
         how tests prove IVM actually ran).
+
+        Either way the returned
+        :class:`~repro.engines.datalog.ivm.MaintenanceReport` carries the
+        **exact** per-relation ``(added, removed)`` row delta of the whole
+        batch — the incremental path reads it off the maintenance pass for
+        free, the fallback path snapshots the IDB relations before the
+        reset and diffs after re-derivation (a failed pass rolls its
+        partial writes back first, so the snapshot really is the old
+        state).  Subscriptions rely on this: no fallback ever loses a
+        notification.
         """
         if not self._evaluated:
-            # Nothing derived yet: the next run() sees the new EDB anyway.
-            self.run()
-            return True
+            # Nothing derived yet: derive now and report everything that
+            # appears relative to the store's current (underived) state.
+            return self._rederive_with_report(added, removed, fallback=False)
         maintainer = self._ensure_maintainer() if self._ivm else self._maintainer
         if maintainer is not None and maintainer.maintainable and maintainer.primed:
             try:
-                maintainer.maintain(added, removed)
-                self.maintain_count += 1
-                return True
+                report = maintainer.maintain(added, removed)
             except Exception:
-                # The maintainer may have re-added retracted EDB rows (its
-                # union state) before failing; put the EDB back on the new
-                # state so the fallback derives from the right facts.  The
-                # reset() below clears any partial IDB writes wholesale.
-                with self._store.batch():
-                    for relation, rows in removed.items():
-                        for row in rows:
-                            self._store.remove(relation, tuple(row))
-        self.full_rederive_count += 1
-        self.reset()
+                # The maintainer rolled back its partial writes: the EDB is
+                # at the new state, the IDB exactly at the old one — the
+                # snapshot-and-diff below therefore reports the true delta.
+                pass
+            else:
+                self.maintain_count += 1
+                return report
+        return self._rederive_with_report(added, removed, fallback=True)
+
+    def rederive(
+        self,
+        parameters: Optional[Mapping[str, object]] = None,
+        *,
+        fallback: bool = False,
+    ) -> "MaintenanceReport":
+        """Re-derive from scratch and report the resulting IDB row delta.
+
+        The delta-tracking counterpart of ``reset()`` + ``run()``: the IDB
+        relations are snapshotted first and diffed after, so callers that
+        must observe changes (standing queries crossing a bulk-ingest
+        sentinel or a parameter rebind) get the same exact
+        :class:`~repro.engines.datalog.ivm.MaintenanceReport` the
+        incremental path produces.  ``fallback=True`` counts the event in
+        ``full_rederive_count`` — pass it when this re-derivation replaces
+        a derivation that should have been maintainable (a bulk-ingest
+        sentinel crossed a standing query); a chosen cold path (first
+        derivation, binding change) leaves the counter untouched.
+        """
+        return self._rederive_with_report(
+            {}, {}, fallback=fallback, parameters=parameters
+        )
+
+    def _rederive_with_report(
+        self,
+        added: Mapping[str, Set[Tuple]],
+        removed: Mapping[str, Set[Tuple]],
+        *,
+        fallback: bool,
+        parameters: Optional[Mapping[str, object]] = None,
+    ) -> "MaintenanceReport":
+        """Full re-derivation bracketed by an IDB snapshot/diff.
+
+        O(|IDB|) — the price of exact deltas on the paths incremental
+        maintenance cannot serve.  The EDB input delta (``added`` /
+        ``removed``) is merged into the report so consumers see one
+        coherent change set whichever path produced it.
+        """
+        from repro.engines.datalog.ivm import MaintenanceReport
+
+        before = {
+            relation: set(self._store.scan(relation))
+            for relation in self._idb_relations
+        }
+        if fallback:
+            self.full_rederive_count += 1
+        if self._evaluated:
+            self.reset(parameters=parameters)
+        elif parameters is not None:
+            self._params = dict(parameters)
         self.run()
-        return True
+        report = MaintenanceReport(full_rederive=True)
+        for relation in self._idb_relations:
+            after = set(self._store.scan(relation))
+            prior = before.get(relation, set())
+            grew = after - prior
+            shrank = prior - after
+            if grew:
+                report.added[relation] = grew
+            if shrank:
+                report.removed[relation] = shrank
+        for relation, rows in added.items():
+            if rows:
+                report.added.setdefault(relation, set()).update(
+                    tuple(row) for row in rows
+                )
+        for relation, rows in removed.items():
+            if rows:
+                report.removed.setdefault(relation, set()).update(
+                    tuple(row) for row in rows
+                )
+        return report
 
     def set_parameters(self, parameters: Mapping[str, object]) -> None:
         """Bind parameter values for the next evaluation.

@@ -199,6 +199,23 @@ class StoreBackend(abc.ABC):
         """
         return None
 
+    def changes_since(
+        self, name: str, version: int
+    ) -> Optional[Tuple[List[Row], List[Row]]]:
+        """Return the net ``(added, removed)`` rows of ``name`` since
+        ``version`` (a value previously returned by :meth:`data_version`).
+
+        Opposite changes of the same row cancel, so ``added`` rows are
+        present now and absent at ``version``, and ``removed`` rows the
+        reverse — exactly the delta a cache keyed on ``data_version`` must
+        apply to catch up.  Returns ``None`` when the span is unknown (the
+        backend keeps no log, the log was truncated past ``version``, or
+        the relation was wholesale-replaced in between); the caller must
+        then rebuild from :meth:`scan`.  Backends without a change log
+        simply inherit this ``None`` default.
+        """
+        return None
+
     def cache_identity(self, name: str) -> Tuple[int, object]:
         """Return ``(key, pin)`` identifying the storage backing ``name``.
 
@@ -371,6 +388,82 @@ class DeltaView:
         return index.get(tuple(key), ())
 
 
+class RelationChangeLog:
+    """A bounded per-relation log of effective row changes, versioned by the
+    store's ``data_version`` counter.
+
+    Backends append ``(version, row, ±1)`` entries on their write paths
+    (after bumping the version, so each entry carries the version it
+    produced) and answer :meth:`changes_since` by netting the suffix newer
+    than the requested version.  The log is a cache, not a ledger: it keeps
+    at most :attr:`LIMIT` entries per relation and records how far back it
+    is complete (``floor``), answering ``None`` beyond that — the columnar
+    executor then falls back to a full re-encode, so truncation can never
+    produce a wrong delta.  Batched writes share one version (the stores
+    bump once per effective batch), so trimming always drops whole version
+    groups: a retained version's delta is never half-reported.
+    """
+
+    LIMIT = 1024
+
+    def __init__(self) -> None:
+        # relation -> [(version, row, +1 | -1)], oldest first
+        self._entries: Dict[str, List[Tuple[int, Row, int]]] = defaultdict(list)
+        # relation -> oldest version changes_since() can still answer for
+        self._floor: Dict[str, int] = defaultdict(int)
+
+    def record(self, name: str, version: int, row: Row, sign: int) -> None:
+        """Append one effective change made at ``version``."""
+        log = self._entries[name]
+        log.append((version, row, sign))
+        if len(log) > self.LIMIT:
+            self._trim(name)
+
+    def record_many(
+        self, name: str, version: int, rows: Sequence[Row], sign: int
+    ) -> None:
+        """Append a batch of effective changes sharing one ``version``."""
+        if len(rows) > self.LIMIT:
+            # A batch too large to retain would be trimmed away immediately;
+            # skip the appends and invalidate the history in one step.
+            self.reset(name, version)
+            return
+        log = self._entries[name]
+        log.extend((version, row, sign) for row in rows)
+        if len(log) > self.LIMIT:
+            self._trim(name)
+
+    def reset(self, name: str, version: int) -> None:
+        """Forget the history of ``name`` (wholesale replace/clear)."""
+        self._entries[name] = []
+        self._floor[name] = version
+
+    def _trim(self, name: str) -> None:
+        log = self._entries[name]
+        drop = len(log) - self.LIMIT
+        cut_version = log[drop - 1][0]
+        # Drop whole version groups: every entry at the cut version goes
+        # too, so any version the log still answers for is fully covered.
+        while drop < len(log) and log[drop][0] == cut_version:
+            drop += 1
+        del log[:drop]
+        self._floor[name] = cut_version
+
+    def changes_since(
+        self, name: str, version: int
+    ) -> Optional[Tuple[List[Row], List[Row]]]:
+        """Net the entries newer than ``version``; ``None`` past the floor."""
+        if version < self._floor[name]:
+            return None
+        net: Dict[Row, int] = {}
+        for entry_version, row, sign in self._entries[name]:
+            if entry_version > version:
+                net[row] = net.get(row, 0) + sign
+        added = [row for row, sign in net.items() if sign > 0]
+        removed = [row for row, sign in net.items() if sign < 0]
+        return added, removed
+
+
 class FactStore(StoreBackend):
     """The in-memory backend: tuple sets with incrementally maintained hash
     indexes."""
@@ -391,6 +484,8 @@ class FactStore(StoreBackend):
         self._stats = StatsRegistry()
         # per-relation monotone change counters (see data_version)
         self._versions: Dict[str, int] = defaultdict(int)
+        # bounded per-relation history backing changes_since()
+        self._changelog = RelationChangeLog()
         # serialises lazy index builds: two concurrent readers probing the
         # same un-indexed (relation, positions) must produce one index and
         # one ``index_build_count`` bump, not an interleaved half-built dict
@@ -424,6 +519,7 @@ class FactStore(StoreBackend):
             return False
         relation.add(row)
         self._versions[name] += 1
+        self._changelog.record(name, self._versions[name], row, 1)
         self._stats.record_add(name, row)
         indexes = self._indexes.get(name)
         if indexes:
@@ -448,6 +544,7 @@ class FactStore(StoreBackend):
                 fresh.append(row)
         if fresh:
             self._versions[name] += 1
+            self._changelog.record_many(name, self._versions[name], fresh, 1)
         if not fresh or not indexes:
             return len(fresh)
         if self._maintain:
@@ -465,6 +562,7 @@ class FactStore(StoreBackend):
             return False
         relation.discard(row)
         self._versions[name] += 1
+        self._changelog.record(name, self._versions[name], row, -1)
         self._stats.record_remove(name, row)
         indexes = self._indexes.get(name)
         if not indexes:
@@ -491,6 +589,7 @@ class FactStore(StoreBackend):
         replacement = set(tuple(row) for row in rows)
         self._relations[name] = replacement
         self._versions[name] += 1
+        self._changelog.reset(name, self._versions[name])
         self._stats.record_clear(name)
         for row in replacement:
             self._stats.record_add(name, row)
@@ -506,6 +605,7 @@ class FactStore(StoreBackend):
         """
         self._relations[name] = set()
         self._versions[name] += 1
+        self._changelog.reset(name, self._versions[name])
         self._stats.record_clear(name)
         indexes = self._indexes.get(name)
         if indexes:
@@ -515,6 +615,12 @@ class FactStore(StoreBackend):
     def data_version(self, name: str) -> Optional[int]:
         """Per-relation change counter, bumped only on effective mutations."""
         return self._versions[name]
+
+    def changes_since(
+        self, name: str, version: int
+    ) -> Optional[Tuple[List[Row], List[Row]]]:
+        """Net row delta of ``name`` since ``version`` (see the base class)."""
+        return self._changelog.changes_since(name, int(version))
 
     # -- indexed access ------------------------------------------------------
 

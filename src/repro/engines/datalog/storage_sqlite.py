@@ -38,7 +38,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import ExecutionError
 from repro.engines.datalog.statistics import EMPTY_STATS, RelationStats
-from repro.engines.datalog.storage import Key, Positions, Row, StoreBackend
+from repro.engines.datalog.storage import (
+    Key,
+    Positions,
+    RelationChangeLog,
+    Row,
+    StoreBackend,
+)
 
 _SUPPORTED_TYPES = (bool, int, float, str, bytes)
 
@@ -93,6 +99,8 @@ class SQLiteFactStore(StoreBackend):
         self._stats_cache: Dict[str, RelationStats] = {}
         # per-relation monotone change counters (see data_version)
         self._versions: Dict[str, int] = defaultdict(int)
+        # bounded per-relation history backing changes_since()
+        self._changelog = RelationChangeLog()
         self.stats_query_count = 0
         self._batch_depth = 0
         self._closed = False
@@ -191,6 +199,7 @@ class SQLiteFactStore(StoreBackend):
         )
         if cursor.rowcount > 0:
             self._versions[name] += 1
+            self._changelog.record(name, self._versions[name], row, 1)
             return True
         return False
 
@@ -215,18 +224,29 @@ class SQLiteFactStore(StoreBackend):
             self.begin_batch()
         try:
             added = 0
+            added_plain = 0
             if plain:
                 placeholders = ", ".join("?" for _ in range(len(plain[0])))
                 before = self._conn.total_changes
                 self._conn.executemany(
                     f"INSERT OR IGNORE INTO {table} VALUES ({placeholders})", plain
                 )
-                added += self._conn.total_changes - before
+                added_plain = self._conn.total_changes - before
+                added += added_plain
             for row in with_null:
                 if self.add(name, row):
                     added += 1
             if added:
                 self._versions[name] += 1
+                if added_plain:
+                    # INSERT OR IGNORE does not say which rows were fresh;
+                    # the batch is attributable only when every row was.
+                    if added_plain == len(plain) == len(set(plain)):
+                        self._changelog.record_many(
+                            name, self._versions[name], plain, 1
+                        )
+                    else:
+                        self._changelog.reset(name, self._versions[name])
             return added
         finally:
             if own_batch:
@@ -246,6 +266,7 @@ class SQLiteFactStore(StoreBackend):
         cursor = self._conn.execute(f"DELETE FROM {table} WHERE {where}", row)
         if cursor.rowcount > 0:
             self._versions[name] += 1
+            self._changelog.record(name, self._versions[name], row, -1)
             return True
         return False
 
@@ -262,6 +283,7 @@ class SQLiteFactStore(StoreBackend):
         entry = self._tables.pop(name, None)
         self._stats_cache.pop(name, None)
         self._versions[name] += 1
+        self._changelog.reset(name, self._versions[name])
         if entry is not None:
             self._conn.execute(f"DROP TABLE {entry[0]}")
             self._indexed.pop(name, None)
@@ -284,6 +306,7 @@ class SQLiteFactStore(StoreBackend):
             return
         self._stats_cache.pop(name, None)
         self._versions[name] += 1
+        self._changelog.reset(name, self._versions[name])
         self._conn.execute(f"DELETE FROM {entry[0]}")
 
     # -- indexed access ----------------------------------------------------
@@ -472,6 +495,18 @@ class SQLiteFactStore(StoreBackend):
     def data_version(self, name: str) -> Optional[int]:
         """Per-relation change counter, bumped only on effective mutations."""
         return self._versions[name]
+
+    def changes_since(
+        self, name: str, version: int
+    ) -> Optional[Tuple[List[Row], List[Row]]]:
+        """Net row delta of ``name`` since ``version`` (see the base class).
+
+        Replays through the shared :class:`RelationChangeLog`; bulk
+        ``add_many`` batches whose fresh subset SQLite cannot attribute
+        invalidate the history instead of guessing, so an answer is always
+        exact.
+        """
+        return self._changelog.changes_since(name, int(version))
 
     # -- hooks -------------------------------------------------------------
 

@@ -1,0 +1,35 @@
+"""Reactive layer: standing queries, subscriptions, rules and scheduling.
+
+Built on the Datalog engine's incremental view maintenance: a mutation
+batch yields a :class:`~repro.engines.datalog.ivm.MaintenanceReport` of
+effective result-row changes, which this package routes to subscribers
+(:mod:`~repro.reactive.subscriptions`), trigger actions
+(:mod:`~repro.reactive.rules`) and periodic ticks
+(:mod:`~repro.reactive.scheduler`) — without ever re-running the standing
+queries.
+"""
+
+from repro.reactive.rules import ActionContext, ActionRegistry, ReactiveRule
+from repro.reactive.scheduler import ReactiveScheduler, ScheduledJob
+from repro.reactive.subscriptions import (
+    ReactiveCascadeError,
+    ReactiveCycleError,
+    ReactiveError,
+    ResultDelta,
+    Subscription,
+    SubscriptionManager,
+)
+
+__all__ = [
+    "ActionContext",
+    "ActionRegistry",
+    "ReactiveCascadeError",
+    "ReactiveCycleError",
+    "ReactiveError",
+    "ReactiveRule",
+    "ReactiveScheduler",
+    "ResultDelta",
+    "ScheduledJob",
+    "Subscription",
+    "SubscriptionManager",
+]

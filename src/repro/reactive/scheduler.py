@@ -1,0 +1,191 @@
+"""A small periodic scheduler for reactive flushes and housekeeping.
+
+Sessions flush subscriptions at every mutation by default; turning
+``auto_flush`` off and attaching a scheduler instead coalesces bursts of
+mutations into ticks — the standing queries then catch up once per
+interval, in one O(|Δ|) maintenance pass over the whole burst.
+
+The scheduler is deliberately minimal: named jobs with fixed intervals on
+one daemon thread, driven by :func:`time.monotonic`.  ``run_pending(now)``
+is the testable core — tests drive virtual time through it without
+starting the thread.  A :class:`~repro.session.Session` is single-threaded
+by contract, so a scheduler that flushes a session must be that session's
+only concurrent driver (the serving layer routes flushes through worker
+queues instead of sharing sessions across threads).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+
+class ScheduledJob:
+    """One recurring job: ``fn`` every ``interval`` seconds.
+
+    Errors are recorded (``error_count`` / ``last_error``) and the job
+    keeps its schedule — one failing job must not stall the tick loop.
+    """
+
+    __slots__ = (
+        "name",
+        "fn",
+        "interval",
+        "next_due",
+        "run_count",
+        "error_count",
+        "last_error",
+        "active",
+    )
+
+    def __init__(
+        self, name: str, fn: Callable[[], object], interval: float, now: float
+    ) -> None:
+        self.name = name
+        self.fn = fn
+        self.interval = float(interval)
+        self.next_due = now + self.interval
+        self.run_count = 0
+        self.error_count = 0
+        self.last_error: Optional[BaseException] = None
+        self.active = True
+
+    def cancel(self) -> None:
+        """Stop future runs; idempotent."""
+        self.active = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self.active else "cancelled"
+        return (
+            f"ScheduledJob({self.name!r} every {self.interval}s, "
+            f"ran {self.run_count}x, {state})"
+        )
+
+
+class ReactiveScheduler:
+    """Run registered jobs on a periodic background tick."""
+
+    def __init__(self, *, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._jobs: Dict[str, ScheduledJob] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._next_name = 1
+        #: total job invocations across all ticks
+        self.tick_count = 0
+
+    # -- registration ------------------------------------------------------
+
+    def every(
+        self,
+        interval: float,
+        fn: Callable[[], object],
+        *,
+        name: Optional[str] = None,
+    ) -> ScheduledJob:
+        """Schedule ``fn`` to run every ``interval`` seconds (first run one
+        interval from now)."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        with self._lock:
+            if name is None:
+                name = f"job-{self._next_name}"
+                self._next_name += 1
+            if name in self._jobs and self._jobs[name].active:
+                raise ValueError(f"a scheduled job named {name!r} already exists")
+            job = ScheduledJob(name, fn, interval, self._clock())
+            self._jobs[name] = job
+            return job
+
+    def watch(self, session, *, interval: float = 0.05) -> ScheduledJob:
+        """Flush ``session``'s subscriptions every ``interval`` seconds.
+
+        Intended for sessions with ``reactive.auto_flush = False`` — the
+        tick becomes the commit point for notification delivery.
+        """
+        manager = session.reactive
+        return self.every(
+            interval, manager.flush, name=f"watch-session-{id(session):x}"
+        )
+
+    def cancel(self, name: str) -> None:
+        """Cancel the named job (missing names are ignored)."""
+        with self._lock:
+            job = self._jobs.pop(name, None)
+        if job is not None:
+            job.cancel()
+
+    def jobs(self) -> List[ScheduledJob]:
+        """Return the live jobs."""
+        with self._lock:
+            return [job for job in self._jobs.values() if job.active]
+
+    # -- the tick ----------------------------------------------------------
+
+    def run_pending(self, now: Optional[float] = None) -> int:
+        """Run every job whose deadline has passed; return how many ran.
+
+        The testable core of the scheduler: pass ``now`` explicitly to
+        drive virtual time.  A job that slipped more than one interval
+        runs once and re-anchors to ``now`` (no catch-up bursts).
+        """
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            due = [
+                job
+                for job in self._jobs.values()
+                if job.active and now >= job.next_due
+            ]
+        ran = 0
+        for job in due:
+            job.next_due = now + job.interval
+            job.run_count += 1
+            ran += 1
+            try:
+                job.fn()
+            except Exception as exc:  # noqa: BLE001 - recorded, not raised
+                job.error_count += 1
+                job.last_error = exc
+        self.tick_count += ran
+        return ran
+
+    # -- the thread --------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background tick thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="raqlet-reactive-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the tick thread and wait for it to exit."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self.run_pending()
+            with self._lock:
+                deadlines = [
+                    job.next_due for job in self._jobs.values() if job.active
+                ]
+            now = self._clock()
+            delay = min((due - now for due in deadlines), default=0.05)
+            self._stop.wait(timeout=max(0.001, min(delay, 0.5)))
+
+    def __enter__(self) -> "ReactiveScheduler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

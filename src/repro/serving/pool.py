@@ -29,6 +29,16 @@ store (single-writer, epoch bump).  Workers discover the new epoch at their
 next request, feed the delta-chain suffix into their session's log, and the
 prepared queries maintain incrementally — O(|delta|) per worker, zero full
 re-derivations on the streaming path.
+
+**Subscriptions** ride the same machinery: :meth:`ServingPool.subscribe`
+routes a ``(statement, binding)`` to a worker by the same affinity map and
+registers a standing query on that worker's session
+(:class:`~repro.reactive.subscriptions.SubscriptionManager`); every
+:meth:`mutate` then pokes the subscription-owning workers, whose sync
+flushes the session's reactive layer and pushes exact ``(added, removed)``
+result deltas to the pool-level listeners — O(|delta|) per standing query,
+no re-execution, exactly-once per epoch (a worker that already synced for a
+query request simply has nothing left to deliver when the poke arrives).
 """
 
 from __future__ import annotations
@@ -177,10 +187,16 @@ class ServingPool:
         self._round_robin = 0
         self._pending = 0
         self._closed = False
+        # sid -> (worker, session-level Subscription); the worker owns the
+        # standing query, the pool owns the routing and the id space.
+        self._subscriptions: Dict[int, Tuple["_Worker", object]] = {}
+        self._subscription_seq = itertools.count(1)
+        self._ticker = None
         self.executed_count = 0
         self.coalesced_count = 0
         self.rejected_count = 0
         self.mutation_count = 0
+        self.notification_count = 0
         self._workers = [_Worker(self, index) for index in range(workers)]
         for worker in self._workers:
             worker.thread.start()
@@ -345,6 +361,8 @@ class ServingPool:
             self._check_extensional(relation)
         inserted, retracted, epoch = self._shared.apply(insert, retract)
         self.mutation_count += 1
+        if inserted or retracted:
+            self.poke()
         return {"inserted": inserted, "retracted": retracted, "epoch": epoch}
 
     def ingest(self, facts: Mapping[str, Iterable[Row]]) -> Dict[str, int]:
@@ -357,6 +375,139 @@ class ServingPool:
                 f"relation {relation!r} is derived by a prepared statement; "
                 "only extensional (EDB) relations can be mutated"
             )
+
+    # -- subscriptions -------------------------------------------------------
+
+    def subscribe(
+        self,
+        name: str,
+        listener,
+        *,
+        parameters: Optional[Mapping[str, object]] = None,
+        timeout: float = 30.0,
+        **bindings: object,
+    ) -> int:
+        """Register a standing query on the named prepared statement.
+
+        ``listener(sid, statement_name, delta)`` is called — on the owning
+        worker's thread — with a
+        :class:`~repro.reactive.subscriptions.ResultDelta` after every
+        mutation batch that changes the statement's result for this
+        binding.  The subscription is routed by the same binding-affinity
+        map as :meth:`submit`, so the standing derivation and the warm
+        request path share one worker (and one maintenance pass).  Returns
+        the subscription id for :meth:`unsubscribe`.
+        """
+        self._check_open()
+        params: Dict[str, object] = dict(parameters or {})
+        params.update(bindings)
+        with self._dispatch_lock:
+            statement = self._statements.get(name)
+            if statement is None:
+                raise RaqletError(
+                    f"unknown prepared statement {name!r} "
+                    f"(prepared: {', '.join(sorted(self._statements)) or 'none'})"
+                )
+            routing_key = (name, statement.version, self._freeze(params))
+            worker = self._route(routing_key)
+            sid = next(self._subscription_seq)
+
+        def callback(delta, _sid=sid, _name=name) -> None:
+            # Re-stamp with the shared epoch the worker just synced to —
+            # the session-internal epoch means nothing outside the worker.
+            delta.epoch = worker.synced_epoch
+            self.notification_count += 1
+            listener(_sid, _name, delta)
+
+        def control(holder: Future) -> None:
+            worker.view.begin_read()
+            try:
+                self._sync_worker(worker)
+                holder.set_result(
+                    worker.session.reactive.subscribe(
+                        statement.compiled, callback, parameters=params, name=name
+                    )
+                )
+            except BaseException as exc:  # surfaced to the subscriber
+                holder.set_exception(exc)
+            finally:
+                worker.view.end_read()
+
+        subscription = self._run_on_worker(worker, control, timeout)
+        with self._dispatch_lock:
+            self._subscriptions[sid] = (worker, subscription)
+        return sid
+
+    def unsubscribe(self, sid: int, *, timeout: float = 30.0) -> bool:
+        """Tear down a subscription by id; ``False`` when already gone."""
+        with self._dispatch_lock:
+            entry = self._subscriptions.pop(sid, None)
+        if entry is None:
+            return False
+        worker, subscription = entry
+
+        def control(holder: Future) -> None:
+            worker.view.begin_read()
+            try:
+                subscription.unsubscribe()
+                holder.set_result(True)
+            except BaseException as exc:
+                holder.set_exception(exc)
+            finally:
+                worker.view.end_read()
+
+        self._run_on_worker(worker, control, timeout)
+        return True
+
+    def poke(self) -> int:
+        """Ask every subscription-owning worker to catch up and deliver.
+
+        Called by :meth:`mutate` after each effective batch (and by the
+        optional ticker): the worker syncs the shared delta chain into its
+        session, whose reactive layer flushes the standing queries and
+        fires the listeners.  Idempotent per epoch — a worker that is
+        already current delivers nothing.  Returns the worker count poked.
+        """
+        with self._dispatch_lock:
+            if self._closed:
+                return 0
+            owners = {
+                worker.index: worker for worker, _ in self._subscriptions.values()
+            }
+        for worker in owners.values():
+            worker.queue.put(self._notify_control(worker))
+        return len(owners)
+
+    def start_ticker(self, interval: float = 0.05):
+        """Deliver notifications on a periodic tick as well as per mutation
+        (a safety net for writers that bypass :meth:`mutate`, e.g. a
+        caller-owned :class:`SharedEDB` shared with another pool)."""
+        from repro.reactive.scheduler import ReactiveScheduler
+
+        if self._ticker is None:
+            self._ticker = ReactiveScheduler()
+            self._ticker.every(interval, self.poke, name="pool-notify")
+            self._ticker.start()
+        return self._ticker
+
+    def _notify_control(self, worker: "_Worker"):
+        def control() -> None:
+            worker.view.begin_read()
+            try:
+                # The sync feeds the session's delta log; the session's
+                # reactive auto-flush then delivers inside this read span.
+                self._sync_worker(worker)
+            finally:
+                worker.view.end_read()
+
+        return control
+
+    @staticmethod
+    def _run_on_worker(worker: "_Worker", control, timeout: float):
+        """Run ``control(holder)`` on the worker thread; await its result."""
+        holder: Future = Future()
+        worker.queue.put(lambda: control(holder))
+        return holder.result(timeout)
 
     # -- worker side ---------------------------------------------------------
 
@@ -375,16 +526,34 @@ class ServingPool:
             else:
                 self._finish(task, response, None)
 
-    def _execute(self, worker: _Worker, task: _QueryTask) -> ServedResponse:
-        epoch = worker.view.begin_read()
-        try:
-            if epoch != worker.synced_epoch:
-                # Feed the shared delta chain into this worker's session log;
-                # prepared queries then maintain incrementally on this run.
-                entries = worker.view.delta_since(worker.synced_epoch)
+    def _sync_worker(self, worker: _Worker) -> int:
+        """Fold the shared delta chain into the worker's session log.
+
+        Caller must hold a ``begin_read`` span.  Prepared queries then
+        maintain incrementally on their next run, and the session's
+        reactive layer flushes (delivering subscription notifications)
+        before this returns.  Idempotent per epoch.
+        """
+        epoch = worker.view.pinned_epoch
+        if epoch != worker.synced_epoch:
+            entries = worker.view.delta_since(worker.synced_epoch)
+            # Stamp the target epoch before folding: subscription listeners
+            # fire *during* the fold (auto-flush) and tag their deltas with
+            # the shared epoch the worker is syncing to.
+            previous = worker.synced_epoch
+            worker.synced_epoch = epoch
+            try:
                 worker.session.sync_external_mutations(entries)
-                worker.synced_epoch = epoch
-                worker.view.mark_consumed(epoch)
+            except BaseException:
+                worker.synced_epoch = previous
+                raise
+            worker.view.mark_consumed(epoch)
+        return epoch
+
+    def _execute(self, worker: _Worker, task: _QueryTask) -> ServedResponse:
+        worker.view.begin_read()
+        try:
+            epoch = self._sync_worker(worker)
             prepared = self._prepared_for(worker, task.statement)
             result = prepared.run(dict(task.params))
             worker.executed_count += 1
@@ -438,6 +607,7 @@ class ServingPool:
         with self._dispatch_lock:
             pending = self._pending
             statements = sorted(self._statements)
+            subscriptions = len(self._subscriptions)
         maintain = rederive = 0
         per_worker = []
         for worker in self._workers:
@@ -455,6 +625,8 @@ class ServingPool:
             "coalesced_count": self.coalesced_count,
             "rejected_count": self.rejected_count,
             "mutation_count": self.mutation_count,
+            "subscription_count": subscriptions,
+            "notification_count": self.notification_count,
             "maintain_count": maintain,
             "full_rederive_count": rederive,
             "per_worker": per_worker,
@@ -496,6 +668,11 @@ class ServingPool:
         if self._closed:
             return
         self._closed = True
+        if self._ticker is not None:
+            self._ticker.stop()
+            self._ticker = None
+        with self._dispatch_lock:
+            self._subscriptions.clear()
         for worker in self._workers:
             worker.queue.put(_STOP)
         for worker in self._workers:

@@ -14,13 +14,29 @@ response, pipelining allowed.  Operations:
 ``{"op": "mutate", "insert"?: {rel: [row, ...]}, "retract"?: {...}}``
     Apply one EDB mutation batch; answers effective counts and the new
     epoch.
+``{"op": "subscribe", "name": ..., "params"?: {...}}``
+    Register a standing query on a prepared statement; answers
+    ``{"ok": true, "sid": ...}``.  From then on the connection receives
+    **pushed** notification frames — ``{"event": "notification", "sid",
+    "name", "epoch", "columns", "added", "removed"}`` — after every
+    mutation batch that changes the statement's result for this binding
+    (the result-row delta, maintained incrementally server-side, never by
+    re-running the query).  Frames interleave with responses on the same
+    newline-delimited stream; clients discriminate by the ``event`` key.
+``{"op": "unsubscribe", "sid": ...}``
+    Stop the named subscription; remaining subscriptions are torn down
+    when the connection closes.
 ``{"op": "stats"}``, ``{"op": "ping"}``
     Counters snapshot / liveness.
 ``{"op": "shutdown"}``
     Acknowledge, then stop the server (used by the CLI smoke and tests).
 
 Blocking pool work never runs on the event loop: ``run`` awaits the pool
-future, ``prepare``/``mutate`` go through the default thread-pool executor.
+future, ``prepare``/``mutate``/``subscribe`` go through the default
+thread-pool executor, and notification callbacks (which fire on pool worker
+threads) hop back onto the loop via ``run_coroutine_threadsafe``.  A
+per-connection lock serialises responses and pushed frames so concurrent
+writes never interleave bytes.
 """
 
 from __future__ import annotations
@@ -37,6 +53,18 @@ from repro.serving.pool import PoolSaturatedError, ServingPool
 _LINE_LIMIT = 64 * 1024 * 1024
 
 
+class _Connection:
+    """Per-connection state: the writer, its frame lock, its subscriptions."""
+
+    __slots__ = ("writer", "lock", "sids", "closed")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.sids: set = set()
+        self.closed = False
+
+
 class RaqletServer:
     """Serve a :class:`~repro.serving.pool.ServingPool` over TCP."""
 
@@ -51,6 +79,10 @@ class RaqletServer:
         self._port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
+        # live handler tasks -> their connection state; stop() closes the
+        # transports and awaits the handlers so none dies by cancellation
+        # (a cancelled streams handler trips asyncio's done-callback log)
+        self._handlers: Dict[asyncio.Task, _Connection] = {}
 
     @property
     def pool(self) -> ServingPool:
@@ -83,44 +115,78 @@ class RaqletServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Closing the transports feeds EOF to every pending readline, so
+        # the handlers drain their cleanup paths and finish on their own.
+        for ctx in self._handlers.values():
+            ctx.closed = True
+            ctx.writer.close()
+        if self._handlers:
+            await asyncio.gather(
+                *list(self._handlers), return_exceptions=True
+            )
+            self._handlers.clear()
 
     # -- connection handling -------------------------------------------------
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        ctx = _Connection(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers[task] = ctx
         try:
             while not self._shutdown.is_set():
                 try:
                     line = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError):
-                    await self._send(writer, _error("request too large"))
+                    await self._send(ctx, _error("request too large"))
                     break
                 if not line:
                     break
                 line = line.strip()
                 if not line:
                     continue
-                response = await self._dispatch(line)
-                await self._send(writer, response)
+                response = await self._dispatch(ctx, line)
+                await self._send(ctx, response)
                 if response.get("stopping"):
                     self._shutdown.set()
                     break
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            ctx.closed = True
+            if ctx.sids:
+                # Tear standing queries down off the loop (unsubscribe
+                # round-trips through the owning worker's thread).
+                loop = asyncio.get_running_loop()
+                for sid in list(ctx.sids):
+                    await loop.run_in_executor(None, self._pool.unsubscribe, sid)
+                ctx.sids.clear()
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+            if task is not None:
+                self._handlers.pop(task, None)
 
     @staticmethod
-    async def _send(writer: asyncio.StreamWriter, payload: Dict) -> None:
-        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
-        await writer.drain()
+    async def _send(ctx: _Connection, payload: Dict) -> None:
+        async with ctx.lock:
+            ctx.writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+            await ctx.writer.drain()
 
-    async def _dispatch(self, line: bytes) -> Dict:
+    async def _push(self, ctx: _Connection, payload: Dict) -> None:
+        """Send an unsolicited frame (notification) to a connection."""
+        if ctx.closed:
+            return
+        try:
+            await self._send(ctx, payload)
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            ctx.closed = True
+
+    async def _dispatch(self, ctx: _Connection, line: bytes) -> Dict:
         try:
             request = json.loads(line)
         except json.JSONDecodeError as exc:
@@ -132,7 +198,7 @@ class RaqletServer:
         if handler is None:
             return _error(f"unknown op {op!r}", code="bad-request")
         try:
-            return await handler(request)
+            return await handler(ctx, request)
         except PoolSaturatedError as exc:
             return _error(str(exc), code="saturated")
         except RaqletError as exc:
@@ -142,10 +208,10 @@ class RaqletServer:
 
     # -- operations ----------------------------------------------------------
 
-    async def _op_ping(self, request: Dict) -> Dict:
+    async def _op_ping(self, ctx: _Connection, request: Dict) -> Dict:
         return {"ok": True, "pong": True, "epoch": self._pool.epoch}
 
-    async def _op_prepare(self, request: Dict) -> Dict:
+    async def _op_prepare(self, ctx: _Connection, request: Dict) -> Dict:
         name = request.get("name")
         query = request.get("query")
         if not isinstance(name, str) or not isinstance(query, str):
@@ -156,7 +222,7 @@ class RaqletServer:
         )
         return {"ok": True, "name": name, "params": list(param_names)}
 
-    async def _op_run(self, request: Dict) -> Dict:
+    async def _op_run(self, ctx: _Connection, request: Dict) -> Dict:
         name = request.get("name")
         if not isinstance(name, str):
             return _error("run needs a string 'name'", code="bad-request")
@@ -178,7 +244,7 @@ class RaqletServer:
         )
         return payload
 
-    async def _op_mutate(self, request: Dict) -> Dict:
+    async def _op_mutate(self, ctx: _Connection, request: Dict) -> Dict:
         insert = _rows_payload(request.get("insert"))
         retract = _rows_payload(request.get("retract"))
         loop = asyncio.get_running_loop()
@@ -187,10 +253,49 @@ class RaqletServer:
         )
         return {"ok": True, **outcome}
 
-    async def _op_stats(self, request: Dict) -> Dict:
+    async def _op_subscribe(self, ctx: _Connection, request: Dict) -> Dict:
+        name = request.get("name")
+        if not isinstance(name, str):
+            return _error("subscribe needs a string 'name'", code="bad-request")
+        params = request.get("params")
+        if params is None:
+            params = {}
+        if not isinstance(params, dict):
+            return _error("'params' must be an object", code="bad-request")
+        loop = asyncio.get_running_loop()
+
+        def listener(sid: int, statement: str, delta) -> None:
+            # Fires on a pool worker thread; hop onto the loop to write.
+            frame = {
+                "event": "notification",
+                "sid": sid,
+                "name": statement,
+                "epoch": delta.epoch,
+                "columns": list(delta.columns),
+                "added": [list(row) for row in delta.added],
+                "removed": [list(row) for row in delta.removed],
+            }
+            asyncio.run_coroutine_threadsafe(self._push(ctx, frame), loop)
+
+        sid = await loop.run_in_executor(
+            None, lambda: self._pool.subscribe(name, listener, parameters=params)
+        )
+        ctx.sids.add(sid)
+        return {"ok": True, "sid": sid, "name": name, "epoch": self._pool.epoch}
+
+    async def _op_unsubscribe(self, ctx: _Connection, request: Dict) -> Dict:
+        sid = request.get("sid")
+        if not isinstance(sid, int):
+            return _error("unsubscribe needs an integer 'sid'", code="bad-request")
+        loop = asyncio.get_running_loop()
+        removed = await loop.run_in_executor(None, self._pool.unsubscribe, sid)
+        ctx.sids.discard(sid)
+        return {"ok": True, "sid": sid, "removed": removed}
+
+    async def _op_stats(self, ctx: _Connection, request: Dict) -> Dict:
         return {"ok": True, "stats": self._pool.stats()}
 
-    async def _op_shutdown(self, request: Dict) -> Dict:
+    async def _op_shutdown(self, ctx: _Connection, request: Dict) -> Dict:
         return {"ok": True, "stopping": True}
 
 

@@ -174,6 +174,15 @@ class PreparedQuery:
             **session.engine_options,
         )
         self._idb_relations = frozenset(self._program.idb_names())
+        #: the (namespaced) relation :meth:`run` returns rows of — the one
+        #: whose delta :meth:`sync` and subscriptions report
+        outputs = self._program.outputs
+        self._output_relation: Optional[str] = outputs[0] if outputs else None
+        #: when True, cold re-derivations go through ``engine.rederive()``
+        #: (snapshot + diff) so :meth:`sync` never loses a delta; plain
+        #: queries keep the cheaper reset()+run() path.  Flipped on by the
+        #: first :meth:`sync` call and by the reactive subscription layer.
+        self._track_deltas = False
         self._derived = False
         self._last_params: Optional[Dict[str, object]] = None
         self._mutation_epoch = -1
@@ -283,30 +292,83 @@ class PreparedQuery:
         """
         params = self._resolve_params(parameters, bindings)
         started = time.perf_counter()
-        if not self._is_warm(params):
-            if not self._maintain_incrementally(params):
-                # Mark-dirty + lazy re-derive: clear this query's
-                # (namespaced) IDB relations and evaluate against the hot
-                # EDB.  This is the cold path (first run, new binding) and
-                # the fallback when the delta cannot be maintained.
-                self._engine.reset(parameters=params)
-                self._engine.run()
-                self._derived = True
-                self._last_params = dict(params)
-            self._mutation_epoch = self._session.mutation_epoch
-            self._delta_pos = self._session._log_position()
+        self._refresh(params)
         result = self._engine.query()
         self.last_run_seconds = time.perf_counter() - started
         return result
 
-    def _maintain_incrementally(self, params: Dict[str, object]) -> bool:
+    def sync(
+        self,
+        parameters: Optional[ParamValues] = None,
+        **bindings: object,
+    ) -> Tuple[List[Tuple], List[Tuple]]:
+        """Bring the derivation current and return the ``(added, removed)``
+        rows of the query's output relation since the previous derivation.
+
+        The standing-query primitive: unlike :meth:`run` it does **not**
+        enumerate the result — the delta is read off the engine's
+        :class:`~repro.engines.datalog.ivm.MaintenanceReport`, so a warm
+        no-op costs nothing and a mutation costs O(|Δ|).  The first call
+        after preparation reports the full initial result as added.  Calling
+        ``sync`` enrols the query in delta tracking: later cold
+        re-derivations (bulk ingests, parameter rebinds, maintenance
+        fallbacks) snapshot-and-diff instead of silently resetting, so no
+        delta is ever lost between calls.
+        """
+        params = self._resolve_params(parameters, bindings)
+        self._track_deltas = True
+        report = self._refresh(params)
+        output = self._output_relation
+        if report is None or output is None:
+            return [], []
+        added, removed = report.relation_delta(output)
+        key = lambda row: tuple(str(value) for value in row)  # noqa: E731
+        return sorted(added, key=key), sorted(removed, key=key)
+
+    def _refresh(self, params: Dict[str, object]):
+        """Bring the derivation current for ``params``.
+
+        Returns the :class:`~repro.engines.datalog.ivm.MaintenanceReport`
+        describing what changed, or ``None`` on the warm no-op path (the
+        previous derivation is still exact).
+        """
+        if self._is_warm(params):
+            return None
+        report = self._maintain_incrementally(params)
+        if report is None:
+            # Mark-dirty + lazy re-derive: clear this query's (namespaced)
+            # IDB relations and evaluate against the hot EDB.  This is the
+            # cold path (first run, new binding, bulk ingest) — delta
+            # trackers pay an extra snapshot/diff here so even cold paths
+            # report exactly what changed.
+            if self._track_deltas:
+                # A re-derivation that replaces a still-current standing
+                # derivation (bulk ingest, unmaintainable delta) is a
+                # *fallback* and counts as one; a first derivation or a
+                # binding change is simply the chosen cold path.
+                fallback = self._derived and self._last_params == params
+                report = self._engine.rederive(
+                    parameters=params, fallback=fallback
+                )
+            else:
+                self._engine.reset(parameters=params)
+                self._engine.run()
+            self._derived = True
+            self._last_params = dict(params)
+        self._mutation_epoch = self._session.mutation_epoch
+        self._delta_pos = self._session._log_position()
+        return report
+
+    def _maintain_incrementally(self, params: Dict[str, object]):
         """Fold the EDB rows mutated since the last derivation into the
         engine's incremental maintainer.
 
         Only applicable when the previous derivation exists, used the same
         binding, and every mutation since is covered by the session's
         per-row delta log (a bulk :meth:`Session.ingest` is not).  Returns
-        ``True`` when the derived relations were brought current.
+        the engine's :class:`~repro.engines.datalog.ivm.MaintenanceReport`
+        when the derived relations were brought current, ``None`` when the
+        caller must take the cold path.
         """
         if not (
             self._session._ivm
@@ -314,13 +376,12 @@ class PreparedQuery:
             and self._last_params == params
             and self._delta_pos is not None
         ):
-            return False
+            return None
         delta = self._session._fold_delta(self._delta_pos)
         if delta is None:
-            return False
+            return None
         added, removed = delta
-        self._engine.maintain(added, removed)
-        return True
+        return self._engine.maintain(added, removed)
 
 
 class Session:
@@ -383,6 +444,9 @@ class Session:
         self._sqlite_executor = None
         self._relational_database = None
         self._property_graph = None
+        # The reactive subsystem (standing queries, subscriptions, rules) —
+        # materialised on first use so plain sessions pay nothing for it.
+        self._reactive = None
         self._closed = False
         if facts:
             self.ingest(facts)
@@ -668,6 +732,49 @@ class Session:
             self._sqlite_executor = None
         self._relational_database = None
         self._property_graph = None
+        # Commit point of the mutation batch: standing queries catch up and
+        # subscriptions/rules fire now (re-entrant mutations from rule
+        # actions are absorbed by the flush's own cascade loop).
+        reactive = self._reactive
+        if reactive is not None and reactive.auto_flush:
+            reactive.flush()
+
+    # -- reactive subsystem --------------------------------------------------
+
+    @property
+    def reactive(self):
+        """Return the session's :class:`~repro.reactive.SubscriptionManager`.
+
+        Created on first access; holds the standing queries, subscriptions,
+        reactive rules and the action registry.  With the default
+        ``auto_flush=True`` every :meth:`insert` / :meth:`retract` /
+        :meth:`ingest` batch flushes it at commit time.
+        """
+        if self._reactive is None:
+            from repro.reactive.subscriptions import SubscriptionManager
+
+            self._reactive = SubscriptionManager(self)
+        return self._reactive
+
+    def subscribe(
+        self,
+        query,
+        callback,
+        *,
+        parameters: Optional[ParamValues] = None,
+        **bindings: object,
+    ):
+        """Register a standing query: ``callback`` fires with the result-row
+        delta after every mutation batch that changes the result.
+
+        ``query`` is anything :meth:`prepare` accepts, or an existing
+        :class:`PreparedQuery`.  Shorthand for
+        ``session.reactive.subscribe(...)`` — see
+        :class:`repro.reactive.subscriptions.SubscriptionManager`.
+        """
+        return self.reactive.subscribe(
+            query, callback, parameters=parameters, **bindings
+        )
 
     # -- the delta log -----------------------------------------------------
 
@@ -752,6 +859,9 @@ class Session:
         if self._closed:
             return
         self._closed = True
+        if self._reactive is not None:
+            self._reactive.close()
+            self._reactive = None
         if self._sqlite_executor is not None:
             self._sqlite_executor.close()
             self._sqlite_executor = None

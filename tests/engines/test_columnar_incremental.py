@@ -1,0 +1,204 @@
+"""Incremental column maintenance in the columnar executor.
+
+When a cached relation encoding goes stale, :meth:`_relation_columns`
+tries to *advance* the cached code columns by the store's change log
+(append freshly-encoded rows, mask out removed ones) instead of
+re-encoding the whole relation — counted in
+``columnar_incremental_encode_count`` vs ``store_encode_count``.
+
+The contract is one-sided soundness with full accounting: every advance
+must decode to exactly ``store.scan()``, and every case the fold cannot
+prove exact (truncated/reset change log, oversized removal batch,
+wholesale replace) must fall back to a counted full encode — never a
+wrong column.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy", reason="columnar executor requires NumPy")
+
+from repro.engines.datalog.executor_columnar import ColumnarExecutor
+from repro.engines.datalog.storage import FactStore, RelationChangeLog
+from repro.engines.datalog.storage_sqlite import SQLiteFactStore
+from repro.pipeline import Raqlet
+
+BACKENDS = [
+    pytest.param(lambda: FactStore(), id="memory"),
+    pytest.param(lambda: SQLiteFactStore(), id="sqlite"),
+]
+
+
+def decoded_rows(executor, cols, count):
+    """Materialise encoded columns back into the set of row tuples."""
+    if count == 0:
+        return set()
+    arrays = [executor._vd.decode(col).tolist() for col in cols]
+    rows = set(zip(*arrays))
+    assert len(rows) == count  # store relations are sets: no dup rows
+    return rows
+
+
+def columns_for(executor, store, name="r"):
+    cols, count = executor._relation_columns(store, name)
+    assert decoded_rows(executor, cols, count) == set(store.scan(name))
+    return cols, count
+
+
+@pytest.mark.parametrize("make_store", BACKENDS)
+def test_inserts_advance_cached_columns(make_store):
+    store = make_store()
+    try:
+        executor = ColumnarExecutor()
+        store.add_many("r", [(i, i * 2) for i in range(50)])
+        columns_for(executor, store)
+        assert executor.store_encode_count == 1
+        store.add("r", (100, 200))
+        store.add("r", (101, 202))
+        columns_for(executor, store)
+        assert executor.columnar_incremental_encode_count == 1
+        assert executor.store_encode_count == 1  # no re-encode
+    finally:
+        store.close()
+
+
+@pytest.mark.parametrize("make_store", BACKENDS)
+def test_removals_advance_cached_columns(make_store):
+    store = make_store()
+    try:
+        executor = ColumnarExecutor()
+        store.add_many("r", [(i, i * 2) for i in range(50)])
+        columns_for(executor, store)
+        store.remove("r", (7, 14))
+        store.remove("r", (31, 62))
+        columns_for(executor, store)
+        assert executor.columnar_incremental_encode_count == 1
+        assert executor.store_encode_count == 1
+    finally:
+        store.close()
+
+
+@pytest.mark.parametrize("make_store", BACKENDS)
+def test_streaming_mutation_mix_stays_exact(make_store):
+    """A long alternating insert/retract stream advances the same cache
+    entry every step; each advance folds only that step's delta."""
+    store = make_store()
+    try:
+        executor = ColumnarExecutor()
+        store.add_many("r", [(i, 0) for i in range(40)])
+        columns_for(executor, store)
+        for step in range(1, 21):
+            if step % 3 == 0:
+                store.remove("r", (step, 0))
+            else:
+                store.add("r", (1000 + step, step))
+            columns_for(executor, store)
+        assert executor.columnar_incremental_encode_count == 20
+        assert executor.store_encode_count == 1
+    finally:
+        store.close()
+
+
+def test_oversized_removal_batch_falls_back_to_full_encode():
+    """Removal masking is O(rows × removed); past the limit a re-encode is
+    cheaper and the executor must take it (counted, still exact)."""
+    store = FactStore()
+    executor = ColumnarExecutor()
+    limit = ColumnarExecutor._INCREMENTAL_REMOVAL_LIMIT
+    store.add_many("r", [(i, i) for i in range(limit * 3)])
+    columns_for(executor, store)
+    for i in range(limit + 1):
+        store.remove("r", (i, i))
+    columns_for(executor, store)
+    assert executor.columnar_incremental_encode_count == 0
+    assert executor.store_encode_count == 2
+
+
+def test_truncated_changelog_falls_back_to_full_encode():
+    """A batch larger than the change log retains resets the history;
+    ``changes_since`` declines and the executor re-encodes."""
+    store = FactStore()
+    executor = ColumnarExecutor()
+    store.add("r", (-1, -1))
+    columns_for(executor, store)
+    store.add_many("r", [(i, 1) for i in range(RelationChangeLog.LIMIT + 2)])
+    columns_for(executor, store)
+    assert executor.columnar_incremental_encode_count == 0
+    assert executor.store_encode_count == 2
+
+
+@pytest.mark.parametrize("make_store", BACKENDS)
+def test_replace_falls_back_to_full_encode(make_store):
+    store = make_store()
+    try:
+        executor = ColumnarExecutor()
+        store.add_many("r", [(i, i) for i in range(10)])
+        columns_for(executor, store)
+        store.replace("r", [(5, 5), (99, 99)])
+        columns_for(executor, store)
+        assert executor.columnar_incremental_encode_count == 0
+        assert executor.store_encode_count == 2
+    finally:
+        store.close()
+
+
+def test_drain_to_empty_and_regrow():
+    """Advancing through empty keeps the entry alive and exact."""
+    store = FactStore()
+    executor = ColumnarExecutor()
+    store.add("r", (1, 2))
+    columns_for(executor, store)
+    store.remove("r", (1, 2))
+    cols, count = columns_for(executor, store)
+    assert count == 0
+    store.add("r", (3, 4))
+    columns_for(executor, store)
+    assert executor.columnar_incremental_encode_count == 2
+    assert executor.store_encode_count == 1
+
+
+SCHEMA = """
+CREATE GRAPH {
+  (sensorType : Sensor { id INT, value INT })
+}
+"""
+
+HOT = """
+.decl reading(s:number, v:number)
+.decl hot(s:number, v:number)
+hot(s, v) :- reading(s, v), v >= $threshold.
+.output hot
+"""
+
+
+def test_cold_runs_over_mutated_store_reuse_columns_end_to_end():
+    """The integration path: a prepared query re-run with *changing*
+    bindings cannot use IVM (cold path each time) but the columnar
+    executor still advances the cached ``reading`` encoding by |Δ|
+    instead of re-encoding the whole relation every run."""
+    raqlet = Raqlet(SCHEMA)
+    with raqlet.session(executor="columnar") as session:
+        session.insert("reading", [(i, i % 100) for i in range(300)])
+        prepared = session.prepare(HOT)
+        executor = prepared.engine.executor
+        baseline = {
+            (s, v) for s, v in session.store.scan("reading") if v >= 90
+        }
+        assert set(prepared.run(threshold=90).rows) == baseline
+        encodes = executor.store_encode_count
+        advances = executor.columnar_incremental_encode_count
+        expected = set(baseline)
+        for step in range(1, 11):
+            row = (1000 + step, 90 + step % 10)
+            session.insert("reading", [row])
+            expected.add(row)
+            got = set(prepared.run(threshold=90 + (step % 3)).rows)
+            want = {
+                (s, v)
+                for s, v in session.store.scan("reading")
+                if v >= 90 + (step % 3)
+            }
+            assert got == want
+        assert executor.store_encode_count == encodes  # zero re-encodes
+        assert executor.columnar_incremental_encode_count - advances >= 10

@@ -113,6 +113,77 @@ def test_mutation_sequence_matches_rederivation_oracle(seed):
         engine.store.close()
 
 
+@pytest.mark.parametrize("seed", range(0, 32, 2))
+def test_maintenance_report_equals_snapshot_diff(seed):
+    """``engine.maintain`` must *report* exactly what it changed.
+
+    At every step of the mutation script the returned
+    :class:`MaintenanceReport` is checked against an independent
+    before/after snapshot diff of every IDB relation — the contract the
+    reactive subscription layer is built on.
+    """
+    program, facts, idbs = _random_case(seed)
+    script = _mutation_script(seed, facts["edge"])
+    engine = DatalogEngine(program, facts, ivm=True)
+    engine.run()
+    for step, (action, row) in enumerate(script):
+        before = {relation: set(engine.store.scan(relation)) for relation in idbs}
+        if action == "retract":
+            engine.store.remove("edge", row)
+            report = engine.maintain({}, {"edge": {row}})
+        else:
+            engine.store.add("edge", row)
+            report = engine.maintain({"edge": {row}}, {})
+        assert not report.full_rederive
+        for relation in idbs:
+            added, removed = report.relation_delta(relation)
+            after = set(engine.store.scan(relation))
+            assert added == after - before[relation], (
+                f"seed {seed} step {step} ({action} {row}): report added "
+                f"{added} but the store gained {after - before[relation]} "
+                f"on {relation!r}"
+            )
+            assert removed == before[relation] - after, (
+                f"seed {seed} step {step} ({action} {row}): report removed "
+                f"{removed} but the store lost {before[relation] - after} "
+                f"on {relation!r}"
+            )
+        # A reported relation carries a non-empty delta on at least a side.
+        for relation in report.relations():
+            added, removed = report.relation_delta(relation)
+            assert added or removed
+    engine.store.close()
+
+
+@pytest.mark.parametrize("seed", (0, 5, 11))
+def test_fallback_report_equals_snapshot_diff(seed, monkeypatch):
+    """When maintenance errors out, the counted re-derivation fallback must
+    report the same exact delta a successful pass would have."""
+    from repro.engines.datalog import ivm
+
+    program, facts, idbs = _random_case(seed)
+    engine = DatalogEngine(program, facts, ivm=True)
+    engine.run()
+
+    def explode(self, added, removed):
+        raise RuntimeError("forced maintenance failure")
+
+    monkeypatch.setattr(ivm.IncrementalMaintainer, "maintain", explode)
+    before = {relation: set(engine.store.scan(relation)) for relation in idbs}
+    row = (0, 1)
+    fresh = engine.store.add("edge", row)
+    report = engine.maintain({"edge": {row}} if fresh else {}, {})
+    assert report.full_rederive
+    assert engine.full_rederive_count == 1
+    assert engine.maintain_count == 0
+    for relation in idbs:
+        added, removed = report.relation_delta(relation)
+        after = set(engine.store.scan(relation))
+        assert added == after - before[relation]
+        assert removed == before[relation] - after
+    engine.store.close()
+
+
 def test_corpus_covers_negation_and_aggregates():
     """The sampled seeds must include negation and aggregate programs."""
     with_negation = with_aggregate = with_recursion = 0

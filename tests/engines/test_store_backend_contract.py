@@ -290,3 +290,161 @@ def test_sqlite_batches_nest_without_committing_the_outer_transaction():
     assert store._batch_depth == 0
     assert sorted(store.scan("r")) == [(1, 2), (3, 4)]
     store.close()
+
+
+# -- data_version / changes_since: the delta-history contract ----------------
+#
+# The columnar executor (and anything else caching per-version artefacts)
+# relies on two promises: ``data_version`` bumps exactly when a mutation had
+# an effect, and ``changes_since(v)`` either nets to the *exact* set
+# difference between then and now or declines with ``None`` — it never
+# guesses.  The property test replays the same generated interleavings as
+# the set-model test and audits every historical checkpoint after every op.
+
+
+def _assert_history_consistent(store, checkpoints):
+    current = set(store.scan("r"))
+    for version, snapshot in checkpoints:
+        delta = store.changes_since("r", version)
+        if delta is None:
+            continue  # declining is always allowed ...
+        added, removed = set(delta[0]), set(delta[1])
+        assert added == current - snapshot  # ... answering wrong is not
+        assert removed == snapshot - current
+
+
+@pytest.mark.parametrize("make_store", BACKENDS)
+@given(operations=_operations)
+@settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_changes_since_nets_to_exact_set_difference(make_store, operations):
+    store = make_store()
+    try:
+        checkpoints = [(store.data_version("r"), set())]
+        for operation in operations:
+            if operation[0] == "add":
+                store.add("r", operation[1])
+            elif operation[0] == "add_many":
+                store.add_many("r", operation[1])
+            elif operation[0] == "remove":
+                store.remove("r", operation[1])
+            else:
+                continue
+            checkpoints.append((store.data_version("r"), set(store.scan("r"))))
+            _assert_history_consistent(store, checkpoints)
+    finally:
+        store.close()
+
+
+@pytest.mark.parametrize("make_store", BACKENDS)
+def test_data_version_bumps_only_on_effective_mutations(make_store):
+    store = make_store()
+    try:
+        v0 = store.data_version("r")
+        store.add("r", (1, 2))
+        v1 = store.data_version("r")
+        assert v1 != v0
+        store.add("r", (1, 2))  # duplicate: ineffective
+        assert store.data_version("r") == v1
+        store.remove("r", (9, 9))  # absent: ineffective
+        assert store.data_version("r") == v1
+        assert store.add_many("r", [(1, 2)]) == 0  # all-duplicate batch
+        assert store.data_version("r") == v1
+        assert store.changes_since("r", v1) == ([], [])
+    finally:
+        store.close()
+
+
+@pytest.mark.parametrize("make_store", BACKENDS)
+def test_add_remove_pairs_net_out(make_store):
+    store = make_store()
+    try:
+        store.add("r", (1, 1))
+        version = store.data_version("r")
+        store.add("r", (2, 2))
+        store.remove("r", (2, 2))
+        store.add("r", (3, 3))
+        store.remove("r", (1, 1))
+        delta = store.changes_since("r", version)
+        assert delta is not None
+        added, removed = delta
+        assert set(added) == {(3, 3)}
+        assert set(removed) == {(1, 1)}
+    finally:
+        store.close()
+
+
+@pytest.mark.parametrize("make_store", BACKENDS)
+def test_replace_and_clear_invalidate_older_versions(make_store):
+    """Wholesale resets forget history: a pre-reset version gets ``None``
+    (forcing the caller's full re-read), while post-reset versions answer
+    exactly again."""
+    store = make_store()
+    try:
+        store.add("r", (1, 2))
+        before_replace = store.data_version("r")
+        store.replace("r", [(3, 4)])
+        assert store.changes_since("r", before_replace) is None
+        after_replace = store.data_version("r")
+        store.add("r", (5, 6))
+        assert store.changes_since("r", after_replace) == ([(5, 6)], [])
+        store.clear_relation("r")
+        assert store.changes_since("r", after_replace) is None
+    finally:
+        store.close()
+
+
+def test_sqlite_unattributable_batches_decline_instead_of_guessing():
+    """``INSERT OR IGNORE`` cannot say which rows of a partially-fresh (or
+    internally duplicated) batch were new, so SQLite must invalidate the
+    history rather than report a guessed delta."""
+    store = SQLiteFactStore()
+    try:
+        store.add("r", (1, 2))
+        version = store.data_version("r")
+        store.add_many("r", [(1, 2), (3, 4)])  # (1, 2) already present
+        assert store.changes_since("r", version) is None
+    finally:
+        store.close()
+    store = SQLiteFactStore()
+    try:
+        store.add("r", (0, 0))
+        version = store.data_version("r")
+        store.add_many("r", [(5, 6), (5, 6)])  # duplicate within the batch
+        assert store.changes_since("r", version) is None
+        # a fully-fresh, duplicate-free batch stays attributable
+        version = store.data_version("r")
+        store.add_many("r", [(7, 8), (9, 10)])
+        delta = store.changes_since("r", version)
+        assert delta is not None
+        assert set(delta[0]) == {(7, 8), (9, 10)} and delta[1] == []
+    finally:
+        store.close()
+
+
+def test_changelog_truncation_declines_beyond_floor():
+    """The log is bounded: versions older than the retention floor get
+    ``None``, recent versions keep answering exactly."""
+    from repro.engines.datalog.storage import RelationChangeLog
+
+    store = FactStore()
+    v0 = store.data_version("r")
+    for i in range(RelationChangeLog.LIMIT + 10):
+        store.add("r", (i, i))
+    assert store.changes_since("r", v0) is None
+    recent = store.data_version("r")
+    store.add("r", (-1, -1))
+    assert store.changes_since("r", recent) == ([(-1, -1)], [])
+
+
+def test_oversized_batch_invalidates_history_wholesale():
+    """A single batch larger than the log could ever retain skips the
+    appends and resets the history in one step."""
+    from repro.engines.datalog.storage import RelationChangeLog
+
+    store = FactStore()
+    store.add("r", (0, -1))
+    version = store.data_version("r")
+    store.add_many("r", [(i, 1) for i in range(RelationChangeLog.LIMIT + 2)])
+    assert store.changes_since("r", version) is None

@@ -1,0 +1,222 @@
+"""Reactive rules: head-relation deltas trigger registered actions.
+
+Covers the trigger contract (``on`` selectors, fire counters, eager action
+validation), cascading — an action's own inserts are observed by other
+standing queries in the *same* flush — and the two failure bounds: depth
+(:class:`ReactiveCascadeError`) and repeated-delta cycles
+(:class:`ReactiveCycleError`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import Raqlet
+from repro.reactive import (
+    ReactiveCascadeError,
+    ReactiveCycleError,
+    ReactiveError,
+)
+
+SCHEMA = """
+CREATE GRAPH {
+  (sensorType : Sensor { id INT, value INT })
+}
+"""
+
+HOT = """
+.decl reading(s:number, v:number)
+.decl hot(s:number, v:number)
+hot(s, v) :- reading(s, v), v >= 95.
+.output hot
+"""
+
+OPEN_ALERTS = """
+.decl alert(s:number, v:number)
+.decl open_alert(s:number, v:number)
+open_alert(s, v) :- alert(s, v).
+.output open_alert
+"""
+
+WATCH = """
+.decl reading(s:number, v:number)
+.decl watch(s:number, v:number)
+watch(s, v) :- reading(s, v).
+.output watch
+"""
+
+
+@pytest.fixture()
+def session():
+    with Raqlet(SCHEMA).session() as session:
+        session.insert("reading", [(1, 10)])
+        yield session
+
+
+class TestTriggers:
+    def test_rule_fires_on_added_rows(self, session):
+        fired = []
+        session.reactive.register_action(
+            "record", lambda ctx: fired.append(sorted(ctx.rows))
+        )
+        rule = session.reactive.add_rule("hot-watch", HOT, "record")
+        session.insert("reading", [(2, 99), (3, 12)])
+        assert fired == [[(2, 99)]]
+        assert rule.fire_count == 1
+
+    def test_added_rule_skips_pure_removals(self, session):
+        session.insert("reading", [(2, 99)])
+        fired = []
+        session.reactive.register_action("record", lambda ctx: fired.append(ctx.rows))
+        session.reactive.add_rule("hot-watch", HOT, "record", on="added")
+        session.retract("reading", [(2, 99)])
+        assert fired == []
+
+    def test_on_removed_selector(self, session):
+        session.insert("reading", [(2, 99)])
+        fired = []
+        session.reactive.register_action(
+            "record", lambda ctx: fired.append(sorted(ctx.delta.removed))
+        )
+        session.reactive.add_rule("hot-watch", HOT, "record", on="removed")
+        session.insert("reading", [(3, 97)])  # pure addition: not fired
+        session.retract("reading", [(2, 99)])
+        assert fired == [[(2, 99)]]
+
+    def test_on_both_fires_either_way(self, session):
+        fired = []
+        session.reactive.register_action(
+            "record",
+            lambda ctx: fired.append((sorted(ctx.delta.added), sorted(ctx.delta.removed))),
+        )
+        session.reactive.add_rule("hot-watch", HOT, "record", on="both")
+        session.insert("reading", [(2, 99)])
+        session.retract("reading", [(2, 99)])
+        assert fired == [([(2, 99)], []), ([], [(2, 99)])]
+
+    def test_action_context_carries_session_and_rule(self, session):
+        seen = {}
+
+        def action(ctx):
+            seen["session"] = ctx.session
+            seen["rule"] = ctx.rule.name
+
+        session.reactive.register_action("probe", action)
+        session.reactive.add_rule("hot-watch", HOT, "probe")
+        session.insert("reading", [(2, 99)])
+        assert seen == {"session": session, "rule": "hot-watch"}
+
+    def test_unknown_action_rejected_at_add_time(self, session):
+        with pytest.raises(ReactiveError, match="no registered action"):
+            session.reactive.add_rule("hot-watch", HOT, "missing")
+
+    def test_invalid_selector_rejected(self, session):
+        session.reactive.register_action("noop", lambda ctx: None)
+        with pytest.raises(ReactiveError, match="invalid rule trigger"):
+            session.reactive.add_rule("hot-watch", HOT, "noop", on="changed")
+
+    def test_duplicate_rule_name_rejected(self, session):
+        session.reactive.register_action("noop", lambda ctx: None)
+        session.reactive.add_rule("hot-watch", HOT, "noop")
+        with pytest.raises(ReactiveError, match="already exists"):
+            session.reactive.add_rule("hot-watch", HOT, "noop")
+
+    def test_remove_rule_stops_firing(self, session):
+        fired = []
+        session.reactive.register_action("record", lambda ctx: fired.append(ctx.rows))
+        session.reactive.add_rule("hot-watch", HOT, "record")
+        session.reactive.remove_rule("hot-watch")
+        session.insert("reading", [(2, 99)])
+        assert fired == []
+        assert session.reactive.rules == {}
+        with pytest.raises(ReactiveError, match="no reactive rule"):
+            session.reactive.remove_rule("hot-watch")
+
+    def test_register_action_as_decorator(self, session):
+        fired = []
+
+        @session.reactive.actions.register("record")
+        def record(ctx):
+            fired.append(len(ctx.rows))
+
+        session.reactive.add_rule("hot-watch", HOT, "record")
+        session.insert("reading", [(2, 99)])
+        assert fired == [1]
+
+    def test_hot_swapping_an_action(self, session):
+        calls = []
+        session.reactive.register_action("record", lambda ctx: calls.append("old"))
+        session.reactive.add_rule("hot-watch", HOT, "record")
+        session.reactive.register_action("record", lambda ctx: calls.append("new"))
+        session.insert("reading", [(2, 99)])
+        assert calls == ["new"]
+
+
+class TestCascades:
+    def test_action_mutation_cascades_within_one_flush(self, session):
+        """rule: hot rows raise alert facts; a second standing query over
+        the alerts sees them in the same mutation batch's flush."""
+        session.reactive.register_action(
+            "raise-alert", lambda ctx: ctx.session.insert("alert", ctx.rows)
+        )
+        session.reactive.add_rule("escalate", HOT, "raise-alert")
+        alerts = []
+        session.subscribe(
+            OPEN_ALERTS, lambda delta: alerts.append(sorted(delta.added))
+        )
+        session.insert("reading", [(2, 99)])
+        assert alerts == [[(2, 99)]]
+        assert session.store.scan("alert") == [(2, 99)]
+
+    def test_retraction_cascade(self, session):
+        session.reactive.register_action(
+            "raise-alert", lambda ctx: ctx.session.insert("alert", ctx.rows)
+        )
+        session.reactive.register_action(
+            "clear-alert", lambda ctx: ctx.session.retract("alert", ctx.delta.removed)
+        )
+        session.reactive.add_rule("escalate", HOT, "raise-alert")
+        session.reactive.add_rule("deescalate", HOT, "clear-alert", on="removed")
+        session.insert("reading", [(2, 99)])
+        session.retract("reading", [(2, 99)])
+        assert session.store.scan("alert") == []
+
+    def test_runaway_cascade_hits_depth_bound(self, session):
+        """An action that keeps feeding its own standing query must stop at
+        the depth bound instead of spinning forever."""
+        state = {"next": 1000}
+
+        def feed(ctx):
+            state["next"] += 1
+            ctx.session.insert("reading", [(state["next"], 99)])
+
+        session.reactive.max_cascade_depth = 4
+        session.reactive.register_action("feed", feed)
+        session.reactive.add_rule("feedback", HOT, "feed")
+        with pytest.raises(ReactiveCascadeError, match="exceeded 4 rounds"):
+            session.insert("reading", [(2, 99)])
+
+    def test_oscillating_rules_hit_cycle_detection(self, session):
+        """Two rules endlessly undoing each other produce the same delta
+        twice in one flush — detected as a cycle, not run to the depth
+        bound."""
+        session.reactive.register_action(
+            "undo", lambda ctx: ctx.session.retract("reading", ctx.rows)
+        )
+        session.reactive.register_action(
+            "redo", lambda ctx: ctx.session.insert("reading", ctx.delta.removed)
+        )
+        session.reactive.add_rule("undo-inserts", WATCH, "undo", on="added")
+        session.reactive.add_rule("redo-removals", WATCH, "redo", on="removed")
+        with pytest.raises(ReactiveCycleError, match="same delta twice"):
+            session.insert("reading", [(2, 50)])
+
+    def test_action_errors_are_recorded_not_raised(self, session):
+        def broken(ctx):
+            raise RuntimeError("action bug")
+
+        session.reactive.register_action("broken", broken)
+        rule = session.reactive.add_rule("hot-watch", HOT, "broken")
+        session.insert("reading", [(2, 99)])  # must not raise
+        assert rule.subscription.error_count == 1
+        assert isinstance(rule.subscription.last_error, RuntimeError)

@@ -1,0 +1,143 @@
+"""Scheduler semantics, driven through virtual time via ``run_pending``.
+
+The thread itself gets one smoke test; everything else uses the testable
+core so the suite stays deterministic and fast.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.pipeline import Raqlet
+from repro.reactive import ReactiveScheduler
+
+SCHEMA = """
+CREATE GRAPH {
+  (sensorType : Sensor { id INT, value INT })
+}
+"""
+
+HOT = """
+.decl reading(s:number, v:number)
+.decl hot(s:number, v:number)
+hot(s, v) :- reading(s, v), v >= 95.
+.output hot
+"""
+
+
+def make_scheduler():
+    """A scheduler whose clock starts at 0 (jobs anchor to it)."""
+    return ReactiveScheduler(clock=lambda: 0.0)
+
+
+class TestVirtualTime:
+    def test_job_runs_once_per_interval(self):
+        scheduler = make_scheduler()
+        runs = []
+        scheduler.every(10.0, lambda: runs.append(1), name="tick")
+        assert scheduler.run_pending(now=5.0) == 0
+        assert scheduler.run_pending(now=10.0) == 1
+        assert scheduler.run_pending(now=15.0) == 0
+        assert scheduler.run_pending(now=20.0) == 1
+        assert len(runs) == 2
+
+    def test_slipped_job_runs_once_and_reanchors(self):
+        scheduler = make_scheduler()
+        runs = []
+        scheduler.every(1.0, lambda: runs.append(1))
+        # 40 intervals late: one catch-up run, next due a full interval out.
+        assert scheduler.run_pending(now=40.0) == 1
+        assert scheduler.run_pending(now=40.5) == 0
+        assert scheduler.run_pending(now=41.0) == 1
+
+    def test_multiple_jobs_independent_cadence(self):
+        scheduler = make_scheduler()
+        counts = {"fast": 0, "slow": 0}
+
+        def bump(name):
+            counts[name] += 1
+
+        scheduler.every(1.0, lambda: bump("fast"), name="fast")
+        scheduler.every(3.0, lambda: bump("slow"), name="slow")
+        for tick in range(1, 7):
+            scheduler.run_pending(now=float(tick))
+        assert counts == {"fast": 6, "slow": 2}
+
+    def test_cancel_stops_a_job(self):
+        scheduler = make_scheduler()
+        runs = []
+        job = scheduler.every(1.0, lambda: runs.append(1), name="tick")
+        scheduler.run_pending(now=1.0)
+        scheduler.cancel("tick")
+        scheduler.run_pending(now=2.0)
+        assert runs == [1]
+        assert not job.active
+        assert scheduler.jobs() == []
+        scheduler.cancel("tick")  # idempotent
+
+    def test_job_errors_recorded_and_schedule_kept(self):
+        scheduler = make_scheduler()
+        healthy = []
+
+        def broken():
+            raise RuntimeError("job bug")
+
+        job = scheduler.every(1.0, broken, name="bad")
+        scheduler.every(1.0, lambda: healthy.append(1), name="good")
+        scheduler.run_pending(now=1.0)
+        scheduler.run_pending(now=2.0)
+        assert job.error_count == 2
+        assert isinstance(job.last_error, RuntimeError)
+        assert healthy == [1, 1]
+
+    def test_counters_and_validation(self):
+        scheduler = make_scheduler()
+        job = scheduler.every(1.0, lambda: None, name="tick")
+        scheduler.run_pending(now=1.0)
+        assert job.run_count == 1
+        assert scheduler.tick_count == 1
+        with pytest.raises(ValueError, match="positive"):
+            scheduler.every(0, lambda: None)
+        with pytest.raises(ValueError, match="already exists"):
+            scheduler.every(1.0, lambda: None, name="tick")
+
+
+class TestSessionWatch:
+    def test_watch_flushes_on_tick(self):
+        """auto_flush off + watch(): the tick is the delivery point, and a
+        burst of mutations coalesces into one notification."""
+        with Raqlet(SCHEMA).session() as session:
+            events = []
+            session.subscribe(
+                HOT, lambda delta: events.append(sorted(delta.added))
+            )
+            session.reactive.auto_flush = False
+            scheduler = make_scheduler()
+            scheduler.watch(session, interval=1.0)
+            session.insert("reading", [(1, 99)])
+            session.insert("reading", [(2, 97)])
+            assert events == []
+            scheduler.run_pending(now=1.0)
+            assert events == [[(1, 99), (2, 97)]]
+            scheduler.run_pending(now=2.0)  # nothing new: no delivery
+            assert len(events) == 1
+
+
+class TestThread:
+    def test_background_thread_delivers(self):
+        scheduler = ReactiveScheduler()
+        fired = threading.Event()
+        scheduler.every(0.01, fired.set, name="tick")
+        with scheduler:
+            assert fired.wait(timeout=5.0)
+        assert scheduler._thread is None
+
+    def test_start_is_idempotent(self):
+        scheduler = ReactiveScheduler()
+        scheduler.start()
+        thread = scheduler._thread
+        scheduler.start()
+        assert scheduler._thread is thread
+        scheduler.stop()

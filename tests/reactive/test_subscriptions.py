@@ -1,0 +1,259 @@
+"""Subscription semantics: exactly-once deltas, counters, lifecycle.
+
+The contract under test: after every committed mutation batch, each live
+subscription receives the exact ``(added, removed)`` result-row delta of
+its standing query — computed by incremental maintenance, never by
+re-running the query — delivered exactly once, with broken callbacks
+isolated and unsubscription immediate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import RaqletError
+from repro.dlir.builder import ProgramBuilder
+from repro.dlir.core import Aggregation, Var
+from repro.pipeline import Raqlet
+from repro.reactive import ResultDelta
+
+SCHEMA = """
+CREATE GRAPH {
+  (sensorType : Sensor { id INT, value INT })
+}
+"""
+
+HOT = """
+.decl reading(s:number, v:number)
+.decl hot(s:number, v:number)
+hot(s, v) :- reading(s, v), v >= $threshold.
+.output hot
+"""
+
+def _count_query(raqlet):
+    """``sensors(n) :- reading(s, _), n = count()`` — aggregates are not in
+    the Datalog text frontend, so the view is built as DLIR directly."""
+    builder = ProgramBuilder()
+    builder.edb("reading", [("s", "number"), ("v", "number")])
+    builder.idb("sensors", [("n", "number")])
+    builder.rule(
+        "sensors",
+        ["n"],
+        [("reading", ["s", "_"])],
+        aggregations=[Aggregation("count", Var("n"))],
+    )
+    builder.output("sensors")
+    return raqlet.compile_dlir(builder.build(), optimize=False)
+
+
+@pytest.fixture()
+def raqlet():
+    return Raqlet(SCHEMA)
+
+
+@pytest.fixture()
+def session(raqlet):
+    with raqlet.session() as session:
+        session.insert("reading", [(1, 10), (2, 96)])
+        yield session
+
+
+def collect(events):
+    def callback(delta: ResultDelta) -> None:
+        events.append((sorted(delta.added), sorted(delta.removed)))
+
+    return callback
+
+
+class TestDelivery:
+    def test_baseline_is_not_delivered(self, session):
+        events = []
+        session.subscribe(HOT, collect(events), threshold=90)
+        assert events == []
+
+    def test_insert_delivers_added_rows(self, session):
+        events = []
+        session.subscribe(HOT, collect(events), threshold=90)
+        session.insert("reading", [(3, 99)])
+        assert events == [([(3, 99)], [])]
+
+    def test_retract_delivers_removed_rows(self, session):
+        events = []
+        session.subscribe(HOT, collect(events), threshold=90)
+        session.retract("reading", [(2, 96)])
+        assert events == [([], [(2, 96)])]
+
+    def test_batch_delivers_once(self, session):
+        events = []
+        session.subscribe(HOT, collect(events), threshold=90)
+        session.insert("reading", [(3, 99), (4, 97), (5, 12)])
+        assert events == [([(3, 99), (4, 97)], [])]
+
+    def test_irrelevant_mutation_is_silent(self, session):
+        events = []
+        session.subscribe(HOT, collect(events), threshold=90)
+        session.insert("reading", [(3, 11)])
+        session.retract("reading", [(1, 10)])
+        assert events == []
+
+    def test_bindings_filter_the_delta(self, session):
+        strict, loose = [], []
+        session.subscribe(HOT, collect(strict), threshold=98)
+        session.subscribe(HOT, collect(loose), threshold=50)
+        session.insert("reading", [(3, 99), (4, 60)])
+        assert strict == [([(3, 99)], [])]
+        assert loose == [([(3, 99), (4, 60)], [])]
+
+    def test_delta_columns_and_epoch(self, session):
+        deltas = []
+        session.subscribe(HOT, deltas.append, threshold=90)
+        session.insert("reading", [(3, 99)])
+        (delta,) = deltas
+        assert delta.columns == ["s", "v"]
+        assert delta.epoch == session.mutation_epoch
+
+    def test_aggregate_view_transitions(self, raqlet, session):
+        events = []
+        session.subscribe(_count_query(raqlet), collect(events))
+        session.insert("reading", [(3, 50)])
+        assert events[-1] == ([(3,)], [(2,)])
+
+    def test_incremental_path_no_rederive(self, session):
+        events = []
+        session.subscribe(HOT, collect(events), threshold=90)
+        for step in range(10):
+            session.insert("reading", [(100 + step, 90 + step)])
+        engines = [prepared.engine for prepared in session._all_prepared]
+        assert sum(engine.full_rederive_count for engine in engines) == 0
+        assert len(events) == 10
+
+
+class TestSharingAndLifecycle:
+    def test_same_binding_shares_one_standing_query(self, session):
+        first, second = [], []
+        session.subscribe(HOT, collect(first), threshold=90)
+        session.subscribe(HOT, collect(second), threshold=90)
+        assert session.reactive.standing_count == 1
+        session.insert("reading", [(3, 99)])
+        assert first == second == [([(3, 99)], [])]
+
+    def test_distinct_bindings_get_distinct_standing_queries(self, session):
+        session.subscribe(HOT, lambda delta: None, threshold=90)
+        session.subscribe(HOT, lambda delta: None, threshold=50)
+        assert session.reactive.standing_count == 2
+
+    def test_unsubscribe_stops_delivery(self, session):
+        events = []
+        subscription = session.subscribe(HOT, collect(events), threshold=90)
+        subscription.unsubscribe()
+        subscription.unsubscribe()  # idempotent
+        session.insert("reading", [(3, 99)])
+        assert events == []
+        assert session.reactive.subscription_count == 0
+        assert session.reactive.standing_count == 0
+
+    def test_unsubscribe_one_of_two_keeps_the_other(self, session):
+        kept, gone = [], []
+        keeper = session.subscribe(HOT, collect(kept), threshold=90)
+        leaver = session.subscribe(HOT, collect(gone), threshold=90)
+        leaver.unsubscribe()
+        session.insert("reading", [(3, 99)])
+        assert kept == [([(3, 99)], [])]
+        assert gone == []
+        assert keeper.active and not leaver.active
+
+    def test_subscription_counters(self, session):
+        subscription = session.subscribe(HOT, lambda delta: None, threshold=90)
+        session.insert("reading", [(3, 99), (4, 97)])
+        session.retract("reading", [(3, 99)])
+        assert subscription.delivery_count == 2
+        assert subscription.rows_added == 2
+        assert subscription.rows_removed == 1
+
+    def test_callback_errors_are_isolated(self, session):
+        healthy = []
+
+        def broken(delta):
+            raise RuntimeError("subscriber bug")
+
+        bad = session.subscribe(HOT, broken, threshold=90)
+        session.subscribe(HOT, collect(healthy), threshold=90)
+        session.insert("reading", [(3, 99)])
+        assert healthy == [([(3, 99)], [])]
+        assert bad.error_count == 1
+        assert isinstance(bad.last_error, RuntimeError)
+
+    def test_close_tears_everything_down(self, raqlet):
+        session = raqlet.session()
+        session.insert("reading", [(1, 96)])
+        subscription = session.subscribe(HOT, lambda delta: None, threshold=90)
+        session.close()
+        assert not subscription.active
+
+    def test_subscribe_accepts_prepared_query(self, session):
+        prepared = session.prepare(HOT)
+        events = []
+        session.subscribe(prepared, collect(events), threshold=90)
+        # The caller's own runs (other bindings!) must not disturb delivery.
+        prepared.run(threshold=10)
+        session.insert("reading", [(3, 99)])
+        assert events == [([(3, 99)], [])]
+
+    def test_mutating_derived_relation_is_rejected(self, session):
+        session.subscribe(HOT, lambda delta: None, threshold=90)
+        with pytest.raises(RaqletError, match="derived"):
+            session.insert("hot", [(9, 99)])
+
+
+class TestFlushControl:
+    def test_auto_flush_off_coalesces_batches(self, session):
+        events = []
+        session.subscribe(HOT, collect(events), threshold=90)
+        session.reactive.auto_flush = False
+        session.insert("reading", [(3, 99)])
+        session.insert("reading", [(4, 97)])
+        session.retract("reading", [(3, 99)])
+        assert events == []
+        delivered = session.reactive.flush()
+        assert delivered == 1
+        # One coalesced notification: (3, 99) cancelled itself out.
+        assert events == [([(4, 97)], [])]
+
+    def test_flush_without_pending_changes_is_free(self, session):
+        session.subscribe(HOT, lambda delta: None, threshold=90)
+        assert session.reactive.flush() == 0
+
+    def test_manager_counters(self, session):
+        session.subscribe(HOT, lambda delta: None, threshold=90)
+        session.subscribe(HOT, lambda delta: None, threshold=50)
+        session.insert("reading", [(3, 99)])
+        assert session.reactive.notification_count == 2
+        assert session.reactive.flush_count == 1
+
+
+class TestFallbackExactness:
+    def test_bulk_ingest_still_delivers_exact_delta(self, session):
+        """A bulk ingest logs the sentinel and forces a full re-derivation;
+        the snapshot/diff fallback must keep the delta exact (and count the
+        event — no silent missed notifications)."""
+        events = []
+        session.subscribe(HOT, collect(events), threshold=90)
+        session.ingest({"reading": [(50, 99), (51, 10), (2, 96)]})
+        assert events == [([(50, 99)], [])]
+        engines = [prepared.engine for prepared in session._all_prepared]
+        assert sum(engine.full_rederive_count for engine in engines) >= 1
+
+    def test_incremental_and_fallback_agree(self, raqlet):
+        streams = {"incremental": [], "fallback": []}
+        sessions = {}
+        for mode in streams:
+            sessions[mode] = raqlet.session()
+            sessions[mode].insert("reading", [(1, 10), (2, 96)])
+            sessions[mode].subscribe(HOT, collect(streams[mode]), threshold=90)
+        # Same logical mutations; one side through the maintainable path,
+        # the other through bulk ingest (sentinel -> re-derive + diff).
+        sessions["incremental"].insert("reading", [(3, 99)])
+        sessions["fallback"].ingest({"reading": [(3, 99)]})
+        assert streams["incremental"] == streams["fallback"]
+        for mode in streams:
+            sessions[mode].close()

@@ -328,3 +328,136 @@ def test_concurrent_clients_hammer_one_pool(raqlet):
             thread.join()
     if errors:
         raise errors[0]
+
+
+# -- subscriptions: standing queries over the shared EDB ---------------------
+
+
+class _Listener:
+    """Thread-safe notification collector with a wait helper."""
+
+    def __init__(self):
+        self.events = []
+        self._cond = threading.Condition()
+
+    def __call__(self, sid, name, delta):
+        with self._cond:
+            self.events.append((sid, name, delta))
+            self._cond.notify_all()
+
+    def wait_for(self, count, timeout=10.0):
+        with self._cond:
+            assert self._cond.wait_for(
+                lambda: len(self.events) >= count, timeout=timeout
+            ), f"expected {count} notifications, got {len(self.events)}"
+            return list(self.events)
+
+    def snapshot(self):
+        with self._cond:
+            return list(self.events)
+
+
+def test_subscribe_delivers_deltas_on_mutate(raqlet):
+    with ServingPool(raqlet, FACTS, workers=2) as pool:
+        pool.prepare("reach", REACH_QUERY)
+        listener = _Listener()
+        sid = pool.subscribe("reach", listener, personId=44)
+        edge = (45, 42, 9)
+        outcome = pool.mutate(insert={"Person_KNOWS_Person": [edge]})
+        (event,) = listener.wait_for(1)
+        got_sid, got_name, delta = event
+        assert (got_sid, got_name) == (sid, "reach")
+        assert set(delta.added) == {(42,), (43,), (44,)}
+        assert delta.removed == []
+        assert delta.epoch == outcome["epoch"]
+        # retraction notifies with the same rows removed
+        pool.mutate(retract={"Person_KNOWS_Person": [edge]})
+        events = listener.wait_for(2)
+        delta = events[1][2]
+        assert delta.added == []
+        assert set(delta.removed) == {(42,), (43,), (44,)}
+        assert pool.stats()["full_rederive_count"] == 0
+
+
+def test_subscription_is_exactly_once_with_query_traffic(raqlet):
+    """A run request on the owning worker syncs (and delivers) first; the
+    mutation's own poke must not deliver the same epoch again."""
+    with ServingPool(raqlet, FACTS, workers=1) as pool:
+        pool.prepare("reach", REACH_QUERY)
+        listener = _Listener()
+        pool.subscribe("reach", listener, personId=44)
+        pool.mutate(insert={"Person_KNOWS_Person": [(45, 42, 9)]})
+        # query traffic races the notify control for the same epoch
+        assert pool.run("reach", personId=44).row_set() == {
+            (45,), (42,), (43,), (44,),
+        }
+        listener.wait_for(1)
+        # drain the worker queue: a no-op control proves the notify ran
+        pool.poke()
+        pool.run("reach", personId=44)
+        events = listener.snapshot()
+        assert len(events) == 1, [e[2].added for e in events]
+
+
+def test_irrelevant_mutations_do_not_notify(raqlet):
+    with ServingPool(raqlet, FACTS, workers=2) as pool:
+        pool.prepare("reach", REACH_QUERY)
+        listener = _Listener()
+        pool.subscribe("reach", listener, personId=44)
+        pool.mutate(insert={"City": [(3, "Zurich")]})
+        pool.run("reach", personId=44)  # forces a sync + flush round
+        assert listener.snapshot() == []
+
+
+def test_unsubscribe_stops_delivery(raqlet):
+    with ServingPool(raqlet, FACTS, workers=2) as pool:
+        pool.prepare("reach", REACH_QUERY)
+        listener = _Listener()
+        sid = pool.subscribe("reach", listener, personId=44)
+        assert pool.unsubscribe(sid) is True
+        assert pool.unsubscribe(sid) is False  # idempotent
+        pool.mutate(insert={"Person_KNOWS_Person": [(45, 42, 9)]})
+        pool.run("reach", personId=44)
+        assert listener.snapshot() == []
+        assert pool.stats()["subscription_count"] == 0
+
+
+def test_distinct_bindings_notify_independently(raqlet):
+    with ServingPool(raqlet, FACTS, workers=2) as pool:
+        pool.prepare("reach", REACH_QUERY)
+        listener = _Listener()
+        sid_44 = pool.subscribe("reach", listener, personId=44)
+        sid_45 = pool.subscribe("reach", listener, personId=45)
+        assert pool.stats()["subscription_count"] == 2
+        pool.mutate(insert={"Person_KNOWS_Person": [(45, 42, 9)]})
+        events = listener.wait_for(2)
+        by_sid = {sid: delta for sid, _, delta in events}
+        assert set(by_sid) == {sid_44, sid_45}
+        assert set(by_sid[sid_44].added) == {(42,), (43,), (44,)}
+        assert set(by_sid[sid_45].added) == {(42,), (43,), (44,), (45,)}
+        assert pool.stats()["notification_count"] == 2
+
+
+def test_subscribe_unknown_statement_rejected(raqlet):
+    with ServingPool(raqlet, FACTS, workers=1) as pool:
+        with pytest.raises(RaqletError, match="unknown prepared statement"):
+            pool.subscribe("missing", lambda *a: None)
+
+
+def test_ticker_delivers_for_external_writers(raqlet):
+    """A writer that bypasses pool.mutate (caller-owned SharedEDB) never
+    pokes; the periodic ticker is the delivery path."""
+    shared = SharedEDB()
+    shared.ingest(FACTS)
+    pool = ServingPool(Raqlet(SCHEMA), workers=1, store=shared)
+    try:
+        pool.prepare("reach", REACH_QUERY)
+        listener = _Listener()
+        pool.subscribe("reach", listener, personId=44)
+        pool.start_ticker(interval=0.01)
+        shared.insert("Person_KNOWS_Person", [(45, 42, 9)])  # external
+        (event,) = listener.wait_for(1)
+        assert set(event[2].added) == {(42,), (43,), (44,)}
+    finally:
+        pool.close()
+        shared.close()

@@ -189,3 +189,88 @@ def test_shutdown_request_stops_the_server(pool):
             await asyncio.open_connection(host, port)
 
     asyncio.run(main())
+
+
+# -- subscriptions over the wire ---------------------------------------------
+
+
+def test_subscribe_mutate_notify_unsubscribe(pool):
+    """The full standing-query round trip: subscribe, mutate from another
+    connection, receive the pushed notification frame, unsubscribe."""
+
+    async def scenario(server, client):
+        await client.request(
+            {"op": "prepare", "name": "reach", "query": REACH_QUERY}
+        )
+        reply = await client.request(
+            {"op": "subscribe", "name": "reach", "params": {"personId": 44}}
+        )
+        assert reply["ok"]
+        sid = reply["sid"]
+        assert reply["name"] == "reach"
+
+        writer = await _connect(server)
+        try:
+            mutated = await writer.request(
+                {"op": "mutate", "insert": {"Person_KNOWS_Person": [[45, 42, 9]]}}
+            )
+            assert mutated["ok"]
+            # the subscriber's next line is the pushed frame, no request sent
+            frame = json.loads(
+                await asyncio.wait_for(client._reader.readline(), timeout=10)
+            )
+            assert frame["event"] == "notification"
+            assert frame["sid"] == sid and frame["name"] == "reach"
+            assert frame["epoch"] == mutated["epoch"]
+            assert {tuple(row) for row in frame["added"]} == {(42,), (43,), (44,)}
+            assert frame["removed"] == []
+        finally:
+            writer.close()
+
+        gone = await client.request({"op": "unsubscribe", "sid": sid})
+        assert gone["ok"] and gone["removed"]
+        again = await client.request({"op": "unsubscribe", "sid": sid})
+        assert again["ok"] and not again["removed"]
+        assert pool.stats()["subscription_count"] == 0
+
+    _with_server(pool, scenario)
+
+
+def test_subscribe_validation_errors(pool):
+    async def scenario(server, client):
+        bad = await client.request({"op": "subscribe"})
+        assert not bad["ok"] and bad["code"] == "bad-request"
+        bad = await client.request({"op": "subscribe", "name": "missing"})
+        assert not bad["ok"]
+        bad = await client.request({"op": "unsubscribe"})
+        assert not bad["ok"] and bad["code"] == "bad-request"
+
+    _with_server(pool, scenario)
+
+
+def test_connection_close_tears_down_subscriptions(pool):
+    """A dropped connection must not leave dangling standing queries."""
+
+    async def scenario(server, client):
+        await client.request(
+            {"op": "prepare", "name": "reach", "query": REACH_QUERY}
+        )
+        subscriber = await _connect(server)
+        reply = await subscriber.request(
+            {"op": "subscribe", "name": "reach", "params": {"personId": 44}}
+        )
+        assert reply["ok"]
+        assert pool.stats()["subscription_count"] == 1
+        subscriber.close()
+        for _ in range(200):
+            if pool.stats()["subscription_count"] == 0:
+                break
+            await asyncio.sleep(0.02)
+        assert pool.stats()["subscription_count"] == 0
+        # later mutations push nothing anywhere and break nothing
+        mutated = await client.request(
+            {"op": "mutate", "insert": {"Person_KNOWS_Person": [[45, 42, 9]]}}
+        )
+        assert mutated["ok"]
+
+    _with_server(pool, scenario)
